@@ -1,0 +1,28 @@
+# Convenience targets (cf. the paper artifact's makefiles).
+
+.PHONY: all build test bench bench-quick examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/bestcut_example.exe
+	dune exec examples/bfs_example.exe
+	dune exec examples/text_pipeline.exe
+	dune exec examples/primes_example.exe
+	dune exec examples/inverted_index_example.exe
+
+clean:
+	dune clean

@@ -1,0 +1,620 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§3 Figure 5, §6 Figures 13-16), plus ablations of the
+   design choices called out in DESIGN.md and Bechamel microbenchmarks.
+
+   Run `dune exec bench/main.exe` for everything at the default scale, or
+   select sections: `dune exec bench/main.exe -- --only fig13,fig16`.
+   Results are wall-clock on whatever machine this runs on; the claims
+   being reproduced are the *ratios* between library versions (see
+   EXPERIMENTS.md). *)
+
+module Measure = Bds_harness.Measure
+module Registry = Bds_harness.Registry
+module Tables = Bds_harness.Tables
+module Runtime = Bds_runtime.Runtime
+module S = Bds.Seq
+module K = Bds_kernels
+
+type config = {
+  scale : float;
+  procs : int;
+  proc_list : int list;
+  repeat : int;
+  sections : string list;
+  csv : string option;
+  plots : string option;  (** directory for SVG versions of the figures *)
+}
+
+(* Raw results accumulated for --csv: section, bench, version, procs,
+   metric, value. *)
+let csv_rows : (string * string * string * int * string * float) list ref = ref []
+
+let record ~section ~bench ~version ~procs ~metric value =
+  csv_rows := (section, bench, version, procs, metric, value) :: !csv_rows
+
+let write_csv path =
+  let oc = open_out path in
+  output_string oc "section,bench,version,procs,metric,value\n";
+  List.iter
+    (fun (s, b, v, p, m, x) ->
+      Printf.fprintf oc "%s,%s,%s,%d,%s,%.9g\n" s b v p m x)
+    (List.rev !csv_rows);
+  close_out oc;
+  Printf.eprintf "wrote %s (%d rows)\n%!" path (List.length !csv_rows)
+
+let scaled cfg n =
+  max 1 (int_of_float (float_of_int n *. cfg.scale))
+
+let enabled cfg name = cfg.sections = [] || List.mem name cfg.sections
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: best-cut reads/writes, normal vs fused                    *)
+
+let fig5 cfg =
+  let n = scaled cfg 2_000_000 in
+  let bsize = Bds.Block.size n in
+  let b = (n + bsize - 1) / bsize in
+  let rows = Bds.Cost_model.bestcut_rw ~n ~b in
+  let cell = function None -> "-" | Some v -> string_of_int v in
+  Tables.print
+    ~title:(Printf.sprintf "Figure 5: best-cut memory operations (n=%d, b=%d blocks)" n b)
+    ~headers:[ "phase"; "normal R"; "normal W"; "fused R"; "fused W" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           Bds.Cost_model.
+             [
+               r.phase;
+               string_of_int r.normal_reads;
+               string_of_int r.normal_writes;
+               cell r.fused_reads;
+               cell r.fused_writes;
+             ])
+         rows);
+  let nr, nw, fr, fw = Bds.Cost_model.rw_totals rows in
+  Printf.printf "\nTotal (R+W): normal = %d (= 8n + O(b)),  fused = %d (= 2n + O(b)),  ratio = %.2fx\n"
+    (nr + nw) (fr + fw)
+    (float_of_int (nr + nw) /. float_of_int (fr + fw))
+
+(* ------------------------------------------------------------------ *)
+(* Figures 13 and 14: the benchmark tables                             *)
+
+type row_result = {
+  bench : Registry.bench;
+  size : int;
+  times_p1 : (string * float) list;
+  times_pn : (string * float) list;
+  allocs : (string * float) list;
+}
+
+let run_bench cfg (b : Registry.bench) =
+  let size = scaled cfg b.default_size in
+  Printf.eprintf "  %-12s (%s)...\n%!" b.name (b.describe size);
+  let section =
+    match b.category with `Bid -> "fig13" | `Rad -> "fig14" | `Ext -> "ext"
+  in
+  let versions = b.prepare size in
+  let times p =
+    Measure.with_domains p (fun () ->
+        List.map
+          (fun v ->
+            let t = Measure.time ~repeat:cfg.repeat v.Registry.run in
+            record ~section ~bench:b.name ~version:v.Registry.vname ~procs:p
+              ~metric:"time_s" t;
+            (v.Registry.vname, t))
+          versions)
+  in
+  let times_p1 = times 1 in
+  let times_pn = times cfg.procs in
+  let allocs =
+    List.map
+      (fun v ->
+        let a = Measure.alloc_single_domain v.Registry.run in
+        record ~section ~bench:b.name ~version:v.Registry.vname ~procs:1
+          ~metric:"major_alloc_bytes" a;
+        (v.Registry.vname, a))
+      versions
+  in
+  { bench = b; size; times_p1; times_pn; allocs }
+
+let get vname l = List.assoc vname l
+
+let fig13_rows cfg = List.map (run_bench cfg) Registry.bid_benches
+
+let print_fig13 results =
+  let time_row r =
+    let a1 = get "array" r.times_p1 and r1 = get "rad" r.times_p1 and d1 = get "delay" r.times_p1 in
+    let an = get "array" r.times_pn and rn = get "rad" r.times_pn and dn = get "delay" r.times_pn in
+    [
+      r.bench.Registry.name;
+      Measure.pp_time a1; Measure.pp_time r1; Measure.pp_time d1; Tables.ratio r1 d1;
+      Measure.pp_time an; Measure.pp_time rn; Measure.pp_time dn; Tables.ratio rn dn;
+    ]
+  in
+  Tables.print ~title:"Figure 13 (time): BID benchmarks — A | R | Ours, P=1 then P=max"
+    ~headers:[ "bench"; "A(1)"; "R(1)"; "Ours(1)"; "R/Ours"; "A(P)"; "R(P)"; "Ours(P)"; "R/Ours" ]
+    ~rows:(List.map time_row results);
+  let space_row r =
+    let a = get "array" r.allocs and rr = get "rad" r.allocs and d = get "delay" r.allocs in
+    [
+      r.bench.Registry.name;
+      Measure.pp_bytes a; Measure.pp_bytes rr; Measure.pp_bytes d;
+      Tables.ratio a d; Tables.ratio rr d;
+    ]
+  in
+  Tables.print ~title:"Figure 13 (space): allocations — A | R | Ours"
+    ~headers:[ "bench"; "A"; "R"; "Ours"; "A/Ours"; "R/Ours" ]
+    ~rows:(List.map space_row results)
+
+let fig14_rows cfg = List.map (run_bench cfg) Registry.rad_benches
+
+let print_fig14 results =
+  let time_row r =
+    let a1 = get "array" r.times_p1 and d1 = get "delay" r.times_p1 in
+    let an = get "array" r.times_pn and dn = get "delay" r.times_pn in
+    [
+      r.bench.Registry.name;
+      Measure.pp_time a1; Measure.pp_time d1; Tables.ratio a1 d1;
+      Measure.pp_time an; Measure.pp_time dn; Tables.ratio an dn;
+    ]
+  in
+  Tables.print ~title:"Figure 14 (time): RAD benchmarks — A | Ours, P=1 then P=max"
+    ~headers:[ "bench"; "A(1)"; "Ours(1)"; "A/Ours"; "A(P)"; "Ours(P)"; "A/Ours" ]
+    ~rows:(List.map time_row results);
+  let space_row r =
+    let a = get "array" r.allocs and d = get "delay" r.allocs in
+    [ r.bench.Registry.name; Measure.pp_bytes a; Measure.pp_bytes d; Tables.ratio a d ]
+  in
+  Tables.print ~title:"Figure 14 (space): allocations — A | Ours"
+    ~headers:[ "bench"; "A"; "Ours"; "A/Ours" ]
+    ~rows:(List.map space_row results)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: speedup curves                                           *)
+
+let fig15 cfg =
+  let benches =
+    List.filter (fun b -> List.mem b.Registry.name [ "bfs"; "primes" ]) Registry.all
+  in
+  List.iter
+    (fun (b : Registry.bench) ->
+      let size = scaled cfg b.default_size in
+      Printf.eprintf "  fig15 %s...\n%!" b.name;
+      let versions = b.prepare size in
+      (* Baseline: 1-processor delay time. *)
+      let t1_delay =
+        Measure.with_domains 1 (fun () ->
+            Measure.time ~repeat:cfg.repeat (get "delay" (List.map (fun v -> (v.Registry.vname, v.Registry.run)) versions)))
+      in
+      let data =
+        List.map
+          (fun p ->
+            let ts =
+              Measure.with_domains p (fun () ->
+                  List.map
+                    (fun v ->
+                      let t = Measure.time ~repeat:cfg.repeat v.Registry.run in
+                      record ~section:"fig15" ~bench:b.name
+                        ~version:v.Registry.vname ~procs:p ~metric:"time_s" t;
+                      (v.Registry.vname, t))
+                    versions)
+            in
+            (p, List.map (fun (v, t) -> (v, t1_delay /. t)) ts))
+          cfg.proc_list
+      in
+      let rows =
+        List.map
+          (fun (p, sp) ->
+            string_of_int p
+            :: List.map (fun v -> Printf.sprintf "%.2f" (List.assoc v sp))
+                 [ "delay"; "array"; "rad" ])
+          data
+      in
+      Tables.print
+        ~title:
+          (Printf.sprintf
+             "Figure 15: %s speedups vs 1-proc delay (%s). NOTE: flat on a 1-core host."
+             b.name (b.describe size))
+        ~headers:[ "P"; "delay"; "array"; "rad" ]
+        ~rows;
+      Option.iter
+        (fun dir ->
+          let series =
+            List.map
+              (fun v ->
+                {
+                  Bds_harness.Svg_plot.label = v;
+                  points =
+                    List.map
+                      (fun (p, sp) -> (float_of_int p, List.assoc v sp))
+                      data;
+                })
+              [ "delay"; "array"; "rad" ]
+          in
+          let path = Filename.concat dir (Printf.sprintf "fig15_%s.svg" b.name) in
+          Bds_harness.Svg_plot.write ~path
+            ~title:(Printf.sprintf "Figure 15: %s" b.name)
+            ~xlabel:"processors" ~ylabel:"speedup vs 1-proc delay" series;
+          Printf.eprintf "  wrote %s\n%!" path)
+        cfg.plots)
+    benches
+
+(* ------------------------------------------------------------------ *)
+(* Figure 16: stream-of-blocks vs block-delayed                        *)
+
+let fig16 cfg =
+  let n = scaled cfg 2_000_000 in
+  Printf.eprintf "  fig16 (n=%d)...\n%!" n;
+  let a = K.Bestcut.generate n in
+  Measure.with_domains cfg.procs (fun () ->
+      let t_array = Measure.time ~repeat:cfg.repeat (fun () -> ignore (K.Bestcut.Array_version.best_cut a)) in
+      let t_delay = Measure.time ~repeat:cfg.repeat (fun () -> ignore (K.Bestcut.Delay_version.best_cut a)) in
+      let block_sizes =
+        List.filter (fun bs -> bs <= n) [ 1_000; 10_000; 100_000; 1_000_000 ]
+      in
+      let data =
+        List.map
+          (fun bs ->
+            let t =
+              Measure.time ~repeat:cfg.repeat (fun () ->
+                  ignore (K.Bestcut.best_cut_sob ~block_size:bs a))
+            in
+            record ~section:"fig16" ~bench:"bestcut-sob"
+              ~version:(Printf.sprintf "B=%d" bs) ~procs:cfg.procs
+              ~metric:"time_s" t;
+            (bs, t))
+          block_sizes
+      in
+      let rows =
+        List.map
+          (fun (bs, t) ->
+            [
+              Printf.sprintf "%.0e" (float_of_int bs);
+              Measure.pp_time t;
+              Tables.ratio t t_array;
+              Tables.ratio t t_delay;
+            ])
+          data
+      in
+      Tables.print
+        ~title:
+          (Printf.sprintf
+             "Figure 16: stream-of-blocks bestcut across block sizes, P=%d (array %s, delay %s)"
+             cfg.procs (Measure.pp_time t_array) (Measure.pp_time t_delay))
+        ~headers:[ "block size"; "T"; "T/A"; "T/Ours" ]
+        ~rows;
+      Option.iter
+        (fun dir ->
+          let lg bs = Float.log10 (float_of_int bs) in
+          let flat t = List.map (fun (bs, _) -> (lg bs, t)) data in
+          let series =
+            [
+              {
+                Bds_harness.Svg_plot.label = "stream-of-blocks";
+                points = List.map (fun (bs, t) -> (lg bs, t)) data;
+              };
+              { Bds_harness.Svg_plot.label = "array"; points = flat t_array };
+              { Bds_harness.Svg_plot.label = "delay (ours)"; points = flat t_delay };
+            ]
+          in
+          let path = Filename.concat dir "fig16_bestcut.svg" in
+          Bds_harness.Svg_plot.write ~path
+            ~title:"Figure 16: stream-of-blocks bestcut"
+            ~xlabel:"log10(block size)" ~ylabel:"time (s)" series;
+          Printf.eprintf "  wrote %s\n%!" path)
+        cfg.plots)
+
+(* ------------------------------------------------------------------ *)
+(* Extension applications (PBBS-style, mentioned in §1)                *)
+
+let ext cfg =
+  let results = List.map (run_bench cfg) Registry.ext_benches in
+  let time_row r =
+    let vs = List.map fst r.times_p1 in
+    let cells l = List.concat_map (fun v -> [ Measure.pp_time (get v l) ]) vs in
+    (r.bench.Registry.name :: cells r.times_p1) @ cells r.times_pn
+  in
+  (* Versions differ per bench; print a table per bench. *)
+  List.iter
+    (fun r ->
+      let vs = List.map fst r.times_p1 in
+      Tables.print
+        ~title:(Printf.sprintf "Extension: %s (%s)" r.bench.Registry.name
+                  (r.bench.Registry.describe r.size))
+        ~headers:("bench" :: List.map (fun v -> v ^ "(1)") vs
+                  @ List.map (fun v -> v ^ "(P)") vs)
+        ~rows:[ time_row r ];
+      Tables.print ~title:"  space (major-heap alloc)"
+        ~headers:("bench" :: vs)
+        ~rows:
+          [
+            r.bench.Registry.name
+            :: List.map (fun v -> Measure.pp_bytes (get v r.allocs)) vs;
+          ])
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of DESIGN.md's called-out choices                         *)
+
+let ablation cfg =
+  let n = scaled cfg 2_000_000 in
+  (* 1. Block-size policy: the bestcut-shaped pipeline across fixed block
+     sizes. *)
+  Printf.eprintf "  ablation: block size...\n%!" ;
+  let a = K.Bestcut.generate n in
+  Measure.with_domains cfg.procs (fun () ->
+      let rows =
+        List.map
+          (fun bs ->
+            Bds.Block.set_policy (Bds.Block.Fixed bs);
+            let t =
+              Measure.time ~repeat:cfg.repeat (fun () ->
+                  ignore (K.Bestcut.Delay_version.best_cut a))
+            in
+            Bds.Block.reset_policy ();
+            [ string_of_int bs; Measure.pp_time t ])
+          [ 512; 2048; 8192; 32768; 131072; 524288 ]
+      in
+      Tables.print
+        ~title:(Printf.sprintf "Ablation: BID block size B on bestcut/delay (n=%d, P=%d)" n cfg.procs)
+        ~headers:[ "B"; "time" ] ~rows);
+  (* 2. parallel_for grain. *)
+  Printf.eprintf "  ablation: grain...\n%!" ;
+  let out = Array.make n 0 in
+  Measure.with_domains cfg.procs (fun () ->
+      let rows =
+        List.map
+          (fun g ->
+            let t =
+              Measure.time ~repeat:cfg.repeat (fun () ->
+                  Runtime.parallel_for ~grain:g 0 n (fun i ->
+                      Array.unsafe_set out i (i * 3)))
+            in
+            [ string_of_int g; Measure.pp_time t ])
+          [ 16; 256; 4096; 65536; 1048576 ]
+      in
+      Tables.print
+        ~title:(Printf.sprintf "Ablation: parallel_for grain (n=%d, P=%d)" n cfg.procs)
+        ~headers:[ "grain"; "time" ] ~rows);
+  (* 3. The §3 force-vs-recompute tradeoff: fully delayed bestcut
+     evaluates the initial map twice (2n + O(b) memory ops); forcing it
+     costs an n-word array but computes the map once (4n + O(b)). *)
+  Printf.eprintf "  ablation: force vs delay...\n%!" ;
+  let delayed () =
+    let s = S.of_array a in
+    let is_end = S.map (fun x -> if x > K.Bestcut.end_threshold then 1 else 0) s in
+    let counts, _ = S.scan ( + ) 0 is_end in
+    let fn = float_of_int n in
+    let costs =
+      S.mapi
+        (fun i c ->
+          let pos = float_of_int i /. fn in
+          (pos *. float_of_int c) +. ((1.0 -. pos) *. float_of_int (n - c)))
+        counts
+    in
+    S.reduce Float.min infinity costs
+  in
+  let forced () =
+    let s = S.of_array a in
+    let is_end = S.force (S.map (fun x -> if x > K.Bestcut.end_threshold then 1 else 0) s) in
+    let counts, _ = S.scan ( + ) 0 is_end in
+    let fn = float_of_int n in
+    let costs =
+      S.mapi
+        (fun i c ->
+          let pos = float_of_int i /. fn in
+          (pos *. float_of_int c) +. ((1.0 -. pos) *. float_of_int (n - c)))
+        counts
+    in
+    S.reduce Float.min infinity costs
+  in
+  Measure.with_domains cfg.procs (fun () ->
+      let td = Measure.time ~repeat:cfg.repeat (fun () -> ignore (delayed ())) in
+      let tf = Measure.time ~repeat:cfg.repeat (fun () -> ignore (forced ())) in
+      let ad = Measure.alloc_single_domain (fun () -> ignore (delayed ())) in
+      let af = Measure.alloc_single_domain (fun () -> ignore (forced ())) in
+      Tables.print
+        ~title:"Ablation: force the initial map of bestcut vs recompute it (§3)"
+        ~headers:[ "variant"; "time"; "alloc" ]
+        ~rows:
+          [
+            [ "delay (map evaluated twice)"; Measure.pp_time td; Measure.pp_bytes ad ];
+            [ "force (extra n-word array)"; Measure.pp_time tf; Measure.pp_bytes af ];
+          ]);
+  (* 3b. Static grain vs lazy binary splitting on an imbalanced loop
+     (iteration i costs ~i work: a triangular load). *)
+  Printf.eprintf "  ablation: lazy binary splitting...\n%!" ;
+  let nl = scaled cfg 30_000 in
+  let body i =
+    let acc = ref 0 in
+    for k = 1 to i do
+      acc := !acc + (k land 15)
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  Measure.with_domains cfg.procs (fun () ->
+      let rows =
+        List.map
+          (fun (name, f) -> [ name; Measure.pp_time (Measure.time ~repeat:cfg.repeat f) ])
+          [
+            ("static grain (auto)", fun () -> Runtime.parallel_for 0 nl body);
+            ("static grain 4096", fun () -> Runtime.parallel_for ~grain:4096 0 nl body);
+            ("lazy binary splitting", fun () -> Runtime.parallel_for_lazy ~chunk:64 0 nl body);
+          ]
+      in
+      Tables.print
+        ~title:
+          (Printf.sprintf
+             "Ablation: static grain vs lazy binary splitting, triangular load (n=%d, P=%d)"
+             nl cfg.procs)
+        ~headers:[ "strategy"; "time" ] ~rows);
+  (* 4. Stream encoding (§4.4): the per-block stream representation is an
+     implementation detail — trickle closures (ours/MPL-style) vs pure
+     state-passing. Sequential, like the inner loop of a block. *)
+  Printf.eprintf "  ablation: stream encoding...\n%!" ;
+  let m = scaled cfg 2_000_000 in
+  let chain_trickle () =
+    let open Bds_stream.Stream in
+    reduce ( + ) 0
+      (scan_incl ( + ) 0 (map (fun x -> (x * 2) + 1) (tabulate m (fun i -> i land 1023))))
+  in
+  let chain_pure () =
+    let open Bds_stream.Stream_pure in
+    reduce ( + ) 0
+      (scan_incl ( + ) 0 (map (fun x -> (x * 2) + 1) (tabulate m (fun i -> i land 1023))))
+  in
+  let tt = Measure.time ~repeat:cfg.repeat chain_trickle in
+  let tp = Measure.time ~repeat:cfg.repeat chain_pure in
+  let at = Measure.total_alloc_single_domain chain_trickle in
+  let ap = Measure.total_alloc_single_domain chain_pure in
+  assert (chain_trickle () = chain_pure ());
+  Tables.print
+    ~title:(Printf.sprintf "Ablation: stream encoding on a fused map-scan-reduce chain (n=%d, sequential)" m)
+    ~headers:[ "encoding"; "time"; "alloc" ]
+    ~rows:
+      [
+        [ "trickle closures (ours)"; Measure.pp_time tt; Measure.pp_bytes at ];
+        [ "pure state-passing"; Measure.pp_time tp; Measure.pp_bytes ap ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one Test per paper table                  *)
+
+let micro cfg =
+  let open Bechamel in
+  let open Toolkit in
+  let n = scaled cfg 200_000 in
+  let bc_input = K.Bestcut.generate n in
+  let mcss_input = K.Mcss.generate n in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"bds" ~fmt:"%s %s"
+      [
+        (* Figure 13's headline kernel in all three versions. *)
+        mk "fig13/bestcut/array" (fun () -> K.Bestcut.Array_version.best_cut bc_input);
+        mk "fig13/bestcut/rad" (fun () -> K.Bestcut.Rad_version.best_cut bc_input);
+        mk "fig13/bestcut/delay" (fun () -> K.Bestcut.Delay_version.best_cut bc_input);
+        (* Figure 14's map+reduce shape. *)
+        mk "fig14/mcss/array" (fun () -> K.Mcss.Array_version.mcss mcss_input);
+        mk "fig14/mcss/delay" (fun () -> K.Mcss.Delay_version.mcss mcss_input);
+        (* Figure 16's within-block-parallel pipeline. *)
+        mk "fig16/bestcut/sob" (fun () -> K.Bestcut.best_cut_sob ~block_size:10_000 bc_input);
+        (* Individual operations of Figure 1, fused vs array. *)
+        mk "ops/map+reduce/delay" (fun () ->
+            Bds.Seq.(reduce ( + ) 0 (map (fun x -> x * 3) (iota n))));
+        mk "ops/map+reduce/array" (fun () ->
+            Bds_parray.Parray.(reduce ( + ) 0 (map (fun x -> x * 3) (iota n))));
+        mk "ops/scan/delay" (fun () ->
+            Bds.Seq.(reduce ( + ) 0 (fst (scan ( + ) 0 (iota n)))));
+        mk "ops/scan/array" (fun () ->
+            Bds_parray.Parray.(reduce ( + ) 0 (fst (scan ( + ) 0 (iota n)))));
+        mk "ops/filter/delay" (fun () ->
+            Bds.Seq.(reduce ( + ) 0 (filter (fun x -> x land 7 < 3) (iota n))));
+        mk "ops/filter/array" (fun () ->
+            Bds_parray.Parray.(reduce ( + ) 0 (filter (fun x -> x land 7 < 3) (iota n))));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg_b =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg_b instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\nBechamel microbenchmarks (ns/run, n=%d)\n%s\n" n
+    (String.make 46 '=');
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let run cfg =
+  Printf.printf
+    "Parallel block-delayed sequences: benchmark harness\n\
+     host workers: %d requested for P=max; scale %.2fx; repeat %d\n"
+    cfg.procs cfg.scale cfg.repeat;
+  if enabled cfg "fig5" then fig5 cfg;
+  if enabled cfg "fig13" then begin
+    Printf.eprintf "fig13 (BID benchmarks)...\n%!";
+    print_fig13 (fig13_rows cfg)
+  end;
+  if enabled cfg "fig14" then begin
+    Printf.eprintf "fig14 (RAD benchmarks)...\n%!";
+    print_fig14 (fig14_rows cfg)
+  end;
+  if enabled cfg "fig15" then fig15 cfg;
+  if enabled cfg "fig16" then fig16 cfg;
+  if enabled cfg "ext" then begin
+    Printf.eprintf "ext (extension applications)...\n%!";
+    ext cfg
+  end;
+  if enabled cfg "ablation" then ablation cfg;
+  if enabled cfg "micro" then micro cfg;
+  Option.iter write_csv cfg.csv;
+  Printf.printf "\ndone. (sink: %d %.3f)\n" !Registry.sink_int !Registry.sink_float
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+
+open Cmdliner
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Input-size multiplier.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shorthand for --scale 0.1 --repeat 1.")
+
+let procs_arg =
+  Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Worker count used as P=max.")
+
+let proc_list_arg =
+  Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "proc-list" ] ~doc:"Processor counts for the figure-15 sweep.")
+
+let repeat_arg =
+  Arg.(value & opt int 3 & info [ "repeat" ] ~doc:"Timed repetitions per measurement (minimum is reported).")
+
+let only_arg =
+  Arg.(value & opt (list string) []
+       & info [ "only" ] ~doc:"Sections to run: fig5, fig13, fig14, fig15, fig16, ext, ablation, micro. Default: all.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~doc:"Also write raw measurements to this CSV file.")
+
+let plots_arg =
+  Arg.(value & opt (some string) None
+       & info [ "plots" ] ~doc:"Also write SVG versions of the plotted figures to this directory.")
+
+let main scale quick procs proc_list repeat sections csv plots =
+  let cfg =
+    {
+      scale = (if quick then scale /. 10.0 else scale);
+      procs;
+      proc_list;
+      repeat = (if quick then 1 else repeat);
+      sections;
+      csv;
+      plots;
+    }
+  in
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+    plots;
+  run cfg;
+  Bds_runtime.Runtime.shutdown ()
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bds-bench" ~doc:"Regenerate the paper's tables and figures")
+    Term.(
+      const main $ scale_arg $ quick_arg $ procs_arg $ proc_list_arg $ repeat_arg
+      $ only_arg $ csv_arg $ plots_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,29 @@
+(* Building an inverted index (§1's PBBS application) with the public
+   API: tokenise, attach document ids, sort with the parallel sort
+   substrate, and reduce to postings — comparing the three library
+   versions.
+
+   Run with:  dune exec examples/inverted_index_example.exe *)
+
+module K = Bds_kernels.Inverted_index
+module Measure = Bds_harness.Measure
+
+let () =
+  Bds_runtime.Runtime.set_num_domains 4;
+  let n = 1_000_000 in
+  let text = K.generate n in
+  Printf.printf "indexing %d chars of documents\n\n" n;
+  let time name f =
+    let t = Measure.time ~repeat:3 (fun () -> ignore (Sys.opaque_identity (f text))) in
+    Printf.printf "  %-8s %s\n%!" name (Measure.pp_time t)
+  in
+  time "array" K.Array_version.index;
+  time "rad" K.Rad_version.index;
+  time "delay" K.Delay_version.index;
+  let words, postings = K.Delay_version.index text in
+  Printf.printf "\n  %d distinct words, %d postings (%.1f docs/word avg)\n" words
+    postings
+    (float_of_int postings /. float_of_int words);
+  assert ((words, postings) = K.reference text);
+  print_endline "  validated against the hash-table reference.";
+  Bds_runtime.Runtime.shutdown ()

@@ -1,0 +1,44 @@
+(* Quickstart: the block-delayed sequence API in five minutes.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module S = Bds.Seq
+
+let () =
+  (* The library parallelises across a pool of domains; the pool is
+     created lazily, or explicitly: *)
+  Bds_runtime.Runtime.set_num_domains 4;
+
+  (* [tabulate] builds a *delayed* sequence: no elements exist yet. *)
+  let xs = S.tabulate 10_000_000 (fun i -> i) in
+
+  (* map / zip are O(1): they compose index functions (RAD fusion). *)
+  let squares = S.map (fun x -> x * x) xs in
+
+  (* reduce drives the fused pipeline in parallel: the ten million squares
+     are never stored anywhere. *)
+  let sum = S.reduce ( + ) 0 squares in
+  Printf.printf "sum of squares below 10^7      = %d\n" sum;
+
+  (* scan produces a *block-iterable* delayed sequence (BID): phases 1-2
+     run now (block sums), phase 3 is delayed and fuses with the next
+     consumer. Again: no 10-million-element intermediate array. *)
+  let prefix_sums, total = S.scan ( + ) 0 squares in
+  let odd_prefixes = S.filter (fun p -> p land 1 = 1) prefix_sums in
+  Printf.printf "total %d; odd prefix sums      = %d\n" total (S.length odd_prefixes);
+
+  (* filter and flatten also produce BIDs: *)
+  let nested = S.tabulate 1000 (fun i -> S.tabulate (i mod 10) (fun j -> i + j)) in
+  let flat = S.flatten nested in
+  Printf.printf "flattened length               = %d\n" (S.length flat);
+
+  (* When a delayed sequence feeds several consumers, [force] it so the
+     work happens once (the cost model in Bds.Cost_model makes this
+     tradeoff precise): *)
+  let expensive = S.map (fun x -> float_of_int x ** 1.5) (S.take xs 1_000_000) in
+  let forced = S.force expensive in
+  let mean = S.float_sum forced /. 1e6 in
+  let mx = S.max_by compare forced in
+  Printf.printf "mean %.1f, max %.1f\n" mean mx;
+
+  Bds_runtime.Runtime.shutdown ()

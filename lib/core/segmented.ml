@@ -1,0 +1,78 @@
+(* Segmented operations over flat (lengths, values) representations — the
+   NESL-lineage counterpart of flatten (Figure 3 works with exactly this
+   encoding: a flat value sequence partitioned by segment lengths).
+
+   [scan] uses the classic segmented-scan monoid lifted over the flat
+   value sequence, so the whole thing is one Seq pipeline: the only eager
+   work is the per-segment offset computation and the scan's block
+   phases; everything per-element fuses. *)
+
+let total_length lengths = Seq.reduce ( + ) 0 lengths
+
+(* Start-of-segment flags for the flat value space. *)
+let start_flags ~lengths ~n =
+  let offsets, _ = Bds_parray.Parray.scan ( + ) 0 (Seq.to_array lengths) in
+  let flags = Bytes.make n '\000' in
+  Array.iteri
+    (fun k off ->
+      (* Empty segments occupy no value slots and set no flag. *)
+      let len =
+        (if k + 1 < Array.length offsets then offsets.(k + 1) else n) - off
+      in
+      if len > 0 then Bytes.unsafe_set flags off '\001')
+    offsets;
+  (flags, offsets)
+
+(* Exclusive scan within each segment, each segment seeded with [z]. *)
+let scan f z ~lengths ~values =
+  let n = Seq.length values in
+  if n <> total_length lengths then
+    invalid_arg "Segmented.scan: lengths do not sum to the value count";
+  if n = 0 then Seq.empty
+  else begin
+    let flags, _ = start_flags ~lengths ~n in
+    let flag i = Bytes.unsafe_get flags i = '\001' in
+    (* Lift each element: a segment-start element folds the seed in. *)
+    let lifted =
+      Seq.mapi
+        (fun i x -> if flag i then (true, f z x) else (false, x))
+        values
+    in
+    (* Segmented-monoid combine (associative for associative [f]). *)
+    let combine (f1, a1) (f2, a2) = if f2 then (true, a2) else (f1, f a1 a2) in
+    let prefixes, _ = Seq.scan combine (false, z) lifted in
+    (* Element i of the result: [z] at a segment start, else the running
+       value, which the monoid reset at the segment boundary. *)
+    Seq.zip_with
+      (fun (_, v) i -> if flag i then z else v)
+      prefixes (Seq.iota n)
+  end
+
+(* Inclusive variant. *)
+let scan_incl f z ~lengths ~values =
+  let incl = scan f z ~lengths ~values in
+  (* out_i = scan_i ⊕ x_i *)
+  Seq.zip_with (fun acc x -> f acc x) incl values
+
+(* Per-segment totals: one delayed tabulate over segments, sequential
+   fold within each segment (random access over the forced values). *)
+let reduce f z ~lengths ~values =
+  let n = Seq.length values in
+  if n <> total_length lengths then
+    invalid_arg "Segmented.reduce: lengths do not sum to the value count";
+  let lens = Seq.to_array lengths in
+  let offsets, _ = Bds_parray.Parray.scan ( + ) 0 lens in
+  let v = Seq.to_array values in
+  Seq.tabulate (Array.length lens) (fun k ->
+      let acc = ref z in
+      for i = offsets.(k) to offsets.(k) + lens.(k) - 1 do
+        acc := f !acc (Array.unsafe_get v i)
+      done;
+      !acc)
+
+(* Convenience: from a nested sequence to the flat encoding. *)
+let of_nested (s : 'a Seq.t Seq.t) =
+  let inners = Bds_parray.Parray.map Seq.force (Seq.to_array s) in
+  let lengths = Seq.of_array (Bds_parray.Parray.map Seq.length inners) in
+  let values = Seq.flatten (Seq.of_array inners) in
+  (lengths, values)

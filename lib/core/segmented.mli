@@ -1,0 +1,29 @@
+(** Segmented operations over the flat (lengths, values) encoding — the
+    NESL-lineage counterpart of {!Seq.flatten}.
+
+    A segmented sequence is a flat value sequence of length n partitioned
+    into segments whose lengths sum to n.  {!scan} lifts the classic
+    segmented-scan monoid over one fused {!Seq} pipeline, so per-element
+    work fuses exactly like an ordinary scan. *)
+
+(** Exclusive scan within each segment, each seeded with [z] ([f]
+    associative).  Result has the values' length.
+    Raises [Invalid_argument] if lengths do not sum to the value count. *)
+val scan :
+  ('a -> 'a -> 'a) -> 'a -> lengths:int Seq.t -> values:'a Seq.t -> 'a Seq.t
+
+(** Inclusive variant: element [i] includes value [i]. *)
+val scan_incl :
+  ('a -> 'a -> 'a) -> 'a -> lengths:int Seq.t -> values:'a Seq.t -> 'a Seq.t
+
+(** Per-segment totals (one per segment, including empty segments, which
+    yield [z]). *)
+val reduce :
+  ('a -> 'a -> 'a) -> 'a -> lengths:int Seq.t -> values:'a Seq.t -> 'a Seq.t
+
+(** Flatten a nested sequence into the (lengths, values) encoding
+    (forces the inner sequences). *)
+val of_nested : 'a Seq.t Seq.t -> int Seq.t * 'a Seq.t
+
+(** Sum of the lengths. *)
+val total_length : int Seq.t -> int

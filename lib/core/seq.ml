@@ -1,0 +1,493 @@
+(* Block-delayed sequences: the paper's primary contribution
+   (Figures 9 and 10).
+
+   A sequence is either
+   - RAD: random-access delayed, a length plus an index function; or
+   - BID: block-iterable delayed, a length plus a function producing the
+     delayed stream for each uniform block.
+
+   Parallelism is always across blocks; the stream within each block is
+   sequential, which is what lets scan/filter/flatten outputs fuse with the
+   next operation.  BIDs carry their block size (fixed at creation by the
+   {!Block} policy) and memoise their forced form so that random access on
+   a BID — which the paper handles by "implicitly forcing where
+   necessary" — forces at most once. *)
+
+module Stream = Bds_stream.Stream
+module Parray = Bds_parray.Parray
+module Runtime = Bds_runtime.Runtime
+
+type 'a bid = {
+  b_len : int;
+  b_size : int;  (** block size B; blocks 0 .. ceil(len/B)-1 *)
+  block : int -> 'a Stream.t;
+  mutable memo : 'a array option;  (** cached result of forcing *)
+}
+
+type 'a t =
+  | Rad of { r_len : int; get : int -> 'a }
+  | Bid of 'a bid
+
+(* ------------------------------------------------------------------ *)
+(* Basics                                                              *)
+
+let length = function Rad { r_len; _ } -> r_len | Bid { b_len; _ } -> b_len
+
+let repr = function Rad _ -> `Rad | Bid _ -> `Bid
+
+let empty = Rad { r_len = 0; get = (fun _ -> invalid_arg "Seq.empty") }
+
+let tabulate n f =
+  if n < 0 then invalid_arg "Seq.tabulate";
+  Rad { r_len = n; get = f }
+
+let singleton v = Rad { r_len = 1; get = (fun _ -> v) }
+
+let of_array a = Rad { r_len = Array.length a; get = Array.unsafe_get a }
+
+let of_list l = of_array (Array.of_list l)
+
+let iota n = tabulate n (fun i -> i)
+
+let num_blocks_of b = Block.num_blocks ~block_size:b.b_size b.b_len
+
+let block_bounds b j =
+  let lo = j * b.b_size in
+  let hi = min b.b_len (lo + b.b_size) in
+  (lo, hi)
+
+(* ------------------------------------------------------------------ *)
+(* Conversions (Figure 9)                                              *)
+
+(* BIDfromSeq, with a caller-specified block size for RAD inputs so [zip]
+   can align blocks with an existing BID. *)
+let bid_of_seq_with bsize = function
+  | Bid b -> b
+  | Rad { r_len; get } ->
+    {
+      b_len = r_len;
+      b_size = bsize;
+      block =
+        (fun j ->
+          let lo = j * bsize in
+          let len = min bsize (r_len - lo) in
+          Stream.tabulate len (fun k -> get (lo + k)));
+      memo = None;
+    }
+
+let bid_of_seq s = bid_of_seq_with (Block.size (length s)) s
+
+(* applySeq: parallel across blocks, sequential stream within each. *)
+let iter f s =
+  let b = bid_of_seq s in
+  Runtime.apply (num_blocks_of b) (fun j -> Stream.iter f (b.block j))
+
+(* toArray.  For a RAD this is a plain parallel tabulate; for a BID we
+   traverse each block's stream, writing at the block's base offset (this
+   is the paper's [applySeq (zip (I, S))] with the index fused in). *)
+let to_array_nomemo = function
+  | Rad { r_len; get } -> Parray.tabulate r_len get
+  | Bid b ->
+    if b.b_len = 0 then [||]
+    else begin
+      let nb = num_blocks_of b in
+      (* Block 0's first element doubles as the allocation witness; its
+         partially-consumed trickle function is resumed inside the
+         parallel apply, so every element is evaluated exactly once (as
+         the cost semantics of [force] requires). *)
+      let next0 = Stream.start (b.block 0) in
+      let first = next0 () in
+      let out = Array.make b.b_len first in
+      Runtime.apply nb (fun j ->
+          if j = 0 then begin
+            let len0 = min b.b_size b.b_len in
+            for k = 1 to len0 - 1 do
+              Array.unsafe_set out k (next0 ())
+            done
+          end
+          else begin
+            let lo, _ = block_bounds b j in
+            Stream.iteri (fun k v -> Array.unsafe_set out (lo + k) v) (b.block j)
+          end);
+      out
+    end
+
+let to_array s =
+  match s with
+  | Rad _ -> to_array_nomemo s
+  | Bid b -> (
+      match b.memo with
+      | Some a -> a
+      | None ->
+        let a = to_array_nomemo s in
+        (* Benign race: concurrent forcers compute equal arrays. *)
+        b.memo <- Some a;
+        a)
+
+(* RADfromSeq / force *)
+let rad_of_seq = function
+  | Rad _ as s -> s
+  | Bid _ as s -> of_array (to_array s)
+
+let force s = of_array (to_array s)
+
+let get s i =
+  if i < 0 || i >= length s then invalid_arg "Seq.get: index out of bounds";
+  match s with
+  | Rad { get; _ } -> get i
+  | Bid _ -> (to_array s).(i)
+
+(* ------------------------------------------------------------------ *)
+(* Delayed operations (Figure 10)                                      *)
+
+let map g = function
+  | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g (get i)) }
+  | Bid b ->
+    Bid
+      {
+        b_len = b.b_len;
+        b_size = b.b_size;
+        block = (fun j -> Stream.map g (b.block j));
+        memo = None;
+      }
+
+let mapi g = function
+  | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g i (get i)) }
+  | Bid b ->
+    Bid
+      {
+        b_len = b.b_len;
+        b_size = b.b_size;
+        block =
+          (fun j ->
+            let lo = j * b.b_size in
+            Stream.mapi (fun k v -> g (lo + k) v) (b.block j));
+        memo = None;
+      }
+
+let zip_with f s1 s2 =
+  if length s1 <> length s2 then invalid_arg "Seq.zip: length mismatch";
+  match (s1, s2) with
+  | Rad r1, Rad r2 ->
+    Rad { r_len = r1.r_len; get = (fun i -> f (r1.get i) (r2.get i)) }
+  | _ ->
+    (* At least one BID: align blocks.  If both are BIDs with different
+       block sizes (possible across policy changes), force the second. *)
+    let b1, s2 =
+      match (s1, s2) with
+      | Bid b1, Bid b2 when b1.b_size <> b2.b_size -> (b1, rad_of_seq s2)
+      | Bid b1, _ -> (b1, s2)
+      | Rad _, Bid b2 -> (bid_of_seq_with b2.b_size s1, s2)
+      | Rad _, Rad _ -> assert false
+    in
+    let b2 = bid_of_seq_with b1.b_size s2 in
+    Bid
+      {
+        b_len = b1.b_len;
+        b_size = b1.b_size;
+        block = (fun j -> Stream.zip_with f (b1.block j) (b2.block j));
+        memo = None;
+      }
+
+let zip s1 s2 = zip_with (fun a b -> (a, b)) s1 s2
+
+(* Two-phase block-based reduce. Per-block sums are seeded from the
+   block's first element, so [z] is combined exactly once (no identity
+   requirement). The RAD case reads straight through the index function
+   (identical cost, less closure overhead). *)
+let reduce f z s =
+  match s with
+  | Rad { r_len; get } ->
+    if r_len = 0 then z
+    else begin
+      let bsize = Block.size r_len in
+      let nb = Block.num_blocks ~block_size:bsize r_len in
+      let sums =
+        Parray.tabulate nb (fun j ->
+            let lo = j * bsize in
+            let hi = min r_len (lo + bsize) in
+            let acc = ref (get lo) in
+            for i = lo + 1 to hi - 1 do
+              acc := f !acc (get i)
+            done;
+            !acc)
+      in
+      Array.fold_left f z sums
+    end
+  | Bid b ->
+    if b.b_len = 0 then z
+    else begin
+      let sums =
+        Parray.tabulate (num_blocks_of b) (fun j -> Stream.reduce1 f (b.block j))
+      in
+      Array.fold_left f z sums
+    end
+
+(* Three-phase scan (Figure 10 lines 33-40): phases 1 and 2 are eager,
+   phase 3 is delayed in the output BID.  Note the delayed phase 3
+   re-drives the input blocks; this is the "evaluated twice" cost that the
+   cost semantics (Figure 11) exposes. *)
+let scan f z s =
+  let n = length s in
+  if n = 0 then (empty, z)
+  else begin
+    let b = bid_of_seq s in
+    let nb = num_blocks_of b in
+    let sums = Parray.tabulate nb (fun j -> Stream.reduce1 f (b.block j)) in
+    let offsets, total = Parray.scan_seq f z sums in
+    let out =
+      Bid
+        {
+          b_len = n;
+          b_size = b.b_size;
+          block = (fun j -> Stream.scan f offsets.(j) (b.block j));
+          memo = None;
+        }
+    in
+    (out, total)
+  end
+
+let scan_incl f z s =
+  let n = length s in
+  if n = 0 then empty
+  else begin
+    let b = bid_of_seq s in
+    let nb = num_blocks_of b in
+    let sums = Parray.tabulate nb (fun j -> Stream.reduce1 f (b.block j)) in
+    let offsets, _ = Parray.scan_seq f z sums in
+    Bid
+      {
+        b_len = n;
+        b_size = b.b_size;
+        block = (fun j -> Stream.scan_incl f offsets.(j) (b.block j));
+        memo = None;
+      }
+  end
+
+(* getRegion (Figure 10 lines 41-43): the block of the output starting at
+   position [pos] walks left-to-right across adjacent subsequences.  The
+   subsequence containing [pos] is located by binary search on [offsets];
+   elements are fetched by [elem j k] (element k of subsequence j). *)
+let get_region ~offsets ~lengths ~elem ~total ~bsize i =
+  let pos = i * bsize in
+  let len = min bsize (total - pos) in
+  (* Largest j with offsets.(j) <= pos. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi + 1) / 2 in
+      if offsets.(mid) <= pos then search mid hi else search lo (mid - 1)
+    end
+  in
+  let j0 = search 0 (Array.length offsets - 1) in
+  Stream.make ~length:len
+    ~start:(fun () ->
+      let j = ref j0 in
+      let k = ref (pos - offsets.(j0)) in
+      fun () ->
+        while !k >= lengths.(!j) do
+          incr j;
+          k := 0
+        done;
+        let v = elem !j !k in
+        incr k;
+        v)
+
+(* Block-based filter (Figure 10 lines 48-53): eagerly pack each input
+   block into a compact array, then expose the packed blocks as a BID via
+   getRegion — the surviving elements are never copied into one contiguous
+   output array. *)
+let filter_with pack s =
+  let n = length s in
+  if n = 0 then empty
+  else begin
+    let b = bid_of_seq s in
+    let nb = num_blocks_of b in
+    let packed = Parray.tabulate nb (fun j -> pack (b.block j)) in
+    let lengths = Array.map Array.length packed in
+    let offsets, total = Parray.scan_seq ( + ) 0 lengths in
+    if total = 0 then empty
+    else begin
+      let bsize = Block.size total in
+      Bid
+        {
+          b_len = total;
+          b_size = bsize;
+          block =
+            get_region ~offsets ~lengths
+              ~elem:(fun j k -> packed.(j).(k))
+              ~total ~bsize;
+          memo = None;
+        }
+    end
+  end
+
+let filter p s = filter_with (Stream.pack_to_array p) s
+
+let filter_op p s = filter_with (Stream.pack_op_to_array p) s
+
+(* Flatten (Figure 10 lines 44-47): block the *output* index space; each
+   output block walks across adjacent inner sequences (Figure 3).  Inner
+   sequences must be random access, so BID inners are forced (line 45). *)
+let flatten (s : 'a t t) =
+  let outer = to_array s in
+  let inners = Parray.map rad_of_seq outer in
+  let lengths = Parray.map length inners in
+  let offsets, total = Parray.scan ( + ) 0 lengths in
+  if total = 0 then empty
+  else begin
+    let bsize = Block.size total in
+    let elem j k =
+      match inners.(j) with
+      | Rad { get; _ } -> get k
+      | Bid _ -> assert false
+    in
+    Bid
+      {
+        b_len = total;
+        b_size = bsize;
+        block = get_region ~offsets ~lengths ~elem ~total ~bsize;
+        memo = None;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Derived operations                                                  *)
+
+let slice s off len =
+  if off < 0 || len < 0 || off + len > length s then invalid_arg "Seq.slice";
+  match rad_of_seq s with
+  | Rad { get; _ } -> Rad { r_len = len; get = (fun i -> get (off + i)) }
+  | Bid _ -> assert false
+
+(* take stays delayed on BIDs: it trims whole blocks and truncates the
+   last one, so no forcing is needed (unlike [drop], whose offset would
+   misalign the block grid). *)
+let take s n =
+  if n < 0 || n > length s then invalid_arg "Seq.take";
+  match s with
+  | Rad { get; _ } -> Rad { r_len = n; get }
+  | Bid { memo = Some a; _ } -> Rad { r_len = n; get = Array.unsafe_get a }
+  | Bid b ->
+    if n = b.b_len then s
+    else if n = 0 then empty
+    else
+      Bid
+        {
+          b_len = n;
+          b_size = b.b_size;
+          block =
+            (fun j ->
+              let lo = j * b.b_size in
+              Stream.take (min b.b_size (n - lo)) (b.block j));
+          memo = None;
+        }
+
+let drop s n = slice s n (length s - n)
+
+(* Blockwise access for power users (the paper's applySeq exposed): runs
+   [f j stream] in parallel over the block index space. *)
+let iter_block_streams f s =
+  let b = bid_of_seq s in
+  Runtime.apply (num_blocks_of b) (fun j -> f j (b.block j))
+
+let block_size_of s =
+  match s with Rad _ -> Block.size (length s) | Bid b -> b.b_size
+
+let rev s =
+  match rad_of_seq s with
+  | Rad { r_len; get } -> Rad { r_len; get = (fun i -> get (r_len - 1 - i)) }
+  | Bid _ -> assert false
+
+let append s1 s2 =
+  match (rad_of_seq s1, rad_of_seq s2) with
+  | Rad r1, Rad r2 ->
+    Rad
+      {
+        r_len = r1.r_len + r2.r_len;
+        get = (fun i -> if i < r1.r_len then r1.get i else r2.get (i - r1.r_len));
+      }
+  | _ -> assert false
+
+let iteri f s =
+  let b = bid_of_seq s in
+  Runtime.apply (num_blocks_of b) (fun j ->
+      let lo, _ = block_bounds b j in
+      Stream.iteri (fun k v -> f (lo + k) v) (b.block j))
+
+let to_list s = Array.to_list (to_array s)
+
+let equal eq s1 s2 =
+  length s1 = length s2
+  &&
+  let a1 = to_array s1 and a2 = to_array s2 in
+  Parray.equal eq a1 a2
+
+let sum s = reduce ( + ) 0 s
+
+let float_sum s = reduce ( +. ) 0.0 s
+
+let max_by cmp s =
+  if length s = 0 then invalid_arg "Seq.max_by: empty";
+  let a = to_array s in
+  Runtime.parallel_for_reduce 1 (Array.length a)
+    ~combine:(fun x y -> if cmp x y >= 0 then x else y)
+    ~init:a.(0)
+    (fun i -> a.(i))
+
+let min_by cmp s = max_by (fun a b -> cmp b a) s
+
+let map2 f s1 s2 = zip_with f s1 s2
+
+let map3 f s1 s2 s3 =
+  if length s1 <> length s2 || length s2 <> length s3 then
+    invalid_arg "Seq.map3: length mismatch";
+  zip_with (fun (a, b) c -> f a b c) (zip s1 s2) s3
+
+(* Both halves are delayed views; consuming both traverses the input
+   twice (force first if that matters). *)
+let unzip s = (map fst s, map snd s)
+
+let enumerate s = mapi (fun i v -> (i, v)) s
+
+let count p s = reduce ( + ) 0 (map (fun v -> if p v then 1 else 0) s)
+
+let for_all p s = reduce ( && ) true (map p s)
+
+let exists p s = reduce ( || ) false (map p s)
+
+(* First element satisfying [p], if any: the blockwise filter runs in
+   parallel but keeps index order, so the head of the result is the
+   first match. *)
+let find_opt p s =
+  let matches = filter p s in
+  if length matches = 0 then None else Some (get matches 0)
+
+let find_index p s =
+  let matches = filter_op (fun (i, v) -> if p v then Some i else None) (enumerate s) in
+  if length matches = 0 then None else Some (get matches 0)
+
+let concat seqs = flatten (of_list seqs)
+
+let flat_map f s = flatten (map f s)
+
+(* Both halves are packed in one conceptual pass each; the input is
+   driven twice (force first if its delayed work is expensive). *)
+let partition p s = (filter p s, filter (fun x -> not (p x)) s)
+
+(* Adjacent pairs (s_i, s_{i+1}); O(1) on RADs, forces BIDs (offset-by-one
+   views cannot share the block grid). *)
+let pairwise s =
+  let n = length s in
+  if n <= 1 then empty
+  else begin
+    match rad_of_seq s with
+    | Rad { get; _ } -> Rad { r_len = n - 1; get = (fun i -> (get i, get (i + 1))) }
+    | Bid _ -> assert false
+  end
+
+let to_std_seq s =
+  let a = to_array s in
+  Array.to_seq a
+
+let of_std_seq std = of_array (Array.of_seq std)

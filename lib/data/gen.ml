@@ -1,0 +1,95 @@
+(* Workload generators for the paper's benchmarks.  Each generator is a
+   deterministic function of (seed, size), producing data with the
+   statistics the paper describes (§6): uniform points in a circle for
+   quickhull, average word length ~7 for tokens, ~3% matching lines for
+   grep, random digit strings for bignum, etc. *)
+
+module Parray = Bds_parray.Parray
+
+(* Uniform floats in [lo, hi). *)
+let floats ?(seed = 42) ?(lo = 0.0) ?(hi = 1.0) n =
+  let w = hi -. lo in
+  Parray.tabulate n (fun i -> lo +. (w *. Splitmix.float_at ~seed i))
+
+(* Non-negative random ints below [bound]. *)
+let ints ?(seed = 42) ~bound n =
+  Parray.tabulate n (fun i -> Splitmix.int_range_at ~seed ~bound i)
+
+(* 64-bit-style signed ints in [-bound, bound) — mcss needs sign changes. *)
+let signed_ints ?(seed = 42) ~bound n =
+  Parray.tabulate n (fun i -> Splitmix.int_range_at ~seed ~bound:(2 * bound) i - bound)
+
+(* Uniform points in the unit circle (quickhull's input distribution). *)
+let points_in_circle ?(seed = 42) n =
+  Parray.tabulate n (fun i ->
+      (* Rejection-free: radius via sqrt for uniform area density. *)
+      let r = sqrt (Splitmix.float_at ~seed:(seed * 2 + 1) i) in
+      let t = 2.0 *. Float.pi *. Splitmix.float_at ~seed:(seed * 2 + 2) i in
+      (r *. cos t, r *. sin t))
+
+(* 2D points along a noisy line (linefit's input). *)
+let points_near_line ?(seed = 42) ~slope ~intercept ~noise n =
+  Parray.tabulate n (fun i ->
+      let x = Splitmix.float_at ~seed i *. 100.0 in
+      let e = (Splitmix.float_at ~seed:(seed + 7) i -. 0.5) *. noise in
+      (x, (slope *. x) +. intercept +. e))
+
+(* Base-256 bignum digits, little-endian. *)
+let bignum_digits ?(seed = 42) n =
+  Bytes.init n (fun i -> Char.chr (Splitmix.int_range_at ~seed ~bound:256 i))
+
+(* Text of [n] chars: words of geometric-ish length (average ~avg_word),
+   separated by single spaces, '\n' every ~chars_per_line characters. *)
+let text ?(seed = 42) ?(avg_word = 7) ?(chars_per_line = 60) n =
+  Bytes.init n (fun i ->
+      let r = Splitmix.int_range_at ~seed ~bound:(avg_word + 1) i in
+      if Splitmix.int_range_at ~seed:(seed + 3) ~bound:chars_per_line i = 0 then '\n'
+      else if r = 0 then ' '
+      else Char.chr (Char.code 'a' + Splitmix.int_range_at ~seed:(seed + 5) ~bound:26 i))
+
+(* Text where roughly [frac_matching] of lines contain [pattern]
+   (grep's input: the paper has ~850K of 28M lines matching, ~3%). *)
+let text_with_pattern ?(seed = 42) ?(pattern = "needle") ?(frac_matching = 0.03)
+    ?(chars_per_line = 30) n =
+  let b = text ~seed ~chars_per_line n in
+  let plen = String.length pattern in
+  (* Walk lines; plant the pattern at the start of a ~frac of them. *)
+  let line = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    while !i < n && Bytes.get b !i <> '\n' do
+      incr i
+    done;
+    let len = !i - start in
+    if
+      len > plen
+      && Splitmix.float_at ~seed:(seed + 11) !line < frac_matching
+    then Bytes.blit_string pattern 0 b start plen;
+    incr line;
+    incr i
+  done;
+  b
+
+(* Sparse matrix in CSR form: [rows] rows, ~[nnz_per_row] nonzeros/row. *)
+type csr_matrix = {
+  row_offsets : int array; (* length rows+1 *)
+  col_index : int array;
+  values : float array;
+  cols : int;
+}
+
+let sparse_matrix ?(seed = 42) ~rows ~cols ~nnz_per_row () =
+  let counts =
+    Parray.tabulate rows (fun r ->
+        1 + Splitmix.int_range_at ~seed:(seed + 1) ~bound:(2 * nnz_per_row - 1) r)
+  in
+  let offsets, nnz = Parray.scan ( + ) 0 counts in
+  let row_offsets = Array.append offsets [| nnz |] in
+  let col_index =
+    Parray.tabulate nnz (fun k -> Splitmix.int_range_at ~seed:(seed + 2) ~bound:cols k)
+  in
+  let values =
+    Parray.tabulate nnz (fun k -> Splitmix.float_at ~seed:(seed + 3) k)
+  in
+  { row_offsets; col_index; values; cols }

@@ -1,0 +1,43 @@
+(** Deterministic workload generators for the paper's benchmarks
+    (§6 input descriptions, scaled).  Each generator is a pure function
+    of (seed, size). *)
+
+val floats : ?seed:int -> ?lo:float -> ?hi:float -> int -> float array
+val ints : ?seed:int -> bound:int -> int -> int array
+
+(** Uniform in [-bound, bound). *)
+val signed_ints : ?seed:int -> bound:int -> int -> int array
+
+(** Uniform over the unit disc (quickhull's input distribution). *)
+val points_in_circle : ?seed:int -> int -> (float * float) array
+
+(** Points on [y = slope*x + intercept] with +-noise/2 jitter, x in
+    [0, 100) (linefit's input). *)
+val points_near_line :
+  ?seed:int -> slope:float -> intercept:float -> noise:float -> int ->
+  (float * float) array
+
+(** Base-256 bignum digits, little-endian. *)
+val bignum_digits : ?seed:int -> int -> Bytes.t
+
+(** Random text: words averaging ~[avg_word] chars separated by spaces,
+    newline roughly every [chars_per_line] chars. *)
+val text : ?seed:int -> ?avg_word:int -> ?chars_per_line:int -> int -> Bytes.t
+
+(** Like {!text}, with [pattern] planted at the start of roughly
+    [frac_matching] of the lines (grep's input: the paper has ~3%
+    matching). *)
+val text_with_pattern :
+  ?seed:int -> ?pattern:string -> ?frac_matching:float -> ?chars_per_line:int ->
+  int -> Bytes.t
+
+type csr_matrix = {
+  row_offsets : int array;  (** length rows+1 *)
+  col_index : int array;
+  values : float array;
+  cols : int;
+}
+
+(** ~[nnz_per_row] nonzeros per row (at least 1), uniform columns. *)
+val sparse_matrix :
+  ?seed:int -> rows:int -> cols:int -> nnz_per_row:int -> unit -> csr_matrix

@@ -1,0 +1,34 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) used as a *stateless*
+   hash-style generator: [at ~seed i] is the i-th variate of the stream
+   with the given seed.  Statelessness makes parallel data generation
+   deterministic regardless of worker interleaving — the substitute for
+   the paper's pre-generated input files. *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Raw 64-bit variate for index [i] of stream [seed]. *)
+let at ~seed i =
+  let open Int64 in
+  mix (add (mul (of_int (i + 1)) golden) (mul (of_int seed) 0x2545F4914F6CDD1DL))
+
+(* Non-negative int (62 bits to stay within OCaml's native int). *)
+let int_at ~seed i = Int64.to_int (Int64.shift_right_logical (at ~seed i) 2)
+
+(* Uniform in [0, bound). *)
+let int_range_at ~seed ~bound i =
+  if bound <= 0 then invalid_arg "Splitmix.int_range_at";
+  int_at ~seed i mod bound
+
+(* Uniform float in [0, 1). *)
+let float_at ~seed i =
+  let bits = Int64.shift_right_logical (at ~seed i) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(* A second independent stream derived from the same seed. *)
+let split seed = (seed * 2 + 1, seed * 2 + 2)

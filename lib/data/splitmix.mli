@@ -1,0 +1,22 @@
+(** SplitMix64 used as a {e stateless} counter-based generator: each
+    variate is a pure function of (seed, index), so parallel data
+    generation is deterministic regardless of worker interleaving. *)
+
+(** Raw 64-bit variate [i] of stream [seed]. *)
+val at : seed:int -> int -> int64
+
+(** Non-negative native int (62 random bits). *)
+val int_at : seed:int -> int -> int
+
+(** Uniform in [0, bound). Raises on [bound <= 0]. (Modulo bias is
+    negligible for the bounds used here.) *)
+val int_range_at : seed:int -> bound:int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float_at : seed:int -> int -> float
+
+(** Two derived independent stream seeds. *)
+val split : int -> int * int
+
+(** The 64-bit finaliser itself (exposed for hashing uses). *)
+val mix : int64 -> int64

@@ -1,0 +1,32 @@
+(** Forward BFS with sequences — the paper's Figure 6.
+
+    Each round maps [outPairs] over the frontier, flattens the resulting
+    (parent, child) pairs, and keeps — via filterOp with a
+    compare-and-swap per child — those that claim an unvisited vertex.
+    Written once as a functor over the common sequence signature and
+    instantiated with the three libraries; with block-delayed sequences
+    the flattened pair sequence is never materialised. *)
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** [bfs g s]: parent of each vertex in some valid BFS tree rooted at
+      [s] ([s] is its own parent; -1 = unreachable).  Ties between equal-
+      depth parents are resolved by the CAS race, so results may differ
+      across runs while remaining valid. *)
+  val bfs : Csr.t -> int -> int array
+end
+
+module Array_version : sig
+  val bfs : Csr.t -> int -> int array
+end
+
+module Rad_version : sig
+  val bfs : Csr.t -> int -> int array
+end
+
+module Delay_version : sig
+  val bfs : Csr.t -> int -> int array
+end
+
+(** [valid_parents g s parents]: the reached set matches the sequential
+    reference and every tree edge descends one BFS level. *)
+val valid_parents : Csr.t -> int -> int array -> bool

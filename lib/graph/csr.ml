@@ -1,0 +1,58 @@
+(* Compressed-sparse-row directed graphs. *)
+
+type t = {
+  offsets : int array;  (** length [n+1]; row [u] is [offsets.(u) .. offsets.(u+1)-1] *)
+  targets : int array;
+}
+
+let num_vertices g = Array.length g.offsets - 1
+let num_edges g = Array.length g.targets
+
+let degree g u = g.offsets.(u + 1) - g.offsets.(u)
+
+let neighbor g u k = g.targets.(g.offsets.(u) + k)
+
+let out_neighbors g u =
+  Array.sub g.targets g.offsets.(u) (degree g u)
+
+(* Build from an edge list by counting sort on sources (stable: preserves
+   edge order within a source). *)
+let of_edges ~num_vertices:n (edges : (int * int) array) =
+  let m = Array.length edges in
+  let counts = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Csr.of_edges";
+      counts.(u) <- counts.(u) + 1)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + counts.(u)
+  done;
+  let cursor = Array.copy offsets in
+  let targets = Array.make m 0 in
+  Array.iter
+    (fun (u, v) ->
+      targets.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1)
+    edges;
+  { offsets; targets }
+
+(* Sequential reference BFS distances (for validating parallel results). *)
+let bfs_distances g s =
+  let n = num_vertices g in
+  let dist = Array.make n (-1) in
+  dist.(s) <- 0;
+  let q = Queue.create () in
+  Queue.push s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for k = 0 to degree g u - 1 do
+      let v = neighbor g u k in
+      if dist.(v) < 0 then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.push v q
+      end
+    done
+  done;
+  dist

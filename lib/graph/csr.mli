@@ -1,0 +1,24 @@
+(** Compressed-sparse-row directed graphs. *)
+
+type t = {
+  offsets : int array;  (** length n+1; row [u] = [offsets.(u) .. offsets.(u+1)-1] *)
+  targets : int array;  (** edge targets, grouped by source *)
+}
+
+val num_vertices : t -> int
+val num_edges : t -> int
+val degree : t -> int -> int
+
+(** [neighbor g u k] is the k-th out-neighbour of [u] (O(1)). *)
+val neighbor : t -> int -> int -> int
+
+(** Fresh array of [u]'s out-neighbours. *)
+val out_neighbors : t -> int -> int array
+
+(** Build from an edge list by stable counting sort on sources.
+    Raises [Invalid_argument] on out-of-range endpoints. *)
+val of_edges : num_vertices:int -> (int * int) array -> t
+
+(** Sequential reference BFS: distance from [s] per vertex, -1 if
+    unreachable. Used to validate the parallel BFS implementations. *)
+val bfs_distances : t -> int -> int array

@@ -1,0 +1,35 @@
+(* R-MAT power-law graph generator (Chakrabarti, Zhan & Faloutsos, SDM
+   2004) — the paper's BFS input is "a random power-law graph [7]".
+   Standard parameters (a,b,c,d) = (0.57, 0.19, 0.19, 0.05). *)
+
+module Splitmix = Bds_data.Splitmix
+
+let quadrant ~seed ~edge level =
+  (* One float per (edge, level); deterministic. *)
+  Splitmix.float_at ~seed:(seed + (1000003 * level)) edge
+
+(* Generate edge [k] of a graph with 2^scale vertices. *)
+let edge_of_index ~seed ~scale k =
+  let a = 0.57 and b = 0.19 and c = 0.19 in
+  let u = ref 0 and v = ref 0 in
+  for level = 0 to scale - 1 do
+    let r = quadrant ~seed ~edge:k level in
+    let bit = 1 lsl level in
+    if r < a then ()
+    else if r < a +. b then v := !v lor bit
+    else if r < a +. b +. c then u := !u lor bit
+    else begin
+      u := !u lor bit;
+      v := !v lor bit
+    end
+  done;
+  (!u, !v)
+
+(* An R-MAT graph with [2^scale] vertices and [num_edges] directed edges
+   (self-loops and parallel edges possible, as in the standard model). *)
+let generate ?(seed = 42) ~scale ~num_edges () =
+  let n = 1 lsl scale in
+  let edges =
+    Bds_parray.Parray.tabulate num_edges (edge_of_index ~seed ~scale)
+  in
+  Csr.of_edges ~num_vertices:n edges

@@ -1,0 +1,83 @@
+(* Timing and allocation measurement for the benchmark harness.
+
+   Times: wall clock over [repeat] runs after [warmup] runs; we report the
+   minimum (least-noise estimator for single-machine runs).
+
+   Space: the paper reports maximum residency; the closest portable OCaml
+   analogue is words allocated, which is exactly what the cost semantics
+   predicts.  OCaml 5 allocation counters are per-domain, so allocation is
+   measured on a single-domain pool where all allocation happens on the
+   calling domain ([Gc.allocated_bytes] is then exact).  Allocation is
+   essentially independent of P, so the harness reports one allocation
+   figure per benchmark version. *)
+
+type sample = { time_s : float; alloc_bytes : float }
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  Unix.gettimeofday () -. t0
+
+let time ?(warmup = 1) ?(repeat = 3) f =
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let best = ref infinity in
+  for _ = 1 to repeat do
+    let t = time_once f in
+    if t < !best then best := t
+  done;
+  !best
+
+(* Space of one run of [f], measured on a 1-worker pool. Restores the
+   previous worker count.
+
+   Returned value: bytes allocated in the *major* heap (direct large
+   allocations — every intermediate array of interest — plus words
+   promoted out of the minor heap).  This is the closest analogue of the
+   paper's max-residency metric: short-lived boxing (pervasive in
+   polymorphic OCaml) dies in the minor heap and never contributes to
+   residency, so it is excluded, while the intermediate arrays whose
+   elimination the paper measures are large enough to be allocated in the
+   major heap directly. *)
+let alloc_single_domain f =
+  let prev = Bds_runtime.Runtime.num_workers () in
+  Bds_runtime.Runtime.set_num_domains 1;
+  Fun.protect
+    ~finally:(fun () -> Bds_runtime.Runtime.set_num_domains prev)
+    (fun () ->
+      ignore (Sys.opaque_identity (f ())) (* warm any lazy state *);
+      Gc.full_major ();
+      let before = (Gc.quick_stat ()).major_words in
+      ignore (Sys.opaque_identity (f ()));
+      let after = (Gc.quick_stat ()).major_words in
+      8.0 *. (after -. before))
+
+(* Total allocated bytes (minor + major) of one run, same discipline. *)
+let total_alloc_single_domain f =
+  let prev = Bds_runtime.Runtime.num_workers () in
+  Bds_runtime.Runtime.set_num_domains 1;
+  Fun.protect
+    ~finally:(fun () -> Bds_runtime.Runtime.set_num_domains prev)
+    (fun () ->
+      ignore (Sys.opaque_identity (f ()));
+      let before = Gc.allocated_bytes () in
+      ignore (Sys.opaque_identity (f ()));
+      Gc.allocated_bytes () -. before)
+
+let with_domains p f =
+  let prev = Bds_runtime.Runtime.num_workers () in
+  Bds_runtime.Runtime.set_num_domains p;
+  Fun.protect ~finally:(fun () -> Bds_runtime.Runtime.set_num_domains prev) f
+
+(* Human-readable quantities. *)
+let pp_time t =
+  if t < 1e-3 then Printf.sprintf "%.1fus" (t *. 1e6)
+  else if t < 1.0 then Printf.sprintf "%.2fms" (t *. 1e3)
+  else Printf.sprintf "%.3fs" t
+
+let pp_bytes b =
+  if b < 1024.0 then Printf.sprintf "%.0fB" b
+  else if b < 1024.0 *. 1024.0 then Printf.sprintf "%.1fKB" (b /. 1024.0)
+  else if b < 1024.0 *. 1024.0 *. 1024.0 then Printf.sprintf "%.1fMB" (b /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.2fGB" (b /. (1024.0 *. 1024.0 *. 1024.0))

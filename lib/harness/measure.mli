@@ -1,0 +1,25 @@
+(** Timing and space measurement for the benchmark harness. *)
+
+type sample = { time_s : float; alloc_bytes : float }
+
+(** Wall-clock of a single run. *)
+val time_once : (unit -> 'a) -> float
+
+(** Minimum wall-clock over [repeat] runs after [warmup] runs. *)
+val time : ?warmup:int -> ?repeat:int -> (unit -> 'a) -> float
+
+(** Major-heap bytes allocated by one run of [f], measured on a
+    single-domain pool (exact; see the implementation notes: this is the
+    portable analogue of the paper's max-residency metric). Restores the
+    previous worker count. *)
+val alloc_single_domain : (unit -> 'a) -> float
+
+(** Total allocated bytes (minor + major) of one run, same discipline. *)
+val total_alloc_single_domain : (unit -> 'a) -> float
+
+(** Run [f] with a global pool of [p] workers, restoring the previous
+    pool afterwards. *)
+val with_domains : int -> (unit -> 'a) -> 'a
+
+val pp_time : float -> string
+val pp_bytes : float -> string

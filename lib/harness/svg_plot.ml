@@ -1,0 +1,138 @@
+(* Minimal dependency-free SVG line charts, used to regenerate the
+   paper's plotted figures (Figure 15 speedup curves, Figure 16 sweep) as
+   actual image files. *)
+
+type series = { label : string; points : (float * float) list }
+
+let palette = [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let nice_ticks lo hi n =
+  if hi <= lo then [ lo ]
+  else begin
+    let span = hi -. lo in
+    let raw = span /. float_of_int (max 1 n) in
+    let mag = 10.0 ** Float.round (Float.log10 raw) in
+    let step =
+      let r = raw /. mag in
+      if r < 0.3 then 0.25 *. mag
+      else if r < 0.75 then 0.5 *. mag
+      else if r < 1.5 then mag
+      else if r < 3.0 then 2.0 *. mag
+      else 5.0 *. mag
+    in
+    let first = Float.round (lo /. step) *. step in
+    let rec go t acc =
+      if t > hi +. (0.001 *. step) then List.rev acc else go (t +. step) (t :: acc)
+    in
+    go (if first < lo -. (0.001 *. step) then first +. step else first) []
+  end
+
+let fmt_tick v =
+  if Float.abs (v -. Float.round v) < 1e-9 && Float.abs v < 1e7 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3g" v
+
+(* Render a line chart to an SVG string. *)
+let render ~title ~xlabel ~ylabel (series : series list) =
+  let w = 640.0 and h = 440.0 in
+  let ml = 70.0 and mr = 150.0 and mt = 50.0 and mb = 60.0 in
+  let pw = w -. ml -. mr and ph = h -. mt -. mb in
+  let all_points = List.concat_map (fun s -> s.points) series in
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let fold f init l = List.fold_left f init l in
+  let xmin = fold Float.min infinity xs and xmax = fold Float.max neg_infinity xs in
+  let ymin = Float.min 0.0 (fold Float.min infinity ys) in
+  let ymax = fold Float.max neg_infinity ys in
+  let ymax = if ymax <= ymin then ymin +. 1.0 else ymax in
+  let xmax = if xmax <= xmin then xmin +. 1.0 else xmax in
+  let sx x = ml +. (pw *. (x -. xmin) /. (xmax -. xmin)) in
+  let sy y = mt +. (ph *. (1.0 -. ((y -. ymin) /. (ymax -. ymin)))) in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     viewBox=\"0 0 %.0f %.0f\" font-family=\"sans-serif\">\n"
+    w h w h;
+  out "<rect width=\"%.0f\" height=\"%.0f\" fill=\"white\"/>\n" w h;
+  out
+    "<text x=\"%.1f\" y=\"24\" text-anchor=\"middle\" font-size=\"15\" \
+     font-weight=\"bold\">%s</text>\n"
+    (ml +. (pw /. 2.0)) title;
+  (* Axes. *)
+  out
+    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"black\"/>\n"
+    ml (mt +. ph) (ml +. pw) (mt +. ph);
+  out "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"black\"/>\n"
+    ml mt ml (mt +. ph);
+  (* Ticks and grid. *)
+  List.iter
+    (fun t ->
+      let x = sx t in
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+         stroke=\"#dddddd\"/>\n"
+        x mt x (mt +. ph);
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" \
+         font-size=\"11\">%s</text>\n"
+        x
+        (mt +. ph +. 18.0)
+        (fmt_tick t))
+    (nice_ticks xmin xmax 8);
+  List.iter
+    (fun t ->
+      let y = sy t in
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+         stroke=\"#dddddd\"/>\n"
+        ml y (ml +. pw) y;
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" font-size=\"11\">%s</text>\n"
+        (ml -. 8.0) (y +. 4.0) (fmt_tick t))
+    (nice_ticks ymin ymax 8);
+  (* Axis labels. *)
+  out
+    "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" font-size=\"13\">%s</text>\n"
+    (ml +. (pw /. 2.0))
+    (h -. 14.0)
+    xlabel;
+  out
+    "<text x=\"18\" y=\"%.1f\" text-anchor=\"middle\" font-size=\"13\" \
+     transform=\"rotate(-90 18 %.1f)\">%s</text>\n"
+    (mt +. (ph /. 2.0))
+    (mt +. (ph /. 2.0))
+    ylabel;
+  (* Series. *)
+  List.iteri
+    (fun i s ->
+      let color = palette.(i mod Array.length palette) in
+      let pts =
+        String.concat " "
+          (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (sx x) (sy y)) s.points)
+      in
+      out
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+        pts color;
+      List.iter
+        (fun (x, y) ->
+          out "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n" (sx x) (sy y)
+            color)
+        s.points;
+      (* Legend entry. *)
+      let ly = mt +. 10.0 +. (float_of_int i *. 20.0) in
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" \
+         stroke-width=\"2\"/>\n"
+        (ml +. pw +. 12.0) ly
+        (ml +. pw +. 36.0)
+        ly color;
+      out "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\">%s</text>\n"
+        (ml +. pw +. 42.0) (ly +. 4.0) s.label)
+    series;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write ~path ~title ~xlabel ~ylabel series =
+  let oc = open_out path in
+  output_string oc (render ~title ~xlabel ~ylabel series);
+  close_out oc

@@ -1,0 +1,12 @@
+(** Dependency-free SVG line charts, for regenerating the paper's plotted
+    figures (speedup curves, sweeps) as image files. *)
+
+type series = { label : string; points : (float * float) list }
+
+(** Render a line chart (640x440, grid, ticks, legend) as an SVG
+    document. *)
+val render : title:string -> xlabel:string -> ylabel:string -> series list -> string
+
+(** Render and write to [path]. *)
+val write :
+  path:string -> title:string -> xlabel:string -> ylabel:string -> series list -> unit

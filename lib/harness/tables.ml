@@ -1,0 +1,29 @@
+(* Plain-text table rendering in the style of the paper's figures. *)
+
+let render ~headers ~rows =
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure headers;
+  List.iter measure rows;
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let pad = widths.(i) - String.length cell in
+           if i = 0 then cell ^ String.make pad ' ' else String.make pad ' ' ^ cell)
+         row)
+  in
+  let sep = String.make (Array.fold_left ( + ) (2 * (ncols - 1)) widths) '-' in
+  String.concat "\n" (line headers :: sep :: List.map line rows)
+
+let print ~title ~headers ~rows =
+  Printf.printf "\n%s\n%s\n%s\n" title (String.make (String.length title) '=')
+    (render ~headers ~rows)
+
+let ratio a b =
+  if b > 0.0 then Printf.sprintf "%.2f" (a /. b)
+  else if a > 0.0 then "inf"
+  else "-"

@@ -1,0 +1,10 @@
+(** Plain-text tables in the style of the paper's figures. *)
+
+(** First column left-aligned, the rest right-aligned. *)
+val render : headers:string list -> rows:string list list -> string
+
+val print : title:string -> headers:string list -> rows:string list list -> unit
+
+(** [ratio a b] = a/b to two decimals; "inf" when b = 0 < a; "-" when
+    both are 0. *)
+val ratio : float -> float -> string

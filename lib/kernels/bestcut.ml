@@ -1,0 +1,66 @@
+(* bestcut: kd-tree best-cut via the surface area heuristic, simplified as
+   in the paper's Figure 4: map, scan, map, reduce.
+
+   The input models [n] bounding-box events along one axis: a float in
+   [0,1) per event; an event "ends" a box when its value exceeds
+   [end_threshold].  The cut cost at position i combines the count of
+   boxes ending before the cut with the surface areas of the two
+   subvolumes (proportional to cut position). *)
+
+let end_threshold = 0.3
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  (* Returns the minimum cut cost. *)
+  let best_cut (a : float array) : float =
+    let n = Array.length a in
+    let fn = float_of_int n in
+    let s = S.of_array a in
+    let is_end = S.map (fun x -> if x > end_threshold then 1 else 0) s in
+    let end_counts, _ = S.scan ( + ) 0 is_end in
+    let costs =
+      S.mapi
+        (fun i c ->
+          let pos = float_of_int i /. fn in
+          (pos *. float_of_int c) +. ((1.0 -. pos) *. float_of_int (n - c)))
+        end_counts
+    in
+    S.reduce Float.min infinity costs
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+(* Stream-of-blocks version for the §6.5 comparison (Figure 16): the
+   map/scan/map/reduce pipeline over a stream of eager blocks, parallel
+   within blocks only. *)
+let best_cut_sob ~block_size (a : float array) : float =
+  let n = Array.length a in
+  let fn = float_of_int n in
+  let s = Bds_sob.Sob.of_array ~block_size a in
+  let is_end = Bds_sob.Sob.map (fun x -> if x > end_threshold then 1 else 0) s in
+  let end_counts = Bds_sob.Sob.scan ( + ) 0 is_end in
+  let costs =
+    Bds_sob.Sob.mapi
+      (fun i c ->
+        let pos = float_of_int i /. fn in
+        (pos *. float_of_int c) +. ((1.0 -. pos) *. float_of_int (n - c)))
+      end_counts
+  in
+  Bds_sob.Sob.reduce Float.min infinity costs
+
+(* Sequential reference. *)
+let reference (a : float array) : float =
+  let n = Array.length a in
+  let fn = float_of_int n in
+  let best = ref infinity in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    let pos = float_of_int i /. fn in
+    let cost = (pos *. float_of_int !c) +. ((1.0 -. pos) *. float_of_int (n - !c)) in
+    if cost < !best then best := cost;
+    if a.(i) > end_threshold then incr c
+  done;
+  !best
+
+let generate ?(seed = 42) n = Bds_data.Gen.floats ~seed n

@@ -1,0 +1,26 @@
+(** bestcut: kd-tree best-cut via the surface-area heuristic, simplified
+    as in the paper's Figure 4 — a map, scan, map, reduce pipeline.  With
+    block-delayed sequences the pipeline makes two passes over the input
+    and allocates O(blocks) (Figure 5). *)
+
+(** An event "ends" a box when its sample exceeds this threshold. *)
+val end_threshold : float
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** Minimum cut cost over all candidate positions. *)
+  val best_cut : float array -> float
+end
+
+module Array_version : sig val best_cut : float array -> float end
+module Rad_version : sig val best_cut : float array -> float end
+module Delay_version : sig val best_cut : float array -> float end
+
+(** Stream-of-blocks version (§6.5 / Figure 16): parallel within blocks
+    only. *)
+val best_cut_sob : block_size:int -> float array -> float
+
+(** Sequential reference. *)
+val reference : float array -> float
+
+(** [n] uniform samples in [0,1). *)
+val generate : ?seed:int -> int -> float array

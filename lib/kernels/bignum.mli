@@ -1,0 +1,19 @@
+(** bignum-add: addition of base-256 little-endian digit strings, with
+    carry propagation as a scan over the {Stop, Generate, Propagate}
+    carry monoid (Propagate is the identity). *)
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** [add a b] = (digits of a+b, carry-out ∈ {0,1}). Inputs may have
+      different lengths. *)
+  val add : Bytes.t -> Bytes.t -> Bytes.t * int
+end
+
+module Array_version : sig val add : Bytes.t -> Bytes.t -> Bytes.t * int end
+module Rad_version : sig val add : Bytes.t -> Bytes.t -> Bytes.t * int end
+module Delay_version : sig val add : Bytes.t -> Bytes.t -> Bytes.t * int end
+
+(** Sequential schoolbook reference. *)
+val reference : Bytes.t -> Bytes.t -> Bytes.t * int
+
+(** Two random [n]-digit bignums. *)
+val generate_input : ?seed:int -> int -> Bytes.t * Bytes.t

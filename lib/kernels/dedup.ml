@@ -1,0 +1,36 @@
+(* dedup / remove-duplicates (extension, PBBS-style): the distinct
+   elements of a sequence, in ascending order — parallel sort plus a
+   fused boundary filter (the filter output BID is materialised only
+   once, at the end). *)
+
+module Psort = Bds_sort.Psort
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  let dedup (keys : 'a array) : 'a array =
+    let n = Array.length keys in
+    if n = 0 then [||]
+    else begin
+      let sorted = Psort.sort compare keys in
+      S.to_array
+        (S.filter_op
+           (fun i ->
+             if i = 0 || sorted.(i) <> sorted.(i - 1) then Some sorted.(i) else None)
+           (S.iota n))
+    end
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+let reference (keys : 'a array) : 'a array =
+  let sorted = Array.copy keys in
+  Array.sort compare sorted;
+  let buf = ref [] in
+  for i = Array.length sorted - 1 downto 0 do
+    if i = 0 || sorted.(i) <> sorted.(i - 1) then buf := sorted.(i) :: !buf
+  done;
+  Array.of_list !buf
+
+let generate ?(seed = 42) ~distinct n =
+  Bds_data.Gen.ints ~seed ~bound:distinct n

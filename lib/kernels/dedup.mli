@@ -1,0 +1,15 @@
+(** dedup / remove-duplicates (extension, PBBS-style): distinct elements
+    in ascending order via parallel sort + fused boundary filter. *)
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  val dedup : 'a array -> 'a array
+end
+
+module Array_version : sig val dedup : 'a array -> 'a array end
+module Rad_version : sig val dedup : 'a array -> 'a array end
+module Delay_version : sig val dedup : 'a array -> 'a array end
+
+val reference : 'a array -> 'a array
+
+(** [n] keys drawn from [distinct] possible values. *)
+val generate : ?seed:int -> distinct:int -> int -> int array

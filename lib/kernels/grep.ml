@@ -1,0 +1,78 @@
+(* grep: find the lines containing a fixed pattern (cf. Unix grep).
+
+   Line starts are found by a filter over the index space; each candidate
+   line is then scanned for the pattern (naive substring search, as the
+   inner loop is short), and matching lines are counted/measured. *)
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  let line_end (text : Bytes.t) start =
+    let n = Bytes.length text in
+    let rec go i = if i >= n || Bytes.unsafe_get text i = '\n' then i else go (i + 1) in
+    go start
+
+  let contains (text : Bytes.t) ~start ~stop (pattern : string) =
+    let plen = String.length pattern in
+    let rec outer i =
+      if i + plen > stop then false
+      else begin
+        let rec inner k =
+          k >= plen || (Bytes.unsafe_get text (i + k) = pattern.[k] && inner (k + 1))
+        in
+        inner 0 || outer (i + 1)
+      end
+    in
+    plen = 0 || outer start
+
+  (* Returns (number of matching lines, total bytes in matching lines). *)
+  let grep (text : Bytes.t) (pattern : string) : int * int =
+    let n = Bytes.length text in
+    let line_starts =
+      S.filter
+        (fun i -> i = 0 || Bytes.unsafe_get text (i - 1) = '\n')
+        (S.iota n)
+    in
+    let matching =
+      S.filter_op
+        (fun start ->
+          let stop = line_end text start in
+          if contains text ~start ~stop pattern then Some (stop - start) else None)
+        line_starts
+    in
+    (S.length matching, S.reduce ( + ) 0 matching)
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+(* Sequential reference. *)
+let reference (text : Bytes.t) (pattern : string) : int * int =
+  let n = Bytes.length text in
+  let count = ref 0 and total = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    while !i < n && Bytes.get text !i <> '\n' do
+      incr i
+    done;
+    let line = Bytes.sub_string text start (!i - start) in
+    let plen = String.length pattern in
+    let matches =
+      plen = 0
+      ||
+      let rec go k =
+        k + plen <= String.length line
+        && (String.sub line k plen = pattern || go (k + 1))
+      in
+      go 0
+    in
+    if matches then begin
+      incr count;
+      total := !total + (!i - start)
+    end;
+    incr i
+  done;
+  (!count, !total)
+
+let generate ?(seed = 42) ?(pattern = "needle") n =
+  Bds_data.Gen.text_with_pattern ~seed ~pattern n

@@ -1,0 +1,17 @@
+(** grep: count and measure the lines containing a fixed pattern
+    (cf. Unix grep). Line starts come from a filter over the index space;
+    candidate lines are scanned by naive substring search. *)
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** (matching lines, total bytes in matching lines). *)
+  val grep : Bytes.t -> string -> int * int
+end
+
+module Array_version : sig val grep : Bytes.t -> string -> int * int end
+module Rad_version : sig val grep : Bytes.t -> string -> int * int end
+module Delay_version : sig val grep : Bytes.t -> string -> int * int end
+
+val reference : Bytes.t -> string -> int * int
+
+(** Text of [n] chars with ~3% of lines containing [pattern]. *)
+val generate : ?seed:int -> ?pattern:string -> int -> Bytes.t

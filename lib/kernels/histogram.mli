@@ -1,0 +1,32 @@
+(** histogram (extension, PBBS-style): counts of integer keys in
+    [0, buckets), by atomic counters or by sort + boundary filter. *)
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** One fused pass with per-bucket atomics.
+      Raises [Invalid_argument] on out-of-range keys. *)
+  val by_atomics : buckets:int -> int array -> int array
+
+  (** Contention-free: parallel sort, fused boundary filter, run-length
+      differencing. *)
+  val by_sort : buckets:int -> int array -> int array
+end
+
+module Array_version : sig
+  val by_atomics : buckets:int -> int array -> int array
+  val by_sort : buckets:int -> int array -> int array
+end
+
+module Rad_version : sig
+  val by_atomics : buckets:int -> int array -> int array
+  val by_sort : buckets:int -> int array -> int array
+end
+
+module Delay_version : sig
+  val by_atomics : buckets:int -> int array -> int array
+  val by_sort : buckets:int -> int array -> int array
+end
+
+val reference : buckets:int -> int array -> int array
+
+(** Skewed (Zipf-like) keys in [0, buckets). *)
+val generate : ?seed:int -> buckets:int -> int -> int array

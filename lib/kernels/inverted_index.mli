@@ -1,0 +1,24 @@
+(** inverted index (extension; mentioned in the paper's §1 as a PBBS
+    application improved by the technique).  Documents are newline-
+    separated lines; the pipeline tokenises, attaches document ids, sorts
+    (word, doc) pairs with the parallel sorting substrate, and counts
+    words and postings by boundary filters. *)
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** (distinct words, postings = distinct (word, document) pairs). *)
+  val index : Bytes.t -> int * int
+end
+
+module Array_version : sig val index : Bytes.t -> int * int end
+module Rad_version : sig val index : Bytes.t -> int * int end
+module Delay_version : sig val index : Bytes.t -> int * int end
+
+(** The materialised index: (word, sorted document ids) per distinct
+    word, words in ascending order — built with the block-delayed
+    pipeline plus the sorting substrate's group_by. *)
+val postings : Bytes.t -> (string * int array) array
+
+(** Sequential hash-table reference. *)
+val reference : Bytes.t -> int * int
+
+val generate : ?seed:int -> int -> Bytes.t

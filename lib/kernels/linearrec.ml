@@ -1,0 +1,35 @@
+(* linearrec: solve the linear recurrence R_i = x_i * R_{i-1} + y_i by an
+   inclusive scan over affine-function composition:
+   (a1,b1) . (a2,b2) = (a1*a2, b1*a2 + b2), applied left-to-right, so the
+   scan value at i is the composition of steps 0..i and
+   R_i = a*R_init + b. *)
+
+let compose (a1, b1) (a2, b2) = (a1 *. a2, (b1 *. a2) +. b2)
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  let solve ?(r0 = 0.0) (xy : (float * float) array) : float array =
+    let s = S.of_array xy in
+    let comps = S.scan_incl compose (1.0, 0.0) s in
+    S.to_array (S.map (fun (a, b) -> (a *. r0) +. b) comps)
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+let reference ?(r0 = 0.0) (xy : (float * float) array) : float array =
+  let n = Array.length xy in
+  let out = Array.make n 0.0 in
+  let r = ref r0 in
+  for i = 0 to n - 1 do
+    let x, y = xy.(i) in
+    r := (x *. !r) +. y;
+    out.(i) <- !r
+  done;
+  out
+
+(* Coefficients in (-1, 1) keep the recurrence numerically stable. *)
+let generate ?(seed = 42) n =
+  Bds_parray.Parray.tabulate n (fun i ->
+      ( (Bds_data.Splitmix.float_at ~seed i *. 1.8) -. 0.9,
+        Bds_data.Splitmix.float_at ~seed:(seed + 1) i ))

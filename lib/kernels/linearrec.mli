@@ -1,0 +1,19 @@
+(** linearrec: solve R_i = x_i * R_(i-1) + y_i by an inclusive scan over
+    affine-function composition (a non-commutative monoid). *)
+
+(** (a1,b1) . (a2,b2) = (a1*a2, b1*a2 + b2): apply step 1, then step 2. *)
+val compose : float * float -> float * float -> float * float
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** All R_i given R_(-1) = [r0] (default 0). *)
+  val solve : ?r0:float -> (float * float) array -> float array
+end
+
+module Array_version : sig val solve : ?r0:float -> (float * float) array -> float array end
+module Rad_version : sig val solve : ?r0:float -> (float * float) array -> float array end
+module Delay_version : sig val solve : ?r0:float -> (float * float) array -> float array end
+
+val reference : ?r0:float -> (float * float) array -> float array
+
+(** Coefficients x in (-0.9, 0.9) keep the recurrence stable. *)
+val generate : ?seed:int -> int -> (float * float) array

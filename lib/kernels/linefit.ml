@@ -1,0 +1,53 @@
+(* linefit: least-squares line through n 2D points.  Two passes over the
+   input (as the paper notes): one reduce for the means, one for the
+   second moments.  The array library allocates a tuple array per pass;
+   the delayed libraries fuse the maps into the reduces. *)
+
+let add2 (a, b) (c, d) = (a +. c, b +. d)
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  (* Returns (slope, intercept). *)
+  let fit (pts : (float * float) array) : float * float =
+    let n = Array.length pts in
+    let fn = float_of_int n in
+    let s = S.of_array pts in
+    let sx, sy = S.reduce add2 (0.0, 0.0) s in
+    let mx = sx /. fn and my = sy /. fn in
+    let sxx, sxy =
+      S.reduce add2 (0.0, 0.0)
+        (S.map
+           (fun (x, y) ->
+             let dx = x -. mx in
+             (dx *. dx, dx *. (y -. my)))
+           s)
+    in
+    let slope = sxy /. sxx in
+    (slope, my -. (slope *. mx))
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+let reference (pts : (float * float) array) : float * float =
+  let n = Array.length pts in
+  let fn = float_of_int n in
+  let sx = ref 0.0 and sy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y)
+    pts;
+  let mx = !sx /. fn and my = !sy /. fn in
+  let sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. (y -. my)))
+    pts;
+  let slope = !sxy /. !sxx in
+  (slope, my -. (slope *. mx))
+
+let generate ?(seed = 42) n =
+  Bds_data.Gen.points_near_line ~seed ~slope:2.5 ~intercept:(-1.0) ~noise:0.5 n

@@ -1,0 +1,16 @@
+(** linefit: least-squares line through n points, in two fused
+    map+reduce passes (means, then second moments). *)
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** (slope, intercept). *)
+  val fit : (float * float) array -> float * float
+end
+
+module Array_version : sig val fit : (float * float) array -> float * float end
+module Rad_version : sig val fit : (float * float) array -> float * float end
+module Delay_version : sig val fit : (float * float) array -> float * float end
+
+val reference : (float * float) array -> float * float
+
+(** Points near y = 2.5x - 1 with small noise. *)
+val generate : ?seed:int -> int -> (float * float) array

@@ -1,0 +1,43 @@
+(* mcss: maximum contiguous subsequence sum, as one reduce over the
+   classic 4-tuple monoid (total, best prefix, best suffix, best overall);
+   the empty subsequence (sum 0) is allowed.  The array library
+   materialises the n 4-tuples; the delayed libraries fuse the map into
+   the reduce. *)
+
+type summary = { total : int; prefix : int; suffix : int; best : int }
+
+let unit_summary = { total = 0; prefix = 0; suffix = 0; best = 0 }
+
+let of_element x =
+  let m = max 0 x in
+  { total = x; prefix = m; suffix = m; best = m }
+
+let combine l r =
+  {
+    total = l.total + r.total;
+    prefix = max l.prefix (l.total + r.prefix);
+    suffix = max r.suffix (l.suffix + r.total);
+    best = max (max l.best r.best) (l.suffix + r.prefix);
+  }
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  let mcss (a : int array) : int =
+    let s = S.map of_element (S.of_array a) in
+    (S.reduce combine unit_summary s).best
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+(* Kadane's algorithm (empty subsequence allowed). *)
+let reference (a : int array) : int =
+  let best = ref 0 and cur = ref 0 in
+  Array.iter
+    (fun x ->
+      cur := max 0 (!cur + x);
+      if !cur > !best then best := !cur)
+    a;
+  !best
+
+let generate ?(seed = 42) n = Bds_data.Gen.signed_ints ~seed ~bound:1000 n

@@ -1,0 +1,24 @@
+(** mcss: maximum contiguous subsequence sum as a single reduce over the
+    classic (total, prefix, suffix, best) monoid; the empty subsequence
+    (sum 0) is allowed. *)
+
+type summary = { total : int; prefix : int; suffix : int; best : int }
+
+val unit_summary : summary
+val of_element : int -> summary
+
+(** Associative combine (with {!unit_summary} as identity). *)
+val combine : summary -> summary -> summary
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  val mcss : int array -> int
+end
+
+module Array_version : sig val mcss : int array -> int end
+module Rad_version : sig val mcss : int array -> int end
+module Delay_version : sig val mcss : int array -> int end
+
+(** Kadane's algorithm. *)
+val reference : int array -> int
+
+val generate : ?seed:int -> int -> int array

@@ -1,0 +1,73 @@
+(* primes: all primes below n, by a recursive blocked sieve (as in the
+   paper's evaluation, following the PBBS style): recursively find the base
+   primes below sqrt(n); generate all composite multiples as a flatten of
+   per-prime arithmetic sequences; mark them in a flag table; and filter
+   the survivors.
+
+   With block-delayed sequences the flattened multiple sequence is never
+   materialised (it is consumed by a blockwise iter), and the final filter
+   packs within blocks only. *)
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  let rec primes (n : int) : int array =
+    if n <= 2 then [||]
+    else if n <= 32 then begin
+      (* Sequential base case by trial division. *)
+      let is_prime k =
+        let rec go d = d * d > k || (k mod d <> 0 && go (d + 1)) in
+        k >= 2 && go 2
+      in
+      Array.of_list (List.filter is_prime (List.init n Fun.id))
+    end
+    else begin
+      let sqrt_n = int_of_float (Float.sqrt (float_of_int (n - 1))) in
+      let base = primes (sqrt_n + 1) in
+      let flags = Bytes.make n '\001' in
+      Bytes.set flags 0 '\000';
+      Bytes.set flags 1 '\000';
+      (* Multiples of each base prime p: 2p, 3p, ..., < n. *)
+      let multiples =
+        S.flatten
+          (S.map
+             (fun p ->
+               let count = ((n - 1) / p) - 1 in
+               S.tabulate count (fun j -> (j + 2) * p))
+             (S.of_array base))
+      in
+      (* Benign write-write races: every writer stores the same byte. *)
+      S.iter (fun m -> Bytes.unsafe_set flags m '\000') multiples;
+      S.to_array
+        (S.filter_op
+           (fun i -> if Bytes.unsafe_get flags i = '\001' then Some i else None)
+           (S.iota n))
+    end
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+(* Sequential Eratosthenes reference. *)
+let reference n =
+  if n <= 2 then [||]
+  else begin
+    let flags = Array.make n true in
+    flags.(0) <- false;
+    flags.(1) <- false;
+    let i = ref 2 in
+    while !i * !i < n do
+      if flags.(!i) then begin
+        let j = ref (!i * !i) in
+        while !j < n do
+          flags.(!j) <- false;
+          j := !j + !i
+        done
+      end;
+      incr i
+    done;
+    let buf = ref [] in
+    for k = n - 1 downto 0 do
+      if flags.(k) then buf := k :: !buf
+    done;
+    Array.of_list !buf
+  end

@@ -1,0 +1,16 @@
+(** primes: all primes below n by a recursive blocked sieve — base primes
+    below sqrt(n) by recursion, composite marking via a flattened
+    sequence of multiples, survivors via filter.  flatten and filter fuse
+    under block-delayed sequences. *)
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** Ascending array of all primes < n. *)
+  val primes : int -> int array
+end
+
+module Array_version : sig val primes : int -> int array end
+module Rad_version : sig val primes : int -> int array end
+module Delay_version : sig val primes : int -> int array end
+
+(** Sequential Eratosthenes reference. *)
+val reference : int -> int array

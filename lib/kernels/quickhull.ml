@@ -1,0 +1,103 @@
+(* quickhull: 2D convex hull of points uniform in a disc.
+
+   Classic recursive structure: find the x-extremes, split into the upper
+   and lower half-planes by filter, then recurse — each step finds the
+   farthest point from the chord (a fused map+reduce) and filters the
+   candidates into two subproblems.  Recursive calls run in parallel via
+   the runtime's fork-join.  Filter results feed several consumers, so we
+   [force] them (the cost-semantics-guided choice discussed in §3/§5). *)
+
+type point = float * float
+
+(* Twice the signed area of (p, q, r): positive iff r is left of p->q. *)
+let cross ((px, py) : point) ((qx, qy) : point) ((rx, ry) : point) =
+  ((qx -. px) *. (ry -. py)) -. ((qy -. py) *. (rx -. px))
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  (* Hull points strictly left of p->q, from candidates [s], in
+     counter-clockwise order between p (inclusive) and q (exclusive). *)
+  let rec hull_side (p : point) (q : point) (s : point S.t) : point list =
+    if S.length s = 0 then [ p ]
+    else begin
+      let far =
+        S.reduce
+          (fun (d1, r1) (d2, r2) -> if d1 >= d2 then (d1, r1) else (d2, r2))
+          (neg_infinity, p)
+          (S.map (fun r -> (cross p q r, r)) s)
+      in
+      let m = snd far in
+      let left = S.force (S.filter (fun r -> cross p m r > 0.0) s) in
+      let right = S.force (S.filter (fun r -> cross m q r > 0.0) s) in
+      let a, b =
+        Bds_runtime.Runtime.par
+          (fun () -> hull_side p m left)
+          (fun () -> hull_side m q right)
+      in
+      a @ b
+    end
+
+  (* Full hull in counter-clockwise order. *)
+  let hull (pts : point array) : point list =
+    if Array.length pts <= 2 then Array.to_list pts
+    else begin
+      let s = S.of_array pts in
+      let minmax (p1 : point) (p2 : point) =
+        if fst p1 < fst p2 || (fst p1 = fst p2 && snd p1 < snd p2) then (p1, p2)
+        else (p2, p1)
+      in
+      let pmin =
+        S.reduce (fun a b -> fst (minmax a b)) (infinity, infinity) s
+      in
+      let pmax =
+        S.reduce
+          (fun a b -> snd (minmax a b))
+          (neg_infinity, neg_infinity)
+          s
+      in
+      let upper = S.force (S.filter (fun r -> cross pmin pmax r > 0.0) s) in
+      let lower = S.force (S.filter (fun r -> cross pmax pmin r > 0.0) s) in
+      let a, b =
+        Bds_runtime.Runtime.par
+          (fun () -> hull_side pmin pmax upper)
+          (fun () -> hull_side pmax pmin lower)
+      in
+      a @ b
+    end
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+(* Sequential Andrew's monotone chain, for validation. *)
+let reference (pts : point array) : point list =
+  let sorted = Array.copy pts in
+  Array.sort compare sorted;
+  let build fold =
+    let chain = ref [] in
+    fold (fun p ->
+        let rec pop () =
+          match !chain with
+          | a :: b :: _ when cross b a p <= 0.0 ->
+            chain := List.tl !chain;
+            pop ()
+          | _ -> ()
+        in
+        pop ();
+        chain := p :: !chain);
+    !chain
+  in
+  if Array.length sorted <= 2 then Array.to_list sorted
+  else begin
+    let lower = build (fun f -> Array.iter f sorted) in
+    let upper =
+      build (fun f ->
+          for i = Array.length sorted - 1 downto 0 do
+            f sorted.(i)
+          done)
+    in
+    (* Each chain includes both endpoints; drop one endpoint from each. *)
+    List.tl (List.rev lower) @ List.tl (List.rev upper)
+  end
+
+let generate ?(seed = 42) n = Bds_data.Gen.points_in_circle ~seed n

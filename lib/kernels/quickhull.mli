@@ -1,0 +1,24 @@
+(** quickhull: 2D convex hull by the classic recursive algorithm —
+    farthest-point selection (fused map+reduce) and two filters per
+    level, with the recursive calls forked in parallel. *)
+
+type point = float * float
+
+(** Twice the signed area of (p,q,r): positive iff r is strictly left of
+    the directed line p->q. *)
+val cross : point -> point -> point -> float
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** Hull vertices in counter-clockwise order. *)
+  val hull : point array -> point list
+end
+
+module Array_version : sig val hull : point array -> point list end
+module Rad_version : sig val hull : point array -> point list end
+module Delay_version : sig val hull : point array -> point list end
+
+(** Andrew's monotone chain (sequential), for validation. *)
+val reference : point array -> point list
+
+(** Uniform points over the unit disc. *)
+val generate : ?seed:int -> int -> point array

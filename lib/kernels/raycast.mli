@@ -1,0 +1,36 @@
+(** ray casting (extension; mentioned in the paper's §1 as the PBBS
+    ray-triangle intersection application).  Each ray's nearest hit over
+    all triangles is a tabulate fused into a min-reduce (Möller-Trumbore
+    intersection). *)
+
+type vec = { x : float; y : float; z : float }
+
+val sub : vec -> vec -> vec
+val cross : vec -> vec -> vec
+val dot : vec -> vec -> float
+
+type triangle = { v0 : vec; v1 : vec; v2 : vec }
+type ray = { origin : vec; dir : vec }
+
+(** Distance along the ray to the triangle, or [infinity] on a miss. *)
+val intersect : ray -> triangle -> float
+
+module type VERSION = sig
+  (** Per-ray nearest-hit distance ([infinity] = miss). *)
+  val cast : triangle array -> ray array -> float array
+
+  (** (number of hitting rays, sum of hit distances). *)
+  val cast_summary : triangle array -> ray array -> int * float
+end
+
+module Make (S : Bds_seqs.Sig.S) : VERSION
+module Array_version : VERSION
+module Rad_version : VERSION
+module Delay_version : VERSION
+
+val reference : triangle array -> ray array -> float array
+
+(** Random small triangles in the unit cube and rays shot at it from
+    z = -1. *)
+val generate :
+  ?seed:int -> triangles:int -> rays:int -> unit -> triangle array * ray array

@@ -1,0 +1,27 @@
+(** sparse-mxv: CSR sparse matrix-vector product.  The inner dot product
+    is a tabulate fused into a reduce; the array library materialises a
+    tiny temporary per row (the paper's "around 100 items big" arrays). *)
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  val mxv : Bds_data.Gen.csr_matrix -> float array -> float array
+end
+
+module Array_version : sig
+  val mxv : Bds_data.Gen.csr_matrix -> float array -> float array
+end
+
+module Rad_version : sig
+  val mxv : Bds_data.Gen.csr_matrix -> float array -> float array
+end
+
+module Delay_version : sig
+  val mxv : Bds_data.Gen.csr_matrix -> float array -> float array
+end
+
+val reference : Bds_data.Gen.csr_matrix -> float array -> float array
+
+(** Square matrix with ~[nnz_per_row] nonzeros per row, plus a matching
+    dense vector. *)
+val generate :
+  ?seed:int -> rows:int -> nnz_per_row:int -> unit ->
+  Bds_data.Gen.csr_matrix * float array

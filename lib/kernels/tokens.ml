@@ -1,0 +1,61 @@
+(* tokens: split a character buffer into maximal runs of non-whitespace.
+
+   Token starts and token ends are found with filters over the index
+   space; zipping them yields (start, length) descriptors.  With
+   block-delayed sequences the two filtered index sequences stay as BIDs
+   and fuse with the zip and the final consumer. *)
+
+let is_space c = c = ' ' || c = '\n' || c = '\t' || c = '\r'
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  (* Returns (number of tokens, sum of token lengths). *)
+  let tokens (text : Bytes.t) : int * int =
+    let n = Bytes.length text in
+    let tok i = not (is_space (Bytes.unsafe_get text i)) in
+    let starts =
+      S.filter (fun i -> tok i && (i = 0 || not (tok (i - 1)))) (S.iota n)
+    in
+    let ends =
+      S.filter
+        (fun i -> i > 0 && tok (i - 1) && (i = n || not (tok i)))
+        (S.tabulate (n + 1) Fun.id)
+    in
+    let lengths = S.zip_with (fun s e -> e - s) starts ends in
+    let count = S.length lengths in
+    let total = S.reduce ( + ) 0 lengths in
+    (count, total)
+
+  (* Materialised variant for applications that need the tokens. *)
+  let token_spans (text : Bytes.t) : (int * int) array =
+    let n = Bytes.length text in
+    let tok i = not (is_space (Bytes.unsafe_get text i)) in
+    let starts =
+      S.filter (fun i -> tok i && (i = 0 || not (tok (i - 1)))) (S.iota n)
+    in
+    let ends =
+      S.filter
+        (fun i -> i > 0 && tok (i - 1) && (i = n || not (tok i)))
+        (S.tabulate (n + 1) Fun.id)
+    in
+    S.to_array (S.zip_with (fun s e -> (s, e - s)) starts ends)
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+(* Sequential reference. *)
+let reference (text : Bytes.t) : int * int =
+  let n = Bytes.length text in
+  let count = ref 0 and total = ref 0 and in_tok = ref false in
+  for i = 0 to n - 1 do
+    let t = not (is_space (Bytes.get text i)) in
+    if t then begin
+      if not !in_tok then incr count;
+      incr total
+    end;
+    in_tok := t
+  done;
+  (!count, !total)
+
+let generate ?(seed = 42) n = Bds_data.Gen.text ~seed n

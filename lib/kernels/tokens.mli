@@ -1,0 +1,31 @@
+(** tokens: split a character buffer into maximal non-whitespace runs,
+    via two filters over the index space zipped together — pure BID
+    fusion under block-delayed sequences. *)
+
+val is_space : char -> bool
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** (number of tokens, sum of token lengths). *)
+  val tokens : Bytes.t -> int * int
+
+  (** (start, length) of each token, in order. *)
+  val token_spans : Bytes.t -> (int * int) array
+end
+
+module Array_version : sig
+  val tokens : Bytes.t -> int * int
+  val token_spans : Bytes.t -> (int * int) array
+end
+
+module Rad_version : sig
+  val tokens : Bytes.t -> int * int
+  val token_spans : Bytes.t -> (int * int) array
+end
+
+module Delay_version : sig
+  val tokens : Bytes.t -> int * int
+  val token_spans : Bytes.t -> (int * int) array
+end
+
+val reference : Bytes.t -> int * int
+val generate : ?seed:int -> int -> Bytes.t

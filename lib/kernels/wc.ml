@@ -1,0 +1,47 @@
+(* wc: count lines, words and bytes of a character buffer (cf. Unix wc).
+   One fused map+reduce: each index contributes (is-newline, is-word-start)
+   and the reduce sums componentwise.  The array library materialises the
+   n pair tuples. *)
+
+let is_space c = c = ' ' || c = '\n' || c = '\t' || c = '\r'
+
+module Make (S : Bds_seqs.Sig.S) = struct
+  (* Returns (lines, words, bytes). *)
+  let wc (text : Bytes.t) : int * int * int =
+    let n = Bytes.length text in
+    let contrib i =
+      let c = Bytes.unsafe_get text i in
+      let nl = if c = '\n' then 1 else 0 in
+      let ws =
+        if (not (is_space c)) && (i = 0 || is_space (Bytes.unsafe_get text (i - 1)))
+        then 1
+        else 0
+      in
+      (nl, ws)
+    in
+    let lines, words =
+      S.reduce
+        (fun (a, b) (c, d) -> (a + c, b + d))
+        (0, 0)
+        (S.tabulate n contrib)
+    in
+    (lines, words, n)
+end
+
+module Array_version = Make (Bds_seqs.Impl_array)
+module Rad_version = Make (Bds_seqs.Impl_rad)
+module Delay_version = Make (Bds_seqs.Impl_delay)
+
+let reference (text : Bytes.t) : int * int * int =
+  let n = Bytes.length text in
+  let lines = ref 0 and words = ref 0 and in_word = ref false in
+  for i = 0 to n - 1 do
+    let c = Bytes.get text i in
+    if c = '\n' then incr lines;
+    let w = not (is_space c) in
+    if w && not !in_word then incr words;
+    in_word := w
+  done;
+  (!lines, !words, n)
+
+let generate ?(seed = 42) n = Bds_data.Gen.text ~seed n

@@ -1,0 +1,16 @@
+(** wc: count lines, words and bytes (cf. Unix wc) in one fused
+    map+reduce over per-character contributions. *)
+
+val is_space : char -> bool
+
+module Make (S : Bds_seqs.Sig.S) : sig
+  (** (lines, words, bytes). *)
+  val wc : Bytes.t -> int * int * int
+end
+
+module Array_version : sig val wc : Bytes.t -> int * int * int end
+module Rad_version : sig val wc : Bytes.t -> int * int * int end
+module Delay_version : sig val wc : Bytes.t -> int * int * int end
+
+val reference : Bytes.t -> int * int * int
+val generate : ?seed:int -> int -> Bytes.t

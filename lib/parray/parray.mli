@@ -1,0 +1,50 @@
+(** Eager parallel arrays — the paper's baseline library {b A} (no fusion)
+    and the internal array substrate of Figure 7.
+
+    Every operation materialises its result array.  [reduce], [scan],
+    [filter] and [flatten] use the standard block-based parallel
+    implementations of §2.2 (blocks proportional to the worker count). *)
+
+val length : 'a array -> int
+
+(** [tabulate n f] evaluates [f i] for each index, in parallel.  [f 0] is
+    evaluated exactly once (it doubles as the allocation witness). *)
+val tabulate : int -> (int -> 'a) -> 'a array
+
+(** [iota n] = [[|0; 1; ...; n-1|]]. *)
+val iota : int -> int array
+
+val map : ('a -> 'b) -> 'a array -> 'b array
+val mapi : (int -> 'a -> 'b) -> 'a array -> 'b array
+val map2 : ('a -> 'b -> 'c) -> 'a array -> 'b array -> 'c array
+val zip : 'a array -> 'b array -> ('a * 'b) array
+
+(** [reduce f z a]: [f] must be associative with unit [z]. *)
+val reduce : ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a
+
+(** Three-phase block-based exclusive scan (Figure 2): returns the array of
+    prefix combinations (element [i] combines [z] with inputs [0..i-1]) and
+    the total. *)
+val scan : ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a array * 'a
+
+(** Inclusive scan: element [i] combines [z] with inputs [0..i]. *)
+val scan_incl : ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a array
+
+(** Sequential exclusive scan (used on small per-block arrays). *)
+val scan_seq : ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a array * 'a
+
+(** Two-phase block-based filter (§2.2). *)
+val filter : ('a -> bool) -> 'a array -> 'a array
+
+(** filterOp / mapPartial: keep the [Some] images, preserving order. *)
+val filter_op : ('a -> 'b option) -> 'a array -> 'b array
+
+(** Eager flatten: offsets by scan over lengths, then parallel copy. *)
+val flatten : 'a array array -> 'a array
+
+val rev : 'a array -> 'a array
+val append : 'a array -> 'a array -> 'a array
+val equal : ('a -> 'a -> bool) -> 'a array -> 'a array -> bool
+
+(** Number of blocks this library would use for an input of size [n]. *)
+val num_blocks : int -> int

@@ -1,0 +1,51 @@
+(** Random-access delayed (RAD) sequences — the paper's baseline {b R}.
+
+    Index fusion only (as in Repa): {!tabulate}, {!map}, {!zip}, {!slice}
+    are O(1) and delayed; {!scan}, {!filter} and {!flatten} fuse with their
+    inputs but must materialise eager output arrays (they cannot produce a
+    random-access view).  Compare with {!Bds.Seq}, which delays those
+    outputs as BIDs. *)
+
+type 'a t
+
+val length : 'a t -> int
+
+(** Random access (bounds-checked). *)
+val get : 'a t -> int -> 'a
+
+val empty : 'a t
+val tabulate : int -> (int -> 'a) -> 'a t
+val of_array : 'a array -> 'a t
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+
+(** Evaluate all elements into a fresh array and return it as a RAD. *)
+val force : 'a t -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val mapi : (int -> 'a -> 'b) -> 'a t -> 'b t
+val zip : 'a t -> 'b t -> ('a * 'b) t
+val zip_with : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val slice : 'a t -> int -> int -> 'a t
+val take : 'a t -> int -> 'a t
+val drop : 'a t -> int -> 'a t
+val rev : 'a t -> 'a t
+val append : 'a t -> 'a t -> 'a t
+val iota : int -> int t
+
+(** Fused parallel reduce ([f] associative with unit [z]). *)
+val reduce : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a
+
+(** Parallel iteration over all elements (unordered across blocks). *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+(** Exclusive scan; input fused, output eager. Returns (prefixes, total). *)
+val scan : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a t * 'a
+
+val scan_incl : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a t
+val filter : ('a -> bool) -> 'a t -> 'a t
+val filter_op : ('a -> 'b option) -> 'a t -> 'b t
+val flatten : 'a t t -> 'a t
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool

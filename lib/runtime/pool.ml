@@ -1,0 +1,362 @@
+(* Fork-join task pool over OCaml 5 domains.
+
+   Architecture (mirrors the schedulers underlying the paper's MPL and
+   ParlayLib substrates):
+   - one Chase-Lev deque per worker; the domain that calls [run] occupies
+     worker slot 0, and [num_additional_domains] spawned domains occupy
+     slots 1..n;
+   - [async] pushes a task on the current worker's deque (or a mutex-
+     protected overflow queue when called from outside the pool);
+   - idle workers steal from victims in round-robin order, then block on a
+     condition variable after a bounded spin;
+   - [await] suspends the current fiber with an effect when the promise is
+     unresolved; the continuation is re-scheduled by whoever fulfills the
+     promise.  Work-first [par] means suspension is rare: the local pop
+     usually retrieves the task we just pushed. *)
+
+type 'a state =
+  | Pending of (unit -> unit) list
+  | Returned of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'a promise = 'a state Atomic.t
+
+type task = unit -> unit
+
+type t = {
+  deques : task Ws_deque.t array;
+  overflow : task Queue.t;
+  overflow_mutex : Mutex.t;
+  idle_mutex : Mutex.t;
+  idle_cond : Condition.t;
+  idlers : int Atomic.t;
+  shutdown : bool Atomic.t;
+  mutable domains : unit Domain.t array;
+  runner_mutex : Mutex.t;
+  steals : int Atomic.t; (* statistics: successful steals *)
+  executed : int Atomic.t; (* statistics: tasks executed *)
+}
+
+type _ Effect.t += Suspend : ((unit -> unit) -> bool) -> unit Effect.t
+
+exception Shutdown
+
+let log_src = Logs.Src.create "bds.runtime" ~doc:"Block-delayed sequences task pool"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Worker context: which pool and which deque slot the current domain is
+   operating, if any. *)
+type context = { ctx_pool : t; ctx_id : int }
+
+let context_key : context option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_context () = !(Domain.DLS.get context_key)
+
+let set_context c = Domain.DLS.get context_key := c
+
+let size pool = Array.length pool.deques
+
+(* ------------------------------------------------------------------ *)
+(* Waking and sleeping                                                 *)
+
+let wake_idlers pool =
+  if Atomic.get pool.idlers > 0 then begin
+    Mutex.lock pool.idle_mutex;
+    Condition.broadcast pool.idle_cond;
+    Mutex.unlock pool.idle_mutex
+  end
+
+let has_visible_work pool =
+  let rec scan i =
+    if i >= Array.length pool.deques then false
+    else if not (Ws_deque.is_empty pool.deques.(i)) then true
+    else scan (i + 1)
+  in
+  (not (Queue.is_empty pool.overflow)) || scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Task acquisition                                                    *)
+
+let pop_overflow pool =
+  if Queue.is_empty pool.overflow then None
+  else begin
+    Mutex.lock pool.overflow_mutex;
+    let v = if Queue.is_empty pool.overflow then None else Some (Queue.pop pool.overflow) in
+    Mutex.unlock pool.overflow_mutex;
+    v
+  end
+
+let try_steal pool me =
+  let n = Array.length pool.deques in
+  let rec loop k =
+    if k >= n then None
+    else begin
+      let victim = (me + k) mod n in
+      if victim = me then loop (k + 1)
+      else
+        match Ws_deque.steal pool.deques.(victim) with
+        | Some _ as r ->
+          Atomic.incr pool.steals;
+          r
+        | None -> loop (k + 1)
+    end
+  in
+  loop 1
+
+let get_task pool me =
+  match Ws_deque.pop pool.deques.(me) with
+  | Some _ as r -> r
+  | None -> (
+      match pop_overflow pool with
+      | Some _ as r -> r
+      | None -> try_steal pool me)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+
+let push_task pool task =
+  (match current_context () with
+  | Some { ctx_pool; ctx_id } when ctx_pool == pool ->
+    Ws_deque.push pool.deques.(ctx_id) task
+  | _ ->
+    Mutex.lock pool.overflow_mutex;
+    Queue.push task pool.overflow;
+    Mutex.unlock pool.overflow_mutex);
+  wake_idlers pool
+
+(* Run one task under the suspend handler.  The handler closes over the
+   pool so that resumed continuations are rescheduled on it. *)
+let execute pool (task : task) =
+  Atomic.incr pool.executed;
+  Effect.Deep.try_with task ()
+    {
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let resume () =
+                  push_task pool (fun () -> Effect.Deep.continue k ())
+                in
+                if not (register resume) then Effect.Deep.continue k ())
+          | _ -> None);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Promises                                                            *)
+
+let promise () : 'a promise = Atomic.make (Pending [])
+
+let rec fulfill (p : 'a promise) (result : 'a state) =
+  match Atomic.get p with
+  | Pending waiters as old ->
+    if Atomic.compare_and_set p old result then List.iter (fun w -> w ()) waiters
+    else fulfill p result
+  | Returned _ | Raised _ -> invalid_arg "Pool: promise fulfilled twice"
+
+(* Returns false if the promise was already resolved (caller must not
+   suspend). *)
+let rec add_waiter (p : 'a promise) (w : unit -> unit) =
+  match Atomic.get p with
+  | Pending waiters as old ->
+    if Atomic.compare_and_set p old (Pending (w :: waiters)) then true
+    else add_waiter p w
+  | Returned _ | Raised _ -> false
+
+let promise_result (p : 'a promise) : 'a =
+  match Atomic.get p with
+  | Returned v -> v
+  | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Worker loop                                                         *)
+
+let spin_rounds = 64
+
+let rec worker_loop pool me =
+  if Atomic.get pool.shutdown then ()
+  else begin
+    (match get_task pool me with
+    | Some task -> execute pool task
+    | None -> idle pool me);
+    worker_loop pool me
+  end
+
+and idle pool me =
+  (* Bounded spin before sleeping. *)
+  let rec spin k =
+    if k = 0 then false
+    else
+      match get_task pool me with
+      | Some task ->
+        execute pool task;
+        true
+      | None ->
+        Domain.cpu_relax ();
+        spin (k - 1)
+  in
+  if not (spin spin_rounds) then begin
+    Atomic.incr pool.idlers;
+    Mutex.lock pool.idle_mutex;
+    (* Re-check under the lock: wakers broadcast while holding it. *)
+    if (not (has_visible_work pool)) && not (Atomic.get pool.shutdown) then
+      Condition.wait pool.idle_cond pool.idle_mutex;
+    Mutex.unlock pool.idle_mutex;
+    Atomic.decr pool.idlers
+  end
+
+let worker_main pool me () =
+  set_context (Some { ctx_pool = pool; ctx_id = me });
+  worker_loop pool me;
+  set_context None
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+
+let create ?(num_additional_domains = 0) () =
+  if num_additional_domains < 0 then
+    invalid_arg "Pool.create: negative domain count";
+  let n = num_additional_domains + 1 in
+  let pool =
+    {
+      deques = Array.init n (fun _ -> Ws_deque.create ());
+      overflow = Queue.create ();
+      overflow_mutex = Mutex.create ();
+      idle_mutex = Mutex.create ();
+      idle_cond = Condition.create ();
+      idlers = Atomic.make 0;
+      shutdown = Atomic.make false;
+      domains = [||];
+      runner_mutex = Mutex.create ();
+      steals = Atomic.make 0;
+      executed = Atomic.make 0;
+    }
+  in
+  pool.domains <-
+    Array.init num_additional_domains (fun i ->
+        Domain.spawn (worker_main pool (i + 1)));
+  Log.debug (fun m ->
+      m "pool created: %d worker slots (%d spawned domains)" n
+        num_additional_domains);
+  pool
+
+let teardown pool =
+  if not (Atomic.get pool.shutdown) then begin
+    Atomic.set pool.shutdown true;
+    Mutex.lock pool.idle_mutex;
+    Condition.broadcast pool.idle_cond;
+    Mutex.unlock pool.idle_mutex;
+    Array.iter Domain.join pool.domains;
+    pool.domains <- [||];
+    Log.debug (fun m ->
+        m "pool torn down: %d tasks executed, %d steals"
+          (Atomic.get pool.executed) (Atomic.get pool.steals))
+  end
+
+let in_context pool =
+  match current_context () with
+  | Some { ctx_pool; _ } -> ctx_pool == pool
+  | None -> false
+
+(* True when the calling worker's own deque has no pending tasks (racy
+   snapshot). Used by lazy binary splitting: split only when thieves
+   could actually take the other half. Returns true for non-members. *)
+let local_deque_empty pool =
+  match current_context () with
+  | Some { ctx_pool; ctx_id } when ctx_pool == pool ->
+    Ws_deque.is_empty pool.deques.(ctx_id)
+  | _ -> true
+
+let async pool f =
+  let p = promise () in
+  let task () =
+    match f () with
+    | v -> fulfill p (Returned v)
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      fulfill p (Raised (e, bt))
+  in
+  push_task pool task;
+  p
+
+(* For non-members: take work without touching any deque's owner end. *)
+let steal_or_overflow pool =
+  match pop_overflow pool with
+  | Some _ as r -> r
+  | None ->
+    let n = Array.length pool.deques in
+    let rec loop i =
+      if i >= n then None
+      else
+        match Ws_deque.steal pool.deques.(i) with
+        | Some _ as r ->
+          Atomic.incr pool.steals;
+          r
+        | None -> loop (i + 1)
+    in
+    loop 0
+
+let await pool p =
+  (match Atomic.get p with
+  | Pending _ ->
+    if in_context pool then
+      Effect.perform (Suspend (fun resume -> add_waiter p resume))
+    else
+      (* Called from outside the pool (no handler installed): help by
+         draining the overflow queue and stealing, so progress is
+         guaranteed even on a pool with no spawned workers and no active
+         [run]. *)
+      while
+        match Atomic.get p with
+        | Pending _ ->
+          (match steal_or_overflow pool with
+          | Some task -> execute pool task
+          | None -> Domain.cpu_relax ());
+          true
+        | _ -> false
+      do
+        ()
+      done
+  | Returned _ | Raised _ -> ());
+  promise_result p
+
+let run pool f =
+  if Atomic.get pool.shutdown then raise Shutdown;
+  if in_context pool then
+    (* Already inside the pool: just run inline under the existing
+       handler. *)
+    f ()
+  else begin
+    Mutex.lock pool.runner_mutex;
+    let saved = current_context () in
+    set_context (Some { ctx_pool = pool; ctx_id = 0 });
+    let p = promise () in
+    let task () =
+      match f () with
+      | v -> fulfill p (Returned v)
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        fulfill p (Raised (e, bt))
+    in
+    execute pool task;
+    (* Participate as worker 0 until the root promise resolves. *)
+    let rec help () =
+      match Atomic.get p with
+      | Pending _ ->
+        (match get_task pool 0 with
+        | Some task -> execute pool task
+        | None -> Domain.cpu_relax ());
+        help ()
+      | Returned _ | Raised _ -> ()
+    in
+    help ();
+    set_context saved;
+    Mutex.unlock pool.runner_mutex;
+    promise_result p
+  end
+
+let stats pool = (Atomic.get pool.executed, Atomic.get pool.steals)

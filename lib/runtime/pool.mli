@@ -1,0 +1,48 @@
+(** Fork-join task pool over OCaml 5 domains, with Chase-Lev work stealing
+    and effects-based suspension.
+
+    This is the parallel runtime substrate for the block-delayed sequence
+    library — the role played by the MPL scheduler / ParlayLib in the
+    paper's implementations. *)
+
+type t
+
+(** A handle to an asynchronous computation producing ['a]. *)
+type 'a promise
+
+exception Shutdown
+
+(** [create ~num_additional_domains ()] spawns that many worker domains.
+    The domain that later calls {!run} participates as an extra worker, so
+    total parallelism is [num_additional_domains + 1]. *)
+val create : ?num_additional_domains:int -> unit -> t
+
+(** Total number of workers, including the runner slot. *)
+val size : t -> int
+
+(** Stop and join all worker domains. Idempotent. *)
+val teardown : t -> unit
+
+(** [async pool f] schedules [f] and immediately returns its promise. May
+    be called from inside or outside pool tasks. *)
+val async : t -> (unit -> 'a) -> 'a promise
+
+(** [await pool p] returns the result of [p], re-raising any exception with
+    its original backtrace. Inside the pool this suspends the fiber without
+    blocking the worker; outside it spins. *)
+val await : t -> 'a promise -> 'a
+
+(** [run pool f] executes [f] with the calling domain acting as worker 0
+    and returns its result. Only one concurrent [run] per pool; calls from
+    within pool tasks execute [f] inline. *)
+val run : t -> (unit -> 'a) -> 'a
+
+(** [(executed, steals)] counters, for observability and tests. *)
+val stats : t -> int * int
+
+(** True when the calling domain is currently a worker of [pool]. *)
+val in_context : t -> bool
+
+(** True when the calling worker's own deque is empty (racy snapshot;
+    true for non-members). Basis for lazy binary splitting. *)
+val local_deque_empty : t -> bool

@@ -1,0 +1,143 @@
+(* High-level parallel primitives over Pool, plus a process-global default
+   pool.  [apply] is the paper's sole parallel primitive (Figure 7):
+   divide-and-conquer over the iteration space. *)
+
+let default_grain = 1
+
+let global : Pool.t option Atomic.t = Atomic.make None
+
+let requested_domains () =
+  match Sys.getenv_opt "BDS_NUM_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let rec get_pool () =
+  match Atomic.get global with
+  | Some p -> p
+  | None ->
+    let p = Pool.create ~num_additional_domains:(requested_domains () - 1) () in
+    if Atomic.compare_and_set global None (Some p) then p
+    else begin
+      Pool.teardown p;
+      get_pool ()
+    end
+
+let set_num_domains n =
+  if n < 1 then invalid_arg "Runtime.set_num_domains";
+  (match Atomic.get global with
+  | Some p -> Pool.teardown p
+  | None -> ());
+  Atomic.set global (Some (Pool.create ~num_additional_domains:(n - 1) ()))
+
+let shutdown () =
+  match Atomic.exchange global None with
+  | Some p -> Pool.teardown p
+  | None -> ()
+
+let num_workers () = Pool.size (get_pool ())
+
+(* [run f] enters the pool if we are not already inside it. *)
+let run f = Pool.run (get_pool ()) f
+
+let par f g =
+  let pool = get_pool () in
+  Pool.run pool (fun () ->
+      let pg = Pool.async pool g in
+      let a = f () in
+      let b = Pool.await pool pg in
+      (a, b))
+
+(* Sequential base case threshold: split until [size / (8 * workers)] or
+   [grain], whichever is larger. *)
+let auto_grain n =
+  let w = num_workers () in
+  max default_grain (n / (8 * w * 4))
+
+let parallel_for ?grain lo hi (body : int -> unit) =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else begin
+    let pool = get_pool () in
+    let grain = match grain with Some g -> max 1 g | None -> max 1 (auto_grain n) in
+    let rec go lo hi =
+      if hi - lo <= grain then
+        for i = lo to hi - 1 do
+          body i
+        done
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        let p = Pool.async pool (fun () -> go mid hi) in
+        go lo mid;
+        Pool.await pool p
+      end
+    in
+    Pool.run pool (fun () -> go lo hi)
+  end
+
+(* The paper's [apply : int -> (int -> unit) -> unit]. *)
+let apply n f = parallel_for 0 n f
+
+(* Lazy binary splitting (Tzannes, Caragea, Barua & Vishkin, PPoPP 2010):
+   instead of eagerly splitting to a fixed grain, process a small chunk
+   at a time and split off the remainder only when the local deque is
+   empty — i.e. only when a thief could actually take it.  Adapts
+   automatically to imbalanced iteration costs (see the harness's grain
+   ablation). *)
+let parallel_for_lazy ?(chunk = 64) lo hi (body : int -> unit) =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else begin
+    let chunk = max 1 chunk in
+    let pool = get_pool () in
+    let rec go lo hi =
+      if hi - lo <= chunk then
+        for i = lo to hi - 1 do
+          body i
+        done
+      else if Pool.local_deque_empty pool then begin
+        let mid = lo + ((hi - lo) / 2) in
+        let p = Pool.async pool (fun () -> go mid hi) in
+        go lo mid;
+        Pool.await pool p
+      end
+      else begin
+        let stop = min hi (lo + chunk) in
+        for i = lo to stop - 1 do
+          body i
+        done;
+        go stop hi
+      end
+    in
+    Pool.run pool (fun () -> go lo hi)
+  end
+
+let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let pool = get_pool () in
+    let grain = match grain with Some g -> max 1 g | None -> max 1 (auto_grain n) in
+    (* [go lo hi] folds the non-empty range seeded from its first element,
+       so [init] is combined exactly once at the top: correct for any
+       associative [combine], with no identity requirement on [init]. *)
+    let rec go lo hi =
+      if hi - lo <= grain then begin
+        let acc = ref (body lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := combine !acc (body i)
+        done;
+        !acc
+      end
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        let p = Pool.async pool (fun () -> go mid hi) in
+        let a = go lo mid in
+        let b = Pool.await pool p in
+        combine a b
+      end
+    in
+    Pool.run pool (fun () -> combine init (go lo hi))
+  end

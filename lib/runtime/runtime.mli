@@ -1,0 +1,45 @@
+(** High-level parallel primitives and the process-global worker pool.
+
+    [apply] is the paper's single parallel primitive (Figure 7): everything
+    else in the block-delayed sequence library is built on it. *)
+
+(** The global pool, created on first use with
+    [BDS_NUM_DOMAINS] (or [Domain.recommended_domain_count ()]) workers. *)
+val get_pool : unit -> Pool.t
+
+(** Replace the global pool with one of [n] total workers (tears down the
+    previous pool). Used by the benchmark harness to sweep processor
+    counts. *)
+val set_num_domains : int -> unit
+
+(** Tear down the global pool (it is re-created lazily on next use). *)
+val shutdown : unit -> unit
+
+(** Total workers in the global pool. *)
+val num_workers : unit -> int
+
+(** [run f] executes [f] inside the global pool (inline if already inside). *)
+val run : (unit -> 'a) -> 'a
+
+(** Binary fork-join: evaluate both closures, potentially in parallel. *)
+val par : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+
+(** [parallel_for ?grain lo hi body] runs [body i] for [lo <= i < hi] by
+    parallel divide-and-conquer; chunks of at most [grain] iterations run
+    sequentially. *)
+val parallel_for : ?grain:int -> int -> int -> (int -> unit) -> unit
+
+(** The paper's [apply n f]: run [f i] in parallel for [0 <= i < n]. *)
+val apply : int -> (int -> unit) -> unit
+
+(** Lazy-binary-splitting parallel for: processes [chunk] iterations at a
+    time (default 64) and splits off the remaining range only when the
+    local deque is empty. Adapts to imbalanced per-iteration costs
+    without tuning a grain. *)
+val parallel_for_lazy : ?chunk:int -> int -> int -> (int -> unit) -> unit
+
+(** Parallel for with a sequential accumulator per chunk and an associative
+    [combine] across chunks. [init] is combined exactly once (on the left
+    of the whole fold), so it need not be an identity of [combine]. *)
+val parallel_for_reduce :
+  ?grain:int -> int -> int -> combine:('a -> 'a -> 'a) -> init:'a -> (int -> 'a) -> 'a

@@ -1,0 +1,28 @@
+(** Chase-Lev work-stealing deque.
+
+    Single-owner discipline: {!push} and {!pop} must only be called by the
+    owning worker domain; {!steal} may be called concurrently by any number
+    of other domains. *)
+
+type 'a t
+
+(** [create ?capacity ()] makes an empty deque. [capacity] must be a
+    positive power of two (default 256); the buffer grows on demand. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Owner-only: push a value on the bottom (LIFO end). *)
+val push : 'a t -> 'a -> unit
+
+(** Owner-only: pop from the bottom. [None] if empty (or lost the race for
+    the last element). *)
+val pop : 'a t -> 'a option
+
+(** Thief: take from the top (FIFO end). [None] if empty or the CAS was
+    lost to a concurrent thief/owner. *)
+val steal : 'a t -> 'a option
+
+(** Approximate number of elements (racy snapshot). *)
+val size : 'a t -> int
+
+(** Racy emptiness snapshot. *)
+val is_empty : 'a t -> bool

@@ -1,0 +1,6 @@
+(* Static conformance of the three implementations to the shared
+   signature. *)
+
+module _ : Sig.S = Impl_array
+module _ : Sig.S = Impl_rad
+module _ : Sig.S = Impl_delay

@@ -1,0 +1,35 @@
+(* Library "A": eager parallel arrays, no fusion.  Every operation
+   materialises its result. *)
+
+module Parray = Bds_parray.Parray
+
+type 'a t = 'a array
+
+let name = "array"
+let length = Array.length
+let get a i = a.(i)
+let empty = [||]
+let tabulate = Parray.tabulate
+let iota = Parray.iota
+(* Arrays are the representation: conversions are identities (benchmarks
+   must not mutate through them). *)
+let of_array a = a
+let to_array a = a
+let force a = a
+let map = Parray.map
+let mapi = Parray.mapi
+let zip_with = Parray.map2
+let reduce = Parray.reduce
+let scan = Parray.scan
+let scan_incl = Parray.scan_incl
+let filter = Parray.filter
+let filter_op = Parray.filter_op
+let flatten = Parray.flatten
+
+let iter f a =
+  Bds_runtime.Runtime.parallel_for 0 (Array.length a) (fun i ->
+      f (Array.unsafe_get a i))
+
+let iteri f a =
+  Bds_runtime.Runtime.parallel_for 0 (Array.length a) (fun i ->
+      f i (Array.unsafe_get a i))

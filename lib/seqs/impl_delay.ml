@@ -1,0 +1,5 @@
+(* Library "Ours": full block-delayed sequences (RAD + BID fusion). *)
+
+include Bds.Seq
+
+let name = "delay"

@@ -1,0 +1,6 @@
+(* Library "R": RAD-only fusion (index fusion for tabulate/map/zip/reduce;
+   scan/filter/flatten materialise). *)
+
+include Bds_rad.Rad
+
+let name = "rad"

@@ -1,0 +1,37 @@
+(* The common sequence interface (the paper's Figure 1, plus conversions).
+
+   Benchmarks are written once as functors over this signature and
+   instantiated with the three library implementations of Figure 12:
+   array (A, no fusion), rad (R, RAD-only fusion) and delay (Ours,
+   RAD + BID fusion) — exactly how the paper's artifact builds each
+   benchmark in three versions. *)
+
+module type S = sig
+  type 'a t
+
+  (** "array", "rad" or "delay" — used in benchmark reports. *)
+  val name : string
+
+  val length : 'a t -> int
+  val get : 'a t -> int -> 'a
+  val empty : 'a t
+  val tabulate : int -> (int -> 'a) -> 'a t
+  val iota : int -> int t
+  val of_array : 'a array -> 'a t
+  val to_array : 'a t -> 'a array
+
+  (** Materialise any delayed work (identity for the eager array library). *)
+  val force : 'a t -> 'a t
+
+  val map : ('a -> 'b) -> 'a t -> 'b t
+  val mapi : (int -> 'a -> 'b) -> 'a t -> 'b t
+  val zip_with : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+  val reduce : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a
+  val scan : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a t * 'a
+  val scan_incl : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a t
+  val filter : ('a -> bool) -> 'a t -> 'a t
+  val filter_op : ('a -> 'b option) -> 'a t -> 'b t
+  val flatten : 'a t t -> 'a t
+  val iter : ('a -> unit) -> 'a t -> unit
+  val iteri : (int -> 'a -> unit) -> 'a t -> unit
+end

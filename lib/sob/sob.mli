@@ -1,0 +1,44 @@
+(** Stream-of-blocks sequences — the {e prior} fusion technique of §2.1,
+    implemented for the §6.5 comparison (Figure 16).
+
+    A sequence is a stream of eager fixed-size blocks: requesting the next
+    "element" materialises a whole block.  Parallelism is exploited only
+    {e within} a block; blocks are visited sequentially, so every block
+    boundary is a synchronisation point.  Block-delayed sequences
+    ({!Bds.Seq}) are the "inside-out" counterpart (blocks of streams) and
+    avoid that synchronisation. *)
+
+type 'a t
+
+(** [None] after a {!filter} (the surviving count is unknown until the
+    stream is driven). *)
+val length : 'a t -> int option
+
+val num_blocks : 'a t -> int
+
+(** [tabulate ~block_size n f]: blocks are built on demand by a parallel
+    tabulate. Raises on non-positive [block_size]. *)
+val tabulate : block_size:int -> int -> (int -> 'a) -> 'a t
+
+val of_array : block_size:int -> 'a array -> 'a t
+
+(** Parallel map within each block; O(1) now. *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** Indexed map (absolute indices); O(1) now. *)
+val mapi : (int -> 'a -> 'b) -> 'a t -> 'b t
+
+(** Exclusive scan: parallel scan within each block, carry threaded
+    sequentially across blocks. [z] is combined exactly once. *)
+val scan : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a t
+
+(** Parallel filter within each block (blocks become variable-length).
+    flatten, by contrast, is impossible for stream-of-blocks (§2.1). *)
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+(** Drives the whole stream: parallel reduce within blocks, sequential
+    accumulation across them. *)
+val reduce : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a
+
+(** Drives the whole stream into one array. *)
+val to_array : 'a t -> 'a array

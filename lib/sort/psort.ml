@@ -1,0 +1,155 @@
+(* Parallel stable merge sort with parallel merging.
+
+   The recursion alternates between the input array and a scratch buffer
+   (ping-pong) so each level copies once.  Merging splits on the median of
+   the larger run and binary-searches its counterpart in the smaller run;
+   tie-breaking in the binary searches keeps the sort stable (equal
+   elements from the left run always precede those from the right run).
+
+   This is the ParlayLib-style sorting substrate used by the extension
+   applications (inverted index); the paper's own kernels do not sort. *)
+
+module Runtime = Bds_runtime.Runtime
+
+let default_grain = 4096
+let merge_grain = 4096
+
+(* First index in [lo, hi) of [a] whose element is >= pivot (lower bound)
+   or > pivot (upper bound), under [cmp]. *)
+let search ~upper cmp a lo hi pivot =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let c = cmp a.(mid) pivot in
+      if c < 0 || (upper && c = 0) then go (mid + 1) hi else go lo mid
+    end
+  in
+  go lo hi
+
+let seq_merge cmp src alo ahi blo bhi dst dlo =
+  let i = ref alo and j = ref blo and k = ref dlo in
+  while !i < ahi && !j < bhi do
+    (* Stability: ties taken from the left run. *)
+    if cmp src.(!i) src.(!j) <= 0 then begin
+      dst.(!k) <- src.(!i);
+      incr i
+    end
+    else begin
+      dst.(!k) <- src.(!j);
+      incr j
+    end;
+    incr k
+  done;
+  if !i < ahi then Array.blit src !i dst !k (ahi - !i)
+  else Array.blit src !j dst !k (bhi - !j)
+
+(* Merge the sorted runs src[alo,ahi) and src[blo,bhi) into dst at dlo,
+   in parallel by divide-and-conquer on the larger run. *)
+let rec par_merge cmp src alo ahi blo bhi dst dlo =
+  let la = ahi - alo and lb = bhi - blo in
+  if la + lb <= merge_grain then seq_merge cmp src alo ahi blo bhi dst dlo
+  else if la >= lb then begin
+    let amid = (alo + ahi) / 2 in
+    let pivot = src.(amid) in
+    (* Right-run ties of the pivot go right, after the pivot. *)
+    let bmid = search ~upper:false cmp src blo bhi pivot in
+    let dmid = dlo + (amid - alo) + (bmid - blo) in
+    let (), () =
+      Runtime.par
+        (fun () -> par_merge cmp src alo amid blo bmid dst dlo)
+        (fun () -> par_merge cmp src amid ahi bmid bhi dst dmid)
+    in
+    ()
+  end
+  else begin
+    let bmid = (blo + bhi) / 2 in
+    let pivot = src.(bmid) in
+    (* Left-run ties of the pivot go left, before the pivot. *)
+    let amid = search ~upper:true cmp src alo ahi pivot in
+    let dmid = dlo + (amid - alo) + (bmid - blo) in
+    let (), () =
+      Runtime.par
+        (fun () -> par_merge cmp src alo amid blo bmid dst dlo)
+        (fun () -> par_merge cmp src amid ahi bmid bhi dst dmid)
+    in
+    ()
+  end
+
+(* Sort src[lo, hi); the sorted run ends up in dst[lo, hi) when [into_dst],
+   else back in src[lo, hi). *)
+let rec sort_range cmp grain src dst lo hi into_dst =
+  let n = hi - lo in
+  if n <= grain then begin
+    let tmp = Array.sub src lo n in
+    Array.stable_sort cmp tmp;
+    Array.blit tmp 0 (if into_dst then dst else src) lo n
+  end
+  else begin
+    let mid = (lo + hi) / 2 in
+    let (), () =
+      Runtime.par
+        (fun () -> sort_range cmp grain src dst lo mid (not into_dst))
+        (fun () -> sort_range cmp grain src dst mid hi (not into_dst))
+    in
+    (* Halves are sorted in the *other* buffer; merge them into ours. *)
+    let from, into = if into_dst then (src, dst) else (dst, src) in
+    par_merge cmp from lo mid mid hi into lo
+  end
+
+let sort_in_place ?(grain = default_grain) cmp a =
+  let n = Array.length a in
+  if n > 1 then begin
+    let scratch = Array.copy a in
+    Runtime.run (fun () -> sort_range cmp (max 16 grain) a scratch 0 n false)
+  end
+
+let sort ?grain cmp a =
+  let out = Array.copy a in
+  sort_in_place ?grain cmp out;
+  out
+
+(* Merge two independently sorted arrays. *)
+let merge cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then Array.copy b
+  else if lb = 0 then Array.copy a
+  else begin
+    let src = Array.append a b in
+    let dst = Array.make (la + lb) a.(0) in
+    Runtime.run (fun () -> par_merge cmp src 0 la la (la + lb) dst 0);
+    dst
+  end
+
+let is_sorted cmp a =
+  let n = Array.length a in
+  let rec go i = i >= n || (cmp a.(i - 1) a.(i) <= 0 && go (i + 1)) in
+  go 1
+
+(* Group (key, value) pairs by key: stable sort on keys, then cut at run
+   boundaries.  Values within a group keep their input order (stability).
+   This is ParlayLib's collect/group_by shape, used e.g. to build
+   inverted indices. *)
+let group_by (cmp : 'k -> 'k -> int) (pairs : ('k * 'v) array) :
+    ('k * 'v array) array =
+  let n = Array.length pairs in
+  if n = 0 then [||]
+  else begin
+    let sorted = sort (fun (k1, _) (k2, _) -> cmp k1 k2) pairs in
+    let key i = fst sorted.(i) in
+    (* Group start indices. *)
+    let starts =
+      let buf = ref [] in
+      for i = n - 1 downto 0 do
+        if i = 0 || cmp (key (i - 1)) (key i) <> 0 then buf := i :: !buf
+      done;
+      Array.of_list !buf
+    in
+    let m = Array.length starts in
+    let out = Array.make m (key 0, [||]) in
+    Runtime.parallel_for 0 m (fun g ->
+        let lo = starts.(g) in
+        let hi = if g + 1 < m then starts.(g + 1) else n in
+        out.(g) <- (key lo, Array.init (hi - lo) (fun k -> snd sorted.(lo + k))));
+    out
+  end

@@ -1,0 +1,23 @@
+(** Parallel stable merge sort with parallel merging (ParlayLib-style
+    sorting substrate).
+
+    Work O(n log n); span O(log^3 n) via divide-and-conquer merges that
+    split the larger run at its median and binary-search the smaller. *)
+
+(** [sort cmp a] returns a new, stably sorted array. [grain] is the
+    sequential base-case size (default 4096). *)
+val sort : ?grain:int -> ('a -> 'a -> int) -> 'a array -> 'a array
+
+(** In-place variant (uses an internal scratch buffer of equal size). *)
+val sort_in_place : ?grain:int -> ('a -> 'a -> int) -> 'a array -> unit
+
+(** [merge cmp a b] merges two sorted arrays (stable: ties from [a]
+    first). *)
+val merge : ('a -> 'a -> int) -> 'a array -> 'a array -> 'a array
+
+val is_sorted : ('a -> 'a -> int) -> 'a array -> bool
+
+(** [group_by cmp pairs] groups (key, value) pairs by key (keys in
+    ascending [cmp] order; values of each group in input order —
+    ParlayLib's collect shape). *)
+val group_by : ('k -> 'k -> int) -> ('k * 'v) array -> ('k * 'v array) array

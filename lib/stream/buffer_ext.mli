@@ -1,0 +1,13 @@
+(** Growable array buffer with geometric resizing. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+
+(** Fresh array of exactly [length] elements. *)
+val to_array : 'a t -> 'a array
+
+val clear : 'a t -> unit

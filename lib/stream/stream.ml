@@ -1,0 +1,203 @@
+(* Sequential delayed streams — the paper's ML encoding (§4.4):
+   a stream is a function [unit -> unit -> 'a].  Applying the first [unit]
+   allocates the mutable cursor state and returns a stateful "trickle"
+   function; each call to the trickle function produces the next element.
+
+   Constructors ([tabulate], [map], [zip], [scan], ...) cost O(1): they
+   compose closures without touching elements.  Only [reduce], [iter] and
+   [pack_to_array] (and friends) do linear work.  Fusion happens because a
+   pipeline of constructors collapses into one trickle function that is
+   driven once per element by the final consumer. *)
+
+type 'a t = { length : int; start : unit -> unit -> 'a }
+
+let length s = s.length
+
+let start s = s.start ()
+
+let make ~length ~start =
+  if length < 0 then invalid_arg "Stream.make";
+  { length; start }
+
+(* ------------------------------------------------------------------ *)
+(* O(1) constructors                                                   *)
+
+let tabulate n f =
+  {
+    length = n;
+    start =
+      (fun () ->
+        let i = ref 0 in
+        fun () ->
+          let v = f !i in
+          incr i;
+          v);
+  }
+
+let of_array_slice a off len =
+  if off < 0 || len < 0 || off + len > Array.length a then
+    invalid_arg "Stream.of_array_slice";
+  tabulate len (fun i -> Array.unsafe_get a (off + i))
+
+let of_array a = of_array_slice a 0 (Array.length a)
+
+let map g s =
+  {
+    length = s.length;
+    start =
+      (fun () ->
+        let next = s.start () in
+        fun () -> g (next ()));
+  }
+
+let mapi g s =
+  {
+    length = s.length;
+    start =
+      (fun () ->
+        let next = s.start () in
+        let i = ref 0 in
+        fun () ->
+          let v = g !i (next ()) in
+          incr i;
+          v);
+  }
+
+let zip s1 s2 =
+  if s1.length <> s2.length then invalid_arg "Stream.zip: length mismatch";
+  {
+    length = s1.length;
+    start =
+      (fun () ->
+        let n1 = s1.start () in
+        let n2 = s2.start () in
+        fun () ->
+          let a = n1 () in
+          let b = n2 () in
+          (a, b));
+  }
+
+let zip_with f s1 s2 =
+  if s1.length <> s2.length then invalid_arg "Stream.zip_with: length mismatch";
+  {
+    length = s1.length;
+    start =
+      (fun () ->
+        let n1 = s1.start () in
+        let n2 = s2.start () in
+        fun () ->
+          let a = n1 () in
+          let b = n2 () in
+          f a b);
+  }
+
+(* Exclusive running fold: element [i] of the output is
+   [f (... (f z x0) ...) x(i-1)]; the input is consumed one element per
+   output element, so block lengths are preserved. *)
+let scan f z s =
+  {
+    length = s.length;
+    start =
+      (fun () ->
+        let next = s.start () in
+        let acc = ref z in
+        fun () ->
+          let v = !acc in
+          acc := f !acc (next ());
+          v);
+  }
+
+(* Inclusive variant: element [i] is [f (... (f z x0) ...) xi]. *)
+let scan_incl f z s =
+  {
+    length = s.length;
+    start =
+      (fun () ->
+        let next = s.start () in
+        let acc = ref z in
+        fun () ->
+          acc := f !acc (next ());
+          !acc);
+  }
+
+(* [take n s]: the first [min n (length s)] elements; O(1). *)
+let take n s =
+  if n < 0 then invalid_arg "Stream.take";
+  { s with length = min n s.length }
+
+(* ------------------------------------------------------------------ *)
+(* Linear consumers                                                    *)
+
+let reduce f z s =
+  let next = s.start () in
+  let acc = ref z in
+  for _ = 1 to s.length do
+    acc := f !acc (next ())
+  done;
+  !acc
+
+(* Fold of a non-empty stream seeded from its first element; lets parallel
+   callers combine a seed exactly once across blocks. *)
+let reduce1 f s =
+  if s.length = 0 then invalid_arg "Stream.reduce1: empty stream";
+  let next = s.start () in
+  let acc = ref (next ()) in
+  for _ = 2 to s.length do
+    acc := f !acc (next ())
+  done;
+  !acc
+
+let iter f s =
+  let next = s.start () in
+  for _ = 1 to s.length do
+    f (next ())
+  done
+
+let iteri f s =
+  let next = s.start () in
+  for i = 0 to s.length - 1 do
+    f i (next ())
+  done
+
+let pack_to_array p s =
+  let buf = Buffer_ext.create () in
+  let next = s.start () in
+  for _ = 1 to s.length do
+    let v = next () in
+    if p v then Buffer_ext.push buf v
+  done;
+  Buffer_ext.to_array buf
+
+(* filterOp / mapPartial: keep [Some] images. *)
+let pack_op_to_array p s =
+  let buf = Buffer_ext.create () in
+  let next = s.start () in
+  for _ = 1 to s.length do
+    match next () with
+    | v -> ( match p v with Some w -> Buffer_ext.push buf w | None -> ())
+  done;
+  Buffer_ext.to_array buf
+
+let to_array s =
+  if s.length = 0 then [||]
+  else begin
+    let next = s.start () in
+    let first = next () in
+    let a = Array.make s.length first in
+    for i = 1 to s.length - 1 do
+      a.(i) <- next ()
+    done;
+    a
+  end
+
+let to_list s =
+  let next = s.start () in
+  List.init s.length (fun _ -> next ())
+
+let equal eq s1 s2 =
+  s1.length = s2.length
+  &&
+  let n1 = s1.start () in
+  let n2 = s2.start () in
+  let rec go i = i >= s1.length || (eq (n1 ()) (n2 ()) && go (i + 1)) in
+  go 0

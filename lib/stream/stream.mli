@@ -1,0 +1,69 @@
+(** Sequential delayed streams (the paper's Figure 8 interface).
+
+    A stream of length [n] is a delayed computation: constructing one with
+    {!tabulate}, {!map}, {!zip}, {!scan} etc. costs O(1); elements are only
+    produced when a linear consumer ({!reduce}, {!iter},
+    {!pack_to_array}, ...) drives the stream.  Streams are the per-block
+    representation inside BID sequences. *)
+
+type 'a t
+
+val length : 'a t -> int
+
+(** Start iteration: returns the stateful "trickle" function producing
+    successive elements. Calling it more than [length] times is undefined. *)
+val start : 'a t -> unit -> 'a
+
+(** Low-level constructor from a trickle-function factory: [start ()] must
+    return a function that yields the [length] elements in order. *)
+val make : length:int -> start:(unit -> unit -> 'a) -> 'a t
+
+(** {1 O(1) constructors} *)
+
+val tabulate : int -> (int -> 'a) -> 'a t
+val of_array : 'a array -> 'a t
+
+(** [of_array_slice a off len] streams [a.(off) .. a.(off+len-1)]. *)
+val of_array_slice : 'a array -> int -> int -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val mapi : (int -> 'a -> 'b) -> 'a t -> 'b t
+val zip : 'a t -> 'b t -> ('a * 'b) t
+val zip_with : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+
+(** Exclusive running fold: output element [i] combines [z] with inputs
+    [0..i-1]. Same length as the input. *)
+val scan : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a t
+
+(** Inclusive running fold: output element [i] combines [z] with inputs
+    [0..i]. *)
+val scan_incl : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a t
+
+(** [take n s]: the first [min n (length s)] elements; O(1). *)
+val take : int -> 'a t -> 'a t
+
+(** {1 Linear consumers} *)
+
+val reduce : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a
+
+(** Fold of a non-empty stream seeded from its first element.
+    Raises [Invalid_argument] on an empty stream. *)
+val reduce1 : ('a -> 'a -> 'a) -> 'a t -> 'a
+
+(** The paper's [s.applyStream]. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+(** Sequential filter into a fresh array (the paper's [s.packToArray]);
+    allocates only as much as survives (plus geometric slack). *)
+val pack_to_array : ('a -> bool) -> 'a t -> 'a array
+
+(** filterOp / mapPartial: keep the [Some] images. *)
+val pack_op_to_array : ('a -> 'b option) -> 'a t -> 'b array
+
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+
+(** Element-wise equality (drives both streams). *)
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool

@@ -1,0 +1,126 @@
+(* Alternative stream encoding: purely functional state-passing
+   ("unfold" style), the moral counterpart of the paper's remark (§4.4)
+   that the stream representation is an implementation detail that
+   differs between their ML (stateful trickle closures — our [Stream])
+   and C++ (forward iterators) libraries.
+
+   A stream is an existentially-packaged seed plus a step function
+   returning (element, next seed).  Compared with [Stream], every [next]
+   allocates a result pair (and composed steps allocate nested seeds), so
+   this encoding trades allocation for purity — measured head-to-head in
+   the benchmark harness's [ablation] section.  The interface mirrors
+   [Stream] so either can back a block. *)
+
+type 'a t = Pack : { length : int; seed : 's; step : 's -> 'a * 's } -> 'a t
+
+let length (Pack s) = s.length
+
+let tabulate n f =
+  Pack { length = n; seed = 0; step = (fun i -> (f i, i + 1)) }
+
+let of_array_slice a off len =
+  if off < 0 || len < 0 || off + len > Array.length a then
+    invalid_arg "Stream_pure.of_array_slice";
+  tabulate len (fun k -> Array.unsafe_get a (off + k))
+
+let of_array a = of_array_slice a 0 (Array.length a)
+
+let map g (Pack s) =
+  Pack
+    {
+      length = s.length;
+      seed = s.seed;
+      step =
+        (fun st ->
+          let v, st' = s.step st in
+          (g v, st'));
+    }
+
+let mapi g (Pack s) =
+  Pack
+    {
+      length = s.length;
+      seed = (0, s.seed);
+      step =
+        (fun (i, st) ->
+          let v, st' = s.step st in
+          (g i v, (i + 1, st')));
+    }
+
+let zip_with f (Pack s1) (Pack s2) =
+  if s1.length <> s2.length then invalid_arg "Stream_pure.zip_with";
+  Pack
+    {
+      length = s1.length;
+      seed = (s1.seed, s2.seed);
+      step =
+        (fun (a, b) ->
+          let x, a' = s1.step a in
+          let y, b' = s2.step b in
+          (f x y, (a', b')));
+    }
+
+let zip s1 s2 = zip_with (fun a b -> (a, b)) s1 s2
+
+(* Exclusive running fold (same convention as [Stream.scan]). *)
+let scan f z (Pack s) =
+  Pack
+    {
+      length = s.length;
+      seed = (z, s.seed);
+      step =
+        (fun (acc, st) ->
+          let v, st' = s.step st in
+          (acc, (f acc v, st')));
+    }
+
+let scan_incl f z (Pack s) =
+  Pack
+    {
+      length = s.length;
+      seed = (z, s.seed);
+      step =
+        (fun (acc, st) ->
+          let v, st' = s.step st in
+          let acc' = f acc v in
+          (acc', (acc', st')));
+    }
+
+let reduce f z (Pack s) =
+  let acc = ref z in
+  let st = ref s.seed in
+  for _ = 1 to s.length do
+    let v, st' = s.step !st in
+    acc := f !acc v;
+    st := st'
+  done;
+  !acc
+
+let iter f (Pack s) =
+  let st = ref s.seed in
+  for _ = 1 to s.length do
+    let v, st' = s.step !st in
+    f v;
+    st := st'
+  done
+
+let to_list (Pack s) =
+  let st = ref s.seed in
+  List.init s.length (fun _ ->
+      let v, st' = s.step !st in
+      st := st';
+      v)
+
+let to_array (Pack s) =
+  if s.length = 0 then [||]
+  else begin
+    let v0, st1 = s.step s.seed in
+    let out = Array.make s.length v0 in
+    let st = ref st1 in
+    for i = 1 to s.length - 1 do
+      let v, st' = s.step !st in
+      out.(i) <- v;
+      st := st'
+    done;
+    out
+  end

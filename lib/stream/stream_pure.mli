@@ -1,0 +1,26 @@
+(** Alternative stream encoding: purely functional state-passing
+    ("unfold" style), mirroring the paper's §4.4 observation that the
+    per-block stream representation is a swappable implementation
+    detail.  Same delayed semantics as {!Stream}; different constant
+    factors (each step allocates its result pair).  Compared against
+    {!Stream} in the harness's ablation section. *)
+
+type 'a t
+
+val length : 'a t -> int
+val tabulate : int -> (int -> 'a) -> 'a t
+val of_array : 'a array -> 'a t
+val of_array_slice : 'a array -> int -> int -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val mapi : (int -> 'a -> 'b) -> 'a t -> 'b t
+val zip : 'a t -> 'b t -> ('a * 'b) t
+val zip_with : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+
+(** Exclusive running fold (same convention as {!Stream.scan}). *)
+val scan : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a t
+
+val scan_incl : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a t
+val reduce : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array

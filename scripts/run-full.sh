@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full evaluation (cf. the paper artifact's ./run): default scale, three
+# repetitions. Pass --procs N and --proc-list 1,...,N to match your
+# machine's core count; add --scale K to grow the inputs.
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p results
+dune build bench/main.exe
+dune exec bench/main.exe -- --csv results/full.csv "$@" | tee results/full-output.txt
+echo
+echo "tables: results/full-output.txt    raw data: results/full.csv"

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Small evaluation (cf. the paper artifact's ./run-small): scaled-down
+# inputs, one repetition. Takes a few minutes.
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p results
+dune build bench/main.exe
+dune exec bench/main.exe -- --quick --csv results/small.csv "$@" | tee results/small-output.txt
+echo
+echo "tables: results/small-output.txt    raw data: results/small.csv"

@@ -1,0 +1,31 @@
+The text CLI runs the delay-library kernels on real files; all outputs
+below are deterministic.
+
+  $ printf 'hello world\nneedle in a haystack\nthird line here\n' > sample.txt
+
+  $ bds_text wc sample.txt
+         3        9       49 sample.txt
+
+  $ bds_text tokens sample.txt
+  9 tokens, 40 token bytes (avg length 4.44) in sample.txt
+
+  $ bds_text grep needle sample.txt
+  1 matching lines (20 bytes) in sample.txt
+
+  $ bds_text grep line sample.txt
+  1 matching lines (15 bytes) in sample.txt
+
+  $ bds_text index sample.txt
+  9 distinct words, 9 postings in sample.txt
+
+Repeated words across documents collapse into single postings:
+
+  $ printf 'a b a\nb c\na a\n' > dup.txt
+  $ bds_text index dup.txt
+  3 distinct words, 5 postings in dup.txt
+
+Empty input is handled:
+
+  $ : > empty.txt
+  $ bds_text wc empty.txt
+         0        0        0 empty.txt

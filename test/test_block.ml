@@ -1,0 +1,56 @@
+(* Block-size policy B(n). *)
+
+module Block = Bds.Block
+open Bds_test_util
+
+let () = init ()
+
+let test_fixed () =
+  with_policy (Block.Fixed 37) (fun () ->
+      Alcotest.(check int) "fixed" 37 (Block.size 1_000_000);
+      Alcotest.(check int) "fixed small n" 37 (Block.size 3);
+      Alcotest.(check int) "empty" 1 (Block.size 0))
+
+let test_scaled_clamps () =
+  with_policy
+    (Block.Scaled { per_worker_blocks = 8; min_size = 100; max_size = 1000 })
+    (fun () ->
+      let p = Bds_runtime.Runtime.num_workers () in
+      Alcotest.(check int) "clamped below" 100 (Block.size 10);
+      Alcotest.(check int) "clamped above" 1000 (Block.size 100_000_000);
+      let mid = 8 * p * 500 in
+      Alcotest.(check int) "in range" 500 (Block.size mid))
+
+let test_invalid_policies () =
+  Alcotest.check_raises "fixed 0"
+    (Invalid_argument "Block.set_policy: Fixed size must be >= 1") (fun () ->
+      Block.set_policy (Block.Fixed 0));
+  Alcotest.check_raises "bad scaled"
+    (Invalid_argument "Block.set_policy: invalid Scaled parameters") (fun () ->
+      Block.set_policy
+        (Block.Scaled { per_worker_blocks = 1; min_size = 10; max_size = 5 }))
+
+let test_num_blocks () =
+  Alcotest.(check int) "exact" 4 (Block.num_blocks ~block_size:25 100);
+  Alcotest.(check int) "round up" 5 (Block.num_blocks ~block_size:24 100);
+  Alcotest.(check int) "one" 1 (Block.num_blocks ~block_size:1000 100);
+  Alcotest.(check int) "zero" 0 (Block.num_blocks ~block_size:10 0)
+
+let test_reset_and_get () =
+  Block.set_policy (Block.Fixed 5);
+  Alcotest.(check bool) "get reflects set" true (Block.get_policy () = Block.Fixed 5);
+  Block.reset_policy ();
+  Alcotest.(check bool) "reset" true (Block.get_policy () = Block.default_policy)
+
+let () =
+  Alcotest.run "block"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "fixed" `Quick test_fixed;
+          Alcotest.test_case "scaled clamps" `Quick test_scaled_clamps;
+          Alcotest.test_case "invalid" `Quick test_invalid_policies;
+          Alcotest.test_case "num_blocks" `Quick test_num_blocks;
+          Alcotest.test_case "reset/get" `Quick test_reset_and_get;
+        ] );
+    ]

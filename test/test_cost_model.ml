@@ -1,0 +1,236 @@
+(* Cost semantics (Figure 11): model self-consistency, the Figure 5
+   read/write table, the §5.1 BFS bounds, and model-vs-reality checks
+   against measured allocations of the actual library. *)
+
+module CM = Bds.Cost_model
+module S = Bds.Seq
+open Bds_test_util
+
+let () = init ()
+
+let b = 64 (* model block size *)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11 rows                                                      *)
+
+let test_tabulate_map_delay_costs () =
+  let x, c = CM.tabulate 1000 CM.simple in
+  Alcotest.(check int) "tabulate eager work" 1 c.work;
+  Alcotest.(check int) "tabulate eager alloc" 0 c.alloc;
+  Alcotest.(check bool) "tabulate RAD" true (x.repr = `Rad);
+  let y, c2 = CM.map CM.simple x in
+  Alcotest.(check int) "map eager work" 1 c2.work;
+  Alcotest.(check int) "map accumulates delayed work" 2 (y.dwork 17);
+  let z, _ = CM.map (CM.const_fn 3) y in
+  Alcotest.(check int) "second map accumulates" 5 (z.dwork 17)
+
+let test_force_costs () =
+  let x, _ = CM.tabulate 1000 (CM.const_fn 2) in
+  let y, c = CM.force ~block_size:b x in
+  Alcotest.(check int) "force work = sum delayed" 2000 c.work;
+  (* bmax: blocks of 64 indices, 2 span units each. *)
+  Alcotest.(check int) "force span = bmax" 128 c.span;
+  Alcotest.(check int) "force alloc = |X|" 1000 c.alloc;
+  Alcotest.(check int) "forced is cheap" 1 (y.dwork 0);
+  Alcotest.(check bool) "forced is RAD" true (y.repr = `Rad)
+
+let test_scan_reduce_costs () =
+  let x, _ = CM.tabulate 1000 CM.simple in
+  let y, c = CM.scan ~block_size:b x in
+  Alcotest.(check int) "scan eager work" 1000 c.work;
+  Alcotest.(check int) "scan eager alloc = n/B" ((1000 + b - 1) / b) c.alloc;
+  Alcotest.(check bool) "scan output BID" true (y.repr = `Bid);
+  Alcotest.(check int) "scan delayed work" 2 (y.dwork 5);
+  let c2 = CM.reduce ~block_size:b x in
+  Alcotest.(check int) "reduce eager work" 1000 c2.work;
+  Alcotest.(check int) "reduce alloc = n/B" ((1000 + b - 1) / b) c2.alloc
+
+let test_filter_costs () =
+  let x, _ = CM.tabulate 1000 CM.simple in
+  let y, c = CM.filter ~block_size:b ~out_len:250 CM.simple x in
+  Alcotest.(check int) "filter eager work" 2000 c.work;
+  Alcotest.(check int) "filter alloc = |Y| + n/B" (250 + ((1000 + b - 1) / b)) c.alloc;
+  Alcotest.(check bool) "filter output BID" true (y.repr = `Bid);
+  Alcotest.(check int) "filter out length" 250 y.len
+
+let test_zip_costs () =
+  let x, _ = CM.tabulate 100 (CM.const_fn 2) in
+  let y, _ = CM.tabulate 100 (CM.const_fn 3) in
+  let z, c = CM.zip x y in
+  Alcotest.(check int) "zip eager O(1)" 1 c.work;
+  Alcotest.(check int) "zip delayed sums" 6 (z.dwork 0);
+  Alcotest.(check bool) "RAD when both RAD" true (z.repr = `Rad);
+  let b, _ = CM.scan ~block_size:16 x in
+  let z2, _ = CM.zip x b in
+  Alcotest.(check bool) "BID when one BID" true (z2.repr = `Bid)
+
+let test_flatten_costs () =
+  let outer, _ = CM.tabulate 10 CM.simple in
+  let inners =
+    Array.init 10 (fun i -> fst (CM.tabulate (i * 3) (CM.const_fn (i + 1))))
+  in
+  let y, c = CM.flatten ~block_size:b outer inners in
+  Alcotest.(check int) "flatten total length" 135 y.len;
+  Alcotest.(check int) "flatten eager work = outer" 10 c.work;
+  Alcotest.(check int) "flatten eager alloc = |X|" 10 c.alloc;
+  (* Element 0 lives in inner 1 (inner 0 empty): delayed work = 2. *)
+  Alcotest.(check int) "delayed carried from inner" 2 (y.dwork 0);
+  (* Last element lives in inner 9: delayed work = 10. *)
+  Alcotest.(check int) "delayed carried (last)" 10 (y.dwork 134)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                            *)
+
+let test_figure5 () =
+  let n = 1_000_000 and bb = 100 in
+  let rows = CM.bestcut_rw ~n ~b:bb in
+  let nr, nw, fr, fw = CM.rw_totals rows in
+  (* Totals from the paper: 8n + O(b) vs 2n + O(b). *)
+  Alcotest.(check int) "normal total" ((8 * n) + (5 * bb) + 1) (nr + nw);
+  Alcotest.(check int) "fused total" ((2 * n) + (6 * bb) + 1) (fr + fw);
+  let ratio = float_of_int (nr + nw) /. float_of_int (fr + fw) in
+  Alcotest.(check bool) "~4x fewer memory ops" true (ratio > 3.9 && ratio < 4.1);
+  (* Phase structure: 6 rows, three fused away. *)
+  Alcotest.(check int) "rows" 6 (List.length rows);
+  Alcotest.(check int) "fused-away phases" 3
+    (List.length (List.filter (fun r -> r.CM.fused_reads = None) rows))
+
+(* The same pipeline expressed with Figure 11 operations: the fused
+   best-cut allocates O(b) while the force-everything version allocates
+   O(n). *)
+let test_bestcut_alloc_model () =
+  let n = 100_000 in
+  let total = ref CM.zero_cost in
+  let track (s, c) =
+    total := CM.add_cost !total c;
+    s
+  in
+  (* Fused: tabulate -> map -> scan -> map -> reduce, all delayed. *)
+  let x = track (CM.tabulate n CM.simple) in
+  let x = track (CM.map CM.simple x) in
+  let x = track (CM.scan ~block_size:b x) in
+  let x = track (CM.map CM.simple x) in
+  total := CM.add_cost !total (CM.reduce ~block_size:b x);
+  let fused_alloc = !total.alloc in
+  (* Unfused: force after every operation (the array library). *)
+  total := CM.zero_cost;
+  let x = track (CM.tabulate n CM.simple) in
+  let x = track (CM.force ~block_size:b x) in
+  let x = track (CM.map CM.simple x) in
+  let x = track (CM.force ~block_size:b x) in
+  let x = track (CM.scan ~block_size:b x) in
+  let x = track (CM.force ~block_size:b x) in
+  let x = track (CM.map CM.simple x) in
+  let x = track (CM.force ~block_size:b x) in
+  total := CM.add_cost !total (CM.reduce ~block_size:b x);
+  let unfused_alloc = !total.alloc in
+  (* Per Figure 11: fused = n + 2⌈n/B⌉ (the scan's phase-3 stream charges
+     one delayed word per element); unfused = 5n + 2⌈n/B⌉. *)
+  Alcotest.(check int) "fused alloc" (n + (2 * ((n + b - 1) / b))) fused_alloc;
+  Alcotest.(check int) "unfused alloc" ((5 * n) + (2 * ((n + b - 1) / b))) unfused_alloc;
+  let ratio = float_of_int unfused_alloc /. float_of_int fused_alloc in
+  Alcotest.(check bool) "~5x less allocation when fused" true
+    (ratio > 4.0 && ratio < 6.0)
+
+(* ------------------------------------------------------------------ *)
+(* §5.1 BFS bounds                                                     *)
+
+let test_bfs_alloc_bound () =
+  (* Synthetic BFS trace: frontiers partition N vertices; edge
+     expansions partition M edge endpoints. *)
+  let block_size = 1000 in
+  let rounds =
+    [ (1, 50, 10); (10, 500, 100); (100, 5000, 889); (889, 44450, 0) ]
+  in
+  let total_n = List.fold_left (fun a (f, _, _) -> a + f) 0 rounds in
+  let total_m = List.fold_left (fun a (_, e, _) -> a + e) 0 rounds in
+  let alloc = CM.bfs_total_alloc ~block_size rounds in
+  (* O(N + M/B): allow constant 2 on N (frontier + next-frontier) plus
+     rounding slack per round. *)
+  let bound = (2 * total_n) + (total_m / block_size) + (4 * List.length rounds) in
+  Alcotest.(check bool)
+    (Printf.sprintf "alloc %d within O(N + M/B) bound %d" alloc bound)
+    true (alloc <= bound);
+  (* And far below the naive O(N + M). *)
+  Alcotest.(check bool) "well below O(N+M)" true (alloc * 10 < total_n + total_m)
+
+(* ------------------------------------------------------------------ *)
+(* Model vs measured allocations of the real library                   *)
+
+(* Measure allocated words on a single-domain pool (so all allocation is
+   on the calling domain and [Gc.allocated_bytes] is exact). *)
+let measure_alloc f =
+  Bds_runtime.Runtime.set_num_domains 1;
+  Fun.protect
+    ~finally:(fun () -> Bds_runtime.Runtime.set_num_domains Bds_test_util.domains)
+    (fun () ->
+      ignore (f ());
+      (* warm-up evaluated; measure second run *)
+      let before = Gc.allocated_bytes () in
+      ignore (Sys.opaque_identity (f ()));
+      Gc.allocated_bytes () -. before)
+
+let test_measured_alloc_reduce () =
+  let n = 300_000 in
+  let delayed () = S.reduce ( + ) 0 (S.map (fun x -> x * 2) (S.iota n)) in
+  let arr () =
+    Bds_parray.Parray.reduce ( + ) 0
+      (Bds_parray.Parray.map (fun x -> x * 2) (Bds_parray.Parray.iota n))
+  in
+  let da = measure_alloc delayed in
+  let aa = measure_alloc arr in
+  (* The array version materialises two n-word arrays; the delayed version
+     allocates O(n/B) block sums. The model predicts a large gap. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "delayed alloc %.0fB << array alloc %.0fB" da aa)
+    true
+    (da *. 4.0 < aa)
+
+let test_measured_alloc_scan_pipeline () =
+  let n = 300_000 in
+  let delayed () =
+    let sc, _ = S.scan ( + ) 0 (S.map (fun x -> x land 7) (S.iota n)) in
+    S.reduce ( + ) 0 (S.map (fun x -> x + 1) sc)
+  in
+  let arr () =
+    let open Bds_parray.Parray in
+    let sc, _ = scan ( + ) 0 (map (fun x -> x land 7) (iota n)) in
+    reduce ( + ) 0 (map (fun x -> x + 1) sc)
+  in
+  (* Same results... *)
+  Bds_runtime.Runtime.set_num_domains 1;
+  let r1 = delayed () and r2 = arr () in
+  Bds_runtime.Runtime.set_num_domains Bds_test_util.domains;
+  Alcotest.(check int) "same result" r2 r1;
+  (* ...wildly different allocation. *)
+  let da = measure_alloc delayed in
+  let aa = measure_alloc arr in
+  Alcotest.(check bool)
+    (Printf.sprintf "fused scan alloc %.0fB << array %.0fB" da aa)
+    true
+    (da *. 4.0 < aa)
+
+let () =
+  Alcotest.run "cost_model"
+    [
+      ( "figure 11",
+        [
+          Alcotest.test_case "tabulate/map" `Quick test_tabulate_map_delay_costs;
+          Alcotest.test_case "force" `Quick test_force_costs;
+          Alcotest.test_case "scan/reduce" `Quick test_scan_reduce_costs;
+          Alcotest.test_case "zip" `Quick test_zip_costs;
+          Alcotest.test_case "filter" `Quick test_filter_costs;
+          Alcotest.test_case "flatten" `Quick test_flatten_costs;
+        ] );
+      ( "figure 5",
+        [
+          Alcotest.test_case "read/write table" `Quick test_figure5;
+          Alcotest.test_case "bestcut alloc model" `Quick test_bestcut_alloc_model;
+        ] );
+      ("bfs (§5.1)", [ Alcotest.test_case "alloc bound" `Quick test_bfs_alloc_bound ]);
+      ( "model vs reality",
+        [
+          Alcotest.test_case "map+reduce alloc" `Quick test_measured_alloc_reduce;
+          Alcotest.test_case "scan pipeline alloc" `Quick test_measured_alloc_scan_pipeline;
+        ] );
+    ]

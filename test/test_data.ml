@@ -1,0 +1,147 @@
+(* Data substrate: RNG determinism and generator statistics. *)
+
+module Splitmix = Bds_data.Splitmix
+module Gen = Bds_data.Gen
+open Bds_test_util
+
+let () = init ()
+
+let test_splitmix_deterministic () =
+  Alcotest.(check bool) "same seed same stream" true
+    (List.init 100 (Splitmix.at ~seed:5) = List.init 100 (Splitmix.at ~seed:5));
+  Alcotest.(check bool) "different seeds differ" true
+    (List.init 100 (Splitmix.at ~seed:5) <> List.init 100 (Splitmix.at ~seed:6));
+  Alcotest.(check bool) "different indices differ" true
+    (Splitmix.at ~seed:5 0 <> Splitmix.at ~seed:5 1)
+
+let test_splitmix_ranges () =
+  for i = 0 to 10_000 do
+    let v = Splitmix.int_range_at ~seed:3 ~bound:17 i in
+    if v < 0 || v >= 17 then Alcotest.failf "int_range out of range: %d" v;
+    let f = Splitmix.float_at ~seed:3 i in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f;
+    if Splitmix.int_at ~seed:3 i < 0 then Alcotest.fail "negative int_at"
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Splitmix.int_range_at")
+    (fun () -> ignore (Splitmix.int_range_at ~seed:1 ~bound:0 3))
+
+let test_splitmix_uniformity () =
+  (* Coarse chi-square-ish sanity: 10 buckets over 100k draws. *)
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    let b = int_of_float (Splitmix.float_at ~seed:9 i *. 10.0) in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if abs (c - (n / 10)) > n / 50 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c (n / 10))
+    buckets
+
+let test_split_and_mix () =
+  let s1, s2 = Splitmix.split 7 in
+  Alcotest.(check bool) "split streams differ" true
+    (List.init 50 (Splitmix.at ~seed:s1) <> List.init 50 (Splitmix.at ~seed:s2));
+  Alcotest.(check bool) "split deterministic" true (Splitmix.split 7 = (s1, s2));
+  Alcotest.(check bool) "mix is not identity" true (Splitmix.mix 1L <> 1L);
+  Alcotest.(check bool) "mix deterministic" true (Splitmix.mix 99L = Splitmix.mix 99L)
+
+let test_floats_points () =
+  let a = Gen.floats ~seed:1 ~lo:2.0 ~hi:3.0 1000 in
+  Array.iter (fun x -> if x < 2.0 || x >= 3.0 then Alcotest.fail "float range") a;
+  let pts = Gen.points_in_circle ~seed:2 1000 in
+  Array.iter
+    (fun (x, y) ->
+      if (x *. x) +. (y *. y) > 1.0 +. 1e-9 then Alcotest.fail "outside circle")
+    pts;
+  let s = Gen.signed_ints ~seed:3 ~bound:50 1000 in
+  Array.iter (fun v -> if v < -50 || v >= 50 then Alcotest.fail "signed range") s;
+  Alcotest.(check bool) "some negative" true (Array.exists (fun v -> v < 0) s);
+  Alcotest.(check bool) "some positive" true (Array.exists (fun v -> v > 0) s)
+
+let test_text_statistics () =
+  let n = 200_000 in
+  let text = Gen.text ~seed:4 n in
+  let words = ref 0 and word_chars = ref 0 and in_word = ref false in
+  Bytes.iter
+    (fun c ->
+      let sp = c = ' ' || c = '\n' in
+      if not sp then begin
+        incr word_chars;
+        if not !in_word then incr words
+      end;
+      in_word := not sp)
+    text;
+  let avg = float_of_int !word_chars /. float_of_int !words in
+  (* The paper's corpus averages ~7 chars/word; accept a broad band. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "avg word length %.2f in [4, 10]" avg)
+    true
+    (avg >= 4.0 && avg <= 10.0)
+
+let test_text_with_pattern () =
+  let n = 200_000 in
+  let text = Gen.text_with_pattern ~seed:5 ~pattern:"needle" ~frac_matching:0.05 n in
+  let matched = ref 0 and lines = ref 0 in
+  let i = ref 0 in
+  let contains line =
+    let rec go k =
+      k + 6 <= String.length line && (String.sub line k 6 = "needle" || go (k + 1))
+    in
+    go 0
+  in
+  while !i < n do
+    let start = !i in
+    while !i < n && Bytes.get text !i <> '\n' do
+      incr i
+    done;
+    incr lines;
+    if contains (Bytes.sub_string text start (!i - start)) then incr matched;
+    incr i
+  done;
+  let frac = float_of_int !matched /. float_of_int !lines in
+  Alcotest.(check bool)
+    (Printf.sprintf "matching fraction %.3f in [0.02, 0.10]" frac)
+    true
+    (frac >= 0.02 && frac <= 0.10)
+
+let test_sparse_matrix () =
+  let m = Gen.sparse_matrix ~seed:6 ~rows:100 ~cols:50 ~nnz_per_row:5 () in
+  Alcotest.(check int) "offsets length" 101 (Array.length m.Gen.row_offsets);
+  Alcotest.(check int) "offsets start" 0 m.Gen.row_offsets.(0);
+  for r = 0 to 99 do
+    if m.Gen.row_offsets.(r + 1) < m.Gen.row_offsets.(r) then
+      Alcotest.fail "offsets not monotone"
+  done;
+  Alcotest.(check int) "nnz consistent" m.Gen.row_offsets.(100)
+    (Array.length m.Gen.col_index);
+  Array.iter
+    (fun c -> if c < 0 || c >= 50 then Alcotest.fail "col out of range")
+    m.Gen.col_index
+
+let test_bignum_digits () =
+  let b = Gen.bignum_digits ~seed:7 1000 in
+  Alcotest.(check int) "length" 1000 (Bytes.length b);
+  Alcotest.(check bool) "deterministic" true (Gen.bignum_digits ~seed:7 1000 = b);
+  Alcotest.(check bool) "varies" true (Gen.bignum_digits ~seed:8 1000 <> b)
+
+let () =
+  Alcotest.run "data"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "ranges" `Quick test_splitmix_ranges;
+          Alcotest.test_case "uniformity" `Quick test_splitmix_uniformity;
+          Alcotest.test_case "split/mix" `Quick test_split_and_mix;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "floats/points" `Quick test_floats_points;
+          Alcotest.test_case "text statistics" `Quick test_text_statistics;
+          Alcotest.test_case "text with pattern" `Quick test_text_with_pattern;
+          Alcotest.test_case "sparse matrix" `Quick test_sparse_matrix;
+          Alcotest.test_case "bignum digits" `Quick test_bignum_digits;
+        ] );
+    ]

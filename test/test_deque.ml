@@ -1,0 +1,153 @@
+(* Chase-Lev deque: sequential semantics and concurrent stress. *)
+
+module D = Bds_runtime.Ws_deque
+
+let test_lifo_pop () =
+  let q = D.create () in
+  for i = 0 to 9 do
+    D.push q i
+  done;
+  for i = 9 downto 0 do
+    Alcotest.(check (option int)) "pop order" (Some i) (D.pop q)
+  done;
+  Alcotest.(check (option int)) "empty" None (D.pop q)
+
+let test_fifo_steal () =
+  let q = D.create () in
+  for i = 0 to 9 do
+    D.push q i
+  done;
+  for i = 0 to 9 do
+    Alcotest.(check (option int)) "steal order" (Some i) (D.steal q)
+  done;
+  Alcotest.(check (option int)) "empty" None (D.steal q)
+
+let test_mixed () =
+  let q = D.create () in
+  D.push q 1;
+  D.push q 2;
+  D.push q 3;
+  Alcotest.(check (option int)) "steal oldest" (Some 1) (D.steal q);
+  Alcotest.(check (option int)) "pop newest" (Some 3) (D.pop q);
+  Alcotest.(check (option int)) "last" (Some 2) (D.pop q);
+  Alcotest.(check (option int)) "none" None (D.pop q)
+
+let test_growth () =
+  let q = D.create ~capacity:2 () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    D.push q i
+  done;
+  Alcotest.(check int) "size" n (D.size q);
+  (* Interleave: steal the front half, pop the back half. *)
+  for i = 0 to (n / 2) - 1 do
+    Alcotest.(check (option int)) "steal" (Some i) (D.steal q)
+  done;
+  for i = n - 1 downto n / 2 do
+    Alcotest.(check (option int)) "pop" (Some i) (D.pop q)
+  done;
+  Alcotest.(check bool) "empty" true (D.is_empty q)
+
+let test_invalid_capacity () =
+  Alcotest.check_raises "non power of two" (Invalid_argument
+    "Ws_deque.create: capacity must be a positive power of two")
+    (fun () -> ignore (D.create ~capacity:3 ()))
+
+(* Concurrent stress: one owner pushes then pops; several thieves steal.
+   Every element must be consumed exactly once. *)
+let test_concurrent_stress () =
+  let q = D.create ~capacity:4 () in
+  let n = 50_000 in
+  let num_thieves = 3 in
+  let seen = Array.make n (Atomic.make 0) in
+  for i = 0 to n - 1 do
+    seen.(i) <- Atomic.make 0
+  done;
+  let consumed = Atomic.make 0 in
+  let record v =
+    Atomic.incr seen.(v);
+    Atomic.incr consumed
+  in
+  let thief () =
+    while Atomic.get consumed < n do
+      match D.steal q with
+      | Some v -> record v
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let thieves = Array.init num_thieves (fun _ -> Domain.spawn thief) in
+  (* Owner: push everything, interleaving occasional pops. *)
+  for i = 0 to n - 1 do
+    D.push q i;
+    if i land 7 = 0 then match D.pop q with Some v -> record v | None -> ()
+  done;
+  let rec drain () =
+    match D.pop q with
+    | Some v ->
+      record v;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  (* Thieves may still be racing for the last few elements. *)
+  Array.iter Domain.join thieves;
+  Alcotest.(check int) "all consumed" n (Atomic.get consumed);
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "element %d once" i) 1 (Atomic.get c))
+    seen
+
+(* Model-based fuzz (single-threaded): a deque is a list with push/pop at
+   the back and steal at the front. *)
+type op = Push of int | Pop | Steal
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof [ map (fun v -> Push v) (int_bound 1000); return Pop; return Steal ])
+
+let model_apply (model, log) op =
+  match op with
+  | Push v -> (model @ [ v ], log)
+  | Pop -> (
+      match List.rev model with
+      | [] -> (model, None :: log)
+      | last :: rev_rest -> (List.rev rev_rest, Some last :: log))
+  | Steal -> (
+      match model with
+      | [] -> (model, None :: log)
+      | first :: rest -> (rest, Some first :: log))
+
+let fuzz_test =
+  QCheck2.Test.make ~name:"deque = double-ended list model" ~count:500
+    QCheck2.Gen.(list_size (int_bound 200) op_gen)
+    (fun ops ->
+      let q = D.create ~capacity:2 () in
+      let dlog =
+        List.map
+          (fun op ->
+            match op with
+            | Push v ->
+              D.push q v;
+              None
+            | Pop -> Some (D.pop q)
+            | Steal -> Some (D.steal q))
+          ops
+        |> List.filter_map Fun.id
+      in
+      let _, mlog = List.fold_left model_apply ([], []) ops in
+      dlog = List.rev mlog)
+
+let () =
+  Alcotest.run "ws_deque"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "lifo pop" `Quick test_lifo_pop;
+          Alcotest.test_case "fifo steal" `Quick test_fifo_steal;
+          Alcotest.test_case "mixed" `Quick test_mixed;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
+        ] );
+      ( "concurrent",
+        [ Alcotest.test_case "stress" `Quick test_concurrent_stress ] );
+      ("model", [ QCheck_alcotest.to_alcotest ~long:false fuzz_test ]);
+    ]

@@ -1,0 +1,114 @@
+(* The measurement/reporting harness itself: tables, ratios, SVG
+   rendering, the registry, and measurement sanity. *)
+
+module H = Bds_harness
+open Bds_test_util
+
+let () = init ()
+
+let test_tables () =
+  let s =
+    H.Tables.render
+      ~headers:[ "name"; "a"; "bb" ]
+      ~rows:[ [ "x"; "1"; "2" ]; [ "longer"; "10"; "3" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  (* All lines equal width (fixed layout). *)
+  let widths = List.map String.length lines in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths;
+  Alcotest.(check bool) "contains header" true
+    (String.length (List.hd lines) > 0)
+
+let test_ratio () =
+  Alcotest.(check string) "normal" "2.00" (H.Tables.ratio 4.0 2.0);
+  Alcotest.(check string) "inf" "inf" (H.Tables.ratio 1.0 0.0);
+  Alcotest.(check string) "both zero" "-" (H.Tables.ratio 0.0 0.0)
+
+let test_svg () =
+  let svg =
+    H.Svg_plot.render ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      [
+        { H.Svg_plot.label = "s1"; points = [ (1.0, 1.0); (2.0, 4.0); (3.0, 9.0) ] };
+        { H.Svg_plot.label = "s2"; points = [ (1.0, 2.0); (2.0, 2.0); (3.0, 2.0) ] };
+      ]
+  in
+  let contains needle =
+    let n = String.length needle and m = String.length svg in
+    let rec go i = i + n <= m && (String.sub svg i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "svg root" true (contains "<svg");
+  Alcotest.(check bool) "closes" true (contains "</svg>");
+  Alcotest.(check int) "one polyline per series" 2
+    (let rec count i acc =
+       if i + 9 > String.length svg then acc
+       else if String.sub svg i 9 = "<polyline" then count (i + 9) (acc + 1)
+       else count (i + 1) acc
+     in
+     count 0 0);
+  Alcotest.(check bool) "legend labels" true (contains ">s1<" && contains ">s2<")
+
+let test_svg_degenerate () =
+  (* Single point, constant series: must not divide by zero. *)
+  let svg =
+    H.Svg_plot.render ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      [ { H.Svg_plot.label = "only"; points = [ (5.0, 3.0) ] } ]
+  in
+  Alcotest.(check bool) "renders" true (String.length svg > 100);
+  Alcotest.(check bool) "no nan" true
+    (not
+       (let rec go i =
+          i + 3 <= String.length svg && (String.sub svg i 3 = "nan" || go (i + 1))
+        in
+        go 0))
+
+let test_registry () =
+  Alcotest.(check int) "bid benches" 5 (List.length H.Registry.bid_benches);
+  Alcotest.(check int) "rad benches" 8 (List.length H.Registry.rad_benches);
+  Alcotest.(check bool) "ext benches" true (List.length H.Registry.ext_benches >= 5);
+  List.iter
+    (fun (b : H.Registry.bench) ->
+      Alcotest.(check bool)
+        (b.name ^ " findable")
+        true
+        (match H.Registry.find b.name with Some x -> x == b | None -> false);
+      (* Tiny run of every registered version must complete. *)
+      let versions = b.prepare (min 2000 b.default_size) in
+      Alcotest.(check bool) (b.name ^ " has versions") true (List.length versions >= 2);
+      List.iter (fun v -> v.H.Registry.run ()) versions)
+    H.Registry.all;
+  Alcotest.(check bool) "unknown" true (H.Registry.find "no-such-bench" = None)
+
+let test_measure () =
+  let t = H.Measure.time ~warmup:0 ~repeat:2 (fun () -> Unix.sleepf 0.01) in
+  Alcotest.(check bool) "time >= sleep" true (t >= 0.009);
+  Alcotest.(check bool) "time sane" true (t < 1.0);
+  let a =
+    H.Measure.alloc_single_domain (fun () ->
+        Sys.opaque_identity (Array.make 200_000 0))
+  in
+  (* A 200k-word array is a major-heap allocation: ~1.6MB. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "alloc %.0f covers array" a)
+    true
+    (a >= 1_500_000.0 && a < 10_000_000.0);
+  Alcotest.(check string) "pp_time ms" "12.00ms" (H.Measure.pp_time 0.012);
+  Alcotest.(check string) "pp_bytes" "1.5KB" (H.Measure.pp_bytes 1536.0)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "render" `Quick test_tables;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "render" `Quick test_svg;
+          Alcotest.test_case "degenerate" `Quick test_svg_degenerate;
+        ] );
+      ("registry", [ Alcotest.test_case "all benches" `Quick test_registry ]);
+      ("measure", [ Alcotest.test_case "time and alloc" `Quick test_measure ]);
+    ]

@@ -1,0 +1,105 @@
+(* Cross-implementation equivalence: the three libraries of Figure 12
+   (array / rad / delay) must be observationally identical on random
+   operation pipelines — the property that makes the paper's benchmark
+   comparison meaningful. *)
+
+open Bds_test_util
+
+let () = init ()
+
+type step =
+  | Map_add of int
+  | Mapi_mix
+  | Filter_mod of int * int
+  | Filter_op_mod of int
+  | Scan_ex of int
+  | Scan_incl
+  | Zip_self
+  | Force
+  | Flat_expand of int
+
+module Pipeline (Impl : Bds_seqs.Sig.S) = struct
+  let apply step s =
+    match step with
+    | Map_add k -> Impl.map (( + ) k) s
+    | Mapi_mix -> Impl.mapi (fun i v -> (3 * i) - v) s
+    | Filter_mod (k, r) -> Impl.filter (fun x -> (x mod k + k) mod k = r) s
+    | Filter_op_mod k ->
+      Impl.filter_op (fun x -> if (x mod k + k) mod k = 0 then Some (x + 1) else None) s
+    | Scan_ex z -> fst (Impl.scan ( + ) z s)
+    | Scan_incl -> Impl.scan_incl ( + ) 0 s
+    | Zip_self -> Impl.zip_with ( - ) s s
+    | Force -> Impl.force s
+    | Flat_expand k ->
+      Impl.flatten (Impl.map (fun x -> Impl.tabulate (abs x mod k) (fun j -> x + j)) s)
+
+  let run (a : int array) steps =
+    let s = List.fold_left (fun s st -> apply st s) (Impl.of_array a) steps in
+    (Impl.to_array s, Impl.length s, Impl.reduce ( + ) 0 s)
+end
+
+module P_array = Pipeline (Bds_seqs.Impl_array)
+module P_rad = Pipeline (Bds_seqs.Impl_rad)
+module P_delay = Pipeline (Bds_seqs.Impl_delay)
+
+let step_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun k -> Map_add k) (int_range (-20) 20);
+      return Mapi_mix;
+      map2 (fun k r -> Filter_mod (k + 2, r mod (k + 2))) (int_bound 5) (int_bound 9);
+      map (fun k -> Filter_op_mod (k + 2)) (int_bound 5);
+      map (fun z -> Scan_ex z) (int_range (-5) 5);
+      return Scan_incl;
+      return Zip_self;
+      return Force;
+      map (fun k -> Flat_expand (k + 1)) (int_bound 3);
+    ]
+
+let gen =
+  QCheck2.Gen.(
+    triple
+      (array_size (int_bound 120) (int_range (-50) 50))
+      (list_size (int_bound 5) step_gen)
+      (int_range 1 32))
+
+let prop_all_impls_agree (a, steps, bsize) =
+  with_policy (Bds.Block.Fixed bsize) (fun () ->
+      let ra = P_array.run a steps in
+      let rr = P_rad.run a steps in
+      let rd = P_delay.run a steps in
+      ra = rr && rr = rd)
+
+let tests =
+  [
+    QCheck2.Test.make ~name:"array = rad = delay on random pipelines" ~count:400
+      gen prop_all_impls_agree;
+  ]
+
+(* A few fixed heavyweight pipelines, deterministic. *)
+let test_fixed_pipelines () =
+  let a = Array.init 5_000 (fun i -> (i * 37 mod 101) - 50) in
+  let pipelines =
+    [
+      [ Map_add 3; Scan_ex 0; Mapi_mix; Filter_mod (3, 1); Scan_incl ];
+      [ Flat_expand 3; Scan_ex 2; Filter_op_mod 2 ];
+      [ Zip_self; Force; Flat_expand 2; Scan_incl; Filter_mod (5, 0) ];
+      [ Scan_ex 1; Scan_ex 1; Scan_ex 1 ];
+    ]
+  in
+  List.iteri
+    (fun i steps ->
+      let ra = P_array.run a steps in
+      let rr = P_rad.run a steps in
+      let rd = P_delay.run a steps in
+      Alcotest.(check bool) (Printf.sprintf "pipeline %d array=rad" i) true (ra = rr);
+      Alcotest.(check bool) (Printf.sprintf "pipeline %d array=delay" i) true (ra = rd))
+    pipelines
+
+let () =
+  Alcotest.run "impls"
+    [
+      ("fixed", [ Alcotest.test_case "heavyweight pipelines" `Quick test_fixed_pipelines ]);
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) tests);
+    ]

@@ -1,0 +1,215 @@
+(* Scheduler: fork-join correctness, exception propagation, ordering. *)
+
+module Pool = Bds_runtime.Pool
+module Runtime = Bds_runtime.Runtime
+
+let () = Bds_test_util.init ()
+
+let test_fib () =
+  let rec fib n =
+    if n < 2 then n
+    else if n < 10 then fib (n - 1) + fib (n - 2)
+    else begin
+      let a, b = Runtime.par (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+      a + b
+    end
+  in
+  Alcotest.(check int) "fib 24" 46368 (fib 24)
+
+let test_parallel_for_covers () =
+  let n = 100_000 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Runtime.parallel_for ~grain:13 0 n (fun i -> Atomic.incr hits.(i));
+  let bad = ref 0 in
+  Array.iter (fun a -> if Atomic.get a <> 1 then incr bad) hits;
+  Alcotest.(check int) "each index exactly once" 0 !bad
+
+let test_reduce_order () =
+  (* Non-commutative combine: concatenation must preserve index order and
+     apply the seed exactly once, on the left. *)
+  let n = 500 in
+  let s =
+    Runtime.parallel_for_reduce ~grain:7 0 n ~combine:( ^ ) ~init:">"
+      (fun i -> string_of_int (i mod 10))
+  in
+  let expect =
+    ">" ^ String.concat "" (List.init n (fun i -> string_of_int (i mod 10)))
+  in
+  Alcotest.(check string) "ordered concat" expect s
+
+let test_reduce_empty_and_one () =
+  Alcotest.(check int) "empty" 42
+    (Runtime.parallel_for_reduce 5 5 ~combine:( + ) ~init:42 (fun _ -> 1));
+  Alcotest.(check int) "singleton" 49
+    (Runtime.parallel_for_reduce 5 6 ~combine:( + ) ~init:42 (fun _ -> 7))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let pool = Runtime.get_pool () in
+  Alcotest.check_raises "await re-raises" (Boom 7) (fun () ->
+      Pool.run pool (fun () ->
+          let p = Pool.async pool (fun () -> raise (Boom 7)) in
+          Pool.await pool p));
+  (* The pool must still be usable afterwards. *)
+  Alcotest.(check int) "pool alive" 10
+    (Runtime.parallel_for_reduce 0 10 ~combine:( + ) ~init:0 (fun _ -> 1))
+
+let test_exception_in_parallel_for () =
+  Alcotest.check_raises "body exception" (Boom 1) (fun () ->
+      Runtime.parallel_for ~grain:1 0 64 (fun i -> if i = 33 then raise (Boom 1)))
+
+let test_nested_parallelism () =
+  let r =
+    Runtime.parallel_for_reduce ~grain:1 0 50 ~combine:( + ) ~init:0 (fun i ->
+        Runtime.parallel_for_reduce ~grain:3 0 50 ~combine:( + ) ~init:0
+          (fun j -> i * j))
+  in
+  Alcotest.(check int) "nested sum" (1225 * 1225) r
+
+let test_async_from_outside () =
+  (* async/await without entering [run]: await helps until completion. *)
+  let pool = Runtime.get_pool () in
+  let p = Pool.async pool (fun () -> List.init 100 Fun.id |> List.fold_left ( + ) 0) in
+  Alcotest.(check int) "outside await" 4950 (Pool.await pool p);
+  (* Even on a pool with zero spawned workers and no active [run], the
+     outside awaiter must make progress by executing the work itself. *)
+  let solo = Pool.create ~num_additional_domains:0 () in
+  let q = Pool.async solo (fun () -> 123) in
+  Alcotest.(check int) "solo pool await" 123 (Pool.await solo q);
+  (* Including when the task itself forks. *)
+  let q2 =
+    Pool.async solo (fun () ->
+        let a = Pool.async solo (fun () -> 40) in
+        Pool.await solo a + 2)
+  in
+  Alcotest.(check int) "solo pool nested" 42 (Pool.await solo q2);
+  Pool.teardown solo
+
+let test_many_asyncs () =
+  let pool = Runtime.get_pool () in
+  let r =
+    Pool.run pool (fun () ->
+        let ps = List.init 1000 (fun i -> Pool.async pool (fun () -> i)) in
+        List.fold_left (fun acc p -> acc + Pool.await pool p) 0 ps)
+  in
+  Alcotest.(check int) "sum of 1000 asyncs" 499500 r
+
+let test_run_inline_when_nested () =
+  let pool = Runtime.get_pool () in
+  let r = Pool.run pool (fun () -> Pool.run pool (fun () -> 11)) in
+  Alcotest.(check int) "nested run" 11 r
+
+let test_stats_and_teardown () =
+  (* Use a private pool so the global one keeps running. *)
+  let pool = Pool.create ~num_additional_domains:2 () in
+  let r =
+    Pool.run pool (fun () ->
+        let p = Pool.async pool (fun () -> 21) in
+        Pool.await pool p * 2)
+  in
+  Alcotest.(check int) "private pool" 42 r;
+  let executed, _steals = Pool.stats pool in
+  Alcotest.(check bool) "executed > 0" true (executed > 0);
+  Pool.teardown pool;
+  Pool.teardown pool (* idempotent *);
+  Alcotest.check_raises "run after teardown" Pool.Shutdown (fun () ->
+      ignore (Pool.run pool (fun () -> 0)))
+
+let test_parallel_for_lazy () =
+  List.iter
+    (fun (n, chunk) ->
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Runtime.parallel_for_lazy ~chunk 0 n (fun i -> Atomic.incr hits.(i));
+      let bad = ref 0 in
+      Array.iter (fun a -> if Atomic.get a <> 1 then incr bad) hits;
+      Alcotest.(check int)
+        (Printf.sprintf "lbs n=%d chunk=%d" n chunk)
+        0 !bad)
+    [ (0, 64); (1, 64); (63, 64); (64, 64); (65, 64); (100_000, 1); (100_000, 64); (5000, 100_000) ];
+  (* Imbalanced body still covers everything exactly once. *)
+  let n = 10_000 in
+  let sum = Atomic.make 0 in
+  Runtime.parallel_for_lazy ~chunk:16 0 n (fun i ->
+      let work = i mod 64 in
+      let acc = ref 0 in
+      for k = 1 to work * 10 do
+        acc := !acc + k
+      done;
+      ignore (Sys.opaque_identity !acc);
+      ignore (Atomic.fetch_and_add sum i));
+  Alcotest.(check int) "imbalanced sum" (n * (n - 1) / 2) (Atomic.get sum)
+
+let test_grain_extremes () =
+  let n = 1000 in
+  let a = Array.make n 0 in
+  Runtime.parallel_for ~grain:1 0 n (fun i -> a.(i) <- i);
+  Runtime.parallel_for ~grain:1_000_000 0 n (fun i -> a.(i) <- a.(i) + 1);
+  let ok = ref true in
+  Array.iteri (fun i v -> if v <> i + 1 then ok := false) a;
+  Alcotest.(check bool) "grain extremes" true !ok
+
+(* Scheduler fuzz: evaluate random fork-join expression trees and check
+   against a sequential model. *)
+type tree = Leaf of int | Node of tree * tree
+
+let rec tree_gen depth =
+  let open QCheck2.Gen in
+  if depth = 0 then map (fun v -> Leaf v) (int_range (-100) 100)
+  else
+    frequency
+      [
+        (1, map (fun v -> Leaf v) (int_range (-100) 100));
+        (3, map2 (fun l r -> Node (l, r)) (tree_gen (depth - 1)) (tree_gen (depth - 1)));
+      ]
+
+let rec eval_seq = function
+  | Leaf v -> v
+  | Node (l, r) -> eval_seq l + (2 * eval_seq r)
+
+let rec eval_par = function
+  | Leaf v -> v
+  | Node (l, r) ->
+    let a, b = Runtime.par (fun () -> eval_par l) (fun () -> eval_par r) in
+    a + (2 * b)
+
+let fuzz_tests =
+  [
+    QCheck2.Test.make ~name:"random fork-join trees" ~count:150 (tree_gen 9)
+      (fun t -> eval_par t = eval_seq t);
+    QCheck2.Test.make ~name:"parallel_for_reduce = fold (random grain)" ~count:150
+      QCheck2.Gen.(
+        triple (int_bound 2000) (int_range 1 500) (int_range (-50) 50))
+      (fun (n, grain, k) ->
+        Runtime.parallel_for_reduce ~grain 0 n ~combine:( + ) ~init:k (fun i ->
+            (i * i) mod 7)
+        = List.fold_left ( + ) k (List.init n (fun i -> (i * i) mod 7)));
+  ]
+
+let () =
+  Alcotest.run "pool"
+    [
+      ("fuzz", List.map (QCheck_alcotest.to_alcotest ~long:false) fuzz_tests);
+      ( "fork-join",
+        [
+          Alcotest.test_case "fib" `Quick test_fib;
+          Alcotest.test_case "parallel_for covers" `Quick test_parallel_for_covers;
+          Alcotest.test_case "reduce order (non-commutative)" `Quick test_reduce_order;
+          Alcotest.test_case "reduce empty/one" `Quick test_reduce_empty_and_one;
+          Alcotest.test_case "nested" `Quick test_nested_parallelism;
+          Alcotest.test_case "many asyncs" `Quick test_many_asyncs;
+          Alcotest.test_case "grain extremes" `Quick test_grain_extremes;
+          Alcotest.test_case "parallel_for_lazy" `Quick test_parallel_for_lazy;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "await re-raises" `Quick test_exception_propagation;
+          Alcotest.test_case "parallel_for body" `Quick test_exception_in_parallel_for;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "async outside run" `Quick test_async_from_outside;
+          Alcotest.test_case "run inline nested" `Quick test_run_inline_when_nested;
+          Alcotest.test_case "stats and teardown" `Quick test_stats_and_teardown;
+        ] );
+    ]

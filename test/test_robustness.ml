@@ -1,0 +1,147 @@
+(* Robustness: exception propagation through fused parallel pipelines,
+   concurrent consumption of shared delayed sequences, pool reuse after
+   failures, and randomized kernel properties against references. *)
+
+module S = Bds.Seq
+module Pool = Bds_runtime.Pool
+module Runtime = Bds_runtime.Runtime
+module K = Bds_kernels
+open Bds_test_util
+
+let () = init ()
+
+exception Kernel_bug of int
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let test_exception_in_map_body () =
+  let s = S.map (fun x -> if x = 777 then raise (Kernel_bug x) else x) (S.iota 10_000) in
+  Alcotest.check_raises "reduce propagates" (Kernel_bug 777) (fun () ->
+      ignore (S.reduce ( + ) 0 s));
+  (* The pool survives and computes correctly afterwards. *)
+  Alcotest.(check int) "pool alive" 49995000 (S.sum (S.iota 10_000))
+
+let test_exception_in_filter_predicate () =
+  Alcotest.check_raises "filter propagates" (Kernel_bug 5) (fun () ->
+      ignore
+        (S.to_array
+           (S.filter (fun x -> if x = 5000 then raise (Kernel_bug 5) else x > 0)
+              (S.iota 10_000))));
+  Alcotest.(check int) "pool alive" 100 (S.length (S.iota 100))
+
+let test_exception_in_scan_phase3 () =
+  (* Phase 1 traverses everything eagerly, so an injected fault fires at
+     scan time; a fault injected via a later map fires at consumption. *)
+  let sc, _ = S.scan ( + ) 0 (S.iota 1000) in
+  let poisoned = S.map (fun x -> if x > 400000 then raise (Kernel_bug 1) else x) sc in
+  Alcotest.check_raises "consumption propagates" (Kernel_bug 1) (fun () ->
+      ignore (S.reduce ( + ) 0 poisoned));
+  Alcotest.(check int) "pool alive" 10 (S.length (S.iota 10))
+
+let test_exception_in_flatten_inner () =
+  let nested =
+    S.tabulate 100 (fun i ->
+        if i = 50 then S.tabulate 5 (fun _ -> raise (Kernel_bug 50)) else S.iota i)
+  in
+  Alcotest.check_raises "flatten inner propagates" (Kernel_bug 50) (fun () ->
+      ignore (S.to_array (S.flatten nested)))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent consumption                                              *)
+
+let test_shared_bid_concurrent_force () =
+  (* Many tasks force the same BID concurrently; memoisation races are
+     benign and every consumer sees the same contents. *)
+  with_policy (Bds.Block.Fixed 16) (fun () ->
+      let pool = Runtime.get_pool () in
+      let b = S.filter (fun x -> x mod 3 <> 1) (S.iota 5_000) in
+      let expect = List.filter (fun x -> x mod 3 <> 1) (List.init 5_000 Fun.id) in
+      let results =
+        Pool.run pool (fun () ->
+            let ps = List.init 16 (fun _ -> Pool.async pool (fun () -> S.to_array b)) in
+            List.map (Pool.await pool) ps)
+      in
+      List.iter
+        (fun a -> Alcotest.(check int_list) "same contents" expect (Array.to_list a))
+        results)
+
+let test_shared_rad_concurrent_reduce () =
+  let pool = Runtime.get_pool () in
+  let s = S.map (fun x -> x * 2) (S.iota 20_000) in
+  let expect = 20_000 * 19_999 in
+  let sums =
+    Pool.run pool (fun () ->
+        let ps = List.init 8 (fun _ -> Pool.async pool (fun () -> S.reduce ( + ) 0 s)) in
+        List.map (Pool.await pool) ps)
+  in
+  List.iter (fun v -> Alcotest.(check int) "same sum" expect v) sums
+
+let test_pool_churn () =
+  (* Repeated pool replacement under work. *)
+  let n = 1_000_000 in
+  let expect = ref 0 in
+  for x = 0 to n - 1 do
+    expect := !expect + (x mod 97)
+  done;
+  for p = 1 to 4 do
+    Runtime.set_num_domains p;
+    Alcotest.(check int)
+      (Printf.sprintf "sum on %d domains" p)
+      !expect
+      (S.sum (S.map (fun x -> x mod 97) (S.iota n)))
+  done;
+  Runtime.set_num_domains Bds_test_util.domains
+
+(* ------------------------------------------------------------------ *)
+(* Randomized kernel properties                                        *)
+
+let bytes_gen =
+  QCheck2.Gen.(map Bytes.of_string (string_size ~gen:(oneof [char_range 'a' 'e'; return ' '; return '\n']) (int_bound 500)))
+
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"tokens = reference (random text)" ~count:200 bytes_gen
+      (fun text -> K.Tokens.Delay_version.tokens text = K.Tokens.reference text);
+    Test.make ~name:"wc = reference (random text)" ~count:200 bytes_gen (fun text ->
+        K.Wc.Delay_version.wc text = K.Wc.reference text);
+    Test.make ~name:"grep = reference (random text)" ~count:150 bytes_gen
+      (fun text ->
+        K.Grep.Delay_version.grep text "ab" = K.Grep.reference text "ab");
+    Test.make ~name:"inverted index = reference (random text)" ~count:100 bytes_gen
+      (fun text ->
+        K.Inverted_index.Delay_version.index text = K.Inverted_index.reference text);
+    Test.make ~name:"mcss = Kadane (random arrays)" ~count:200 small_int_array
+      (fun a -> K.Mcss.Delay_version.mcss a = K.Mcss.reference a);
+    Test.make ~name:"bignum add = schoolbook (random digits)" ~count:200
+      Gen.(pair (bytes_size (int_bound 300)) (bytes_size (int_bound 300)))
+      (fun (a, b) -> K.Bignum.Delay_version.add a b = K.Bignum.reference a b);
+    Test.make ~name:"linearrec = reference (random coefficients)" ~count:100
+      Gen.(int_bound 300)
+      (fun n ->
+        let xy = K.Linearrec.generate ~seed:n n in
+        let got = K.Linearrec.Delay_version.solve xy in
+        let expect = K.Linearrec.reference xy in
+        Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) got expect);
+  ]
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "fault injection",
+        [
+          Alcotest.test_case "map body raises" `Quick test_exception_in_map_body;
+          Alcotest.test_case "filter predicate raises" `Quick test_exception_in_filter_predicate;
+          Alcotest.test_case "poisoned scan output" `Quick test_exception_in_scan_phase3;
+          Alcotest.test_case "flatten inner raises" `Quick test_exception_in_flatten_inner;
+        ] );
+      ( "concurrent consumption",
+        [
+          Alcotest.test_case "shared BID force" `Quick test_shared_bid_concurrent_force;
+          Alcotest.test_case "shared RAD reduce" `Quick test_shared_rad_concurrent_reduce;
+          Alcotest.test_case "pool churn" `Quick test_pool_churn;
+        ] );
+      ( "kernel properties",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests );
+    ]

@@ -1,0 +1,158 @@
+(* Segmented scan/reduce vs per-segment list models, under assorted
+   block policies and segment shapes (empty segments included). *)
+
+module S = Bds.Seq
+module Seg = Bds.Segmented
+open Bds_test_util
+
+let () = init ()
+
+(* Reference: apply a list scan per segment. *)
+let ref_segmented per_segment lengths values =
+  let rec split l = function
+    | [] -> []
+    | len :: tl ->
+      let seg = List.filteri (fun i _ -> i < len) l in
+      let rest = List.filteri (fun i _ -> i >= len) l in
+      seg :: split rest tl
+  in
+  List.concat_map per_segment (split values lengths)
+
+let check_case name lengths values =
+  let ls = S.of_list lengths and vs = S.of_list values in
+  let got = S.to_list (Seg.scan ( + ) 0 ~lengths:ls ~values:vs) in
+  let expect = ref_segmented (fun seg -> fst (list_scan ( + ) 0 seg)) lengths values in
+  Alcotest.(check int_list) (name ^ " scan") expect got;
+  let got_incl = S.to_list (Seg.scan_incl ( + ) 0 ~lengths:ls ~values:vs) in
+  let expect_incl = ref_segmented (list_scan_incl ( + ) 0) lengths values in
+  Alcotest.(check int_list) (name ^ " scan_incl") expect_incl got_incl;
+  let got_red = S.to_list (Seg.reduce ( + ) 0 ~lengths:ls ~values:vs) in
+  let expect_red =
+    List.map (List.fold_left ( + ) 0)
+      (let rec split l = function
+         | [] -> []
+         | len :: tl ->
+           List.filteri (fun i _ -> i < len) l
+           :: split (List.filteri (fun i _ -> i >= len) l) tl
+       in
+       split values lengths)
+  in
+  Alcotest.(check int_list) (name ^ " reduce") expect_red got_red
+
+let test_basic () =
+  for_all_policies (fun pname ->
+      check_case (pname ^ " basic") [ 3; 2; 4 ] [ 1; 2; 3; 10; 20; 5; 6; 7; 8 ];
+      check_case (pname ^ " empties") [ 0; 3; 0; 0; 2; 0 ] [ 1; 2; 3; 4; 5 ];
+      check_case (pname ^ " singletons") [ 1; 1; 1; 1 ] [ 9; 8; 7; 6 ];
+      check_case (pname ^ " one segment") [ 5 ] [ 1; 2; 3; 4; 5 ];
+      check_case (pname ^ " all empty") [ 0; 0; 0 ] [];
+      check_case (pname ^ " no segments") [] [])
+
+let test_large () =
+  with_policy (Bds.Block.Fixed 13) (fun () ->
+      let lengths = List.init 200 (fun i -> i mod 7) in
+      let n = List.fold_left ( + ) 0 lengths in
+      let values = List.init n (fun i -> (i mod 23) - 11) in
+      check_case "large mixed" lengths values)
+
+let test_delayed_inputs () =
+  (* Values arriving as a BID (filter output) must work too. *)
+  with_policy (Bds.Block.Fixed 5) (fun () ->
+      let values = S.filter (fun x -> x mod 3 <> 0) (S.iota 40) in
+      let n = S.length values in
+      let lengths = S.of_list [ n / 2; n - (n / 2) ] in
+      let got = S.to_list (Seg.scan ( + ) 0 ~lengths ~values) in
+      let vlist = List.filter (fun x -> x mod 3 <> 0) (List.init 40 Fun.id) in
+      let expect =
+        ref_segmented
+          (fun seg -> fst (list_scan ( + ) 0 seg))
+          [ n / 2; n - (n / 2) ]
+          vlist
+      in
+      Alcotest.(check int_list) "BID values" expect got)
+
+let test_of_nested () =
+  let nested = S.tabulate 10 (fun i -> S.tabulate (i mod 4) (fun j -> (10 * i) + j)) in
+  let lengths, values = Seg.of_nested nested in
+  Alcotest.(check int_list) "lengths" (List.init 10 (fun i -> i mod 4)) (S.to_list lengths);
+  Alcotest.(check int_list) "values"
+    (List.concat (List.init 10 (fun i -> List.init (i mod 4) (fun j -> (10 * i) + j))))
+    (S.to_list values);
+  Alcotest.(check int) "total" (S.length values) (Seg.total_length lengths)
+
+let test_mismatch () =
+  Alcotest.check_raises "lengths mismatch"
+    (Invalid_argument "Segmented.scan: lengths do not sum to the value count")
+    (fun () -> ignore (Seg.scan ( + ) 0 ~lengths:(S.of_list [ 1 ]) ~values:(S.iota 5)))
+
+(* Non-commutative segmented scan. *)
+let test_non_commutative () =
+  with_policy (Bds.Block.Fixed 3) (fun () ->
+      let lengths = [ 2; 5; 1; 4 ] in
+      let values = List.init 12 (fun i -> String.make 1 (Char.chr (97 + i))) in
+      let got =
+        S.to_list
+          (Seg.scan_incl ( ^ ) ""
+             ~lengths:(S.of_list lengths)
+             ~values:(S.of_list values))
+      in
+      let expect = ref_segmented (list_scan_incl ( ^ ) "") lengths values in
+      Alcotest.(check (list string)) "string segmented scan" expect got)
+
+let qcheck_tests =
+  let open QCheck2 in
+  let case_gen =
+    (* Random segment lengths; values derived to match the total. *)
+    Gen.(
+      pair
+        (list_size (int_bound 30) (int_bound 8))
+        (int_range 1 24))
+  in
+  [
+    Test.make ~name:"segmented scan = per-segment list scans" ~count:300 case_gen
+      (fun (lengths, bsize) ->
+        with_policy (Bds.Block.Fixed bsize) (fun () ->
+            let n = List.fold_left ( + ) 0 lengths in
+            let values = List.init n (fun i -> (i mod 13) - 6) in
+            let got =
+              S.to_list
+                (Seg.scan ( + ) 0 ~lengths:(S.of_list lengths)
+                   ~values:(S.of_list values))
+            in
+            got = ref_segmented (fun seg -> fst (list_scan ( + ) 0 seg)) lengths values));
+    Test.make ~name:"segmented reduce = per-segment sums" ~count:300 case_gen
+      (fun (lengths, bsize) ->
+        with_policy (Bds.Block.Fixed bsize) (fun () ->
+            let n = List.fold_left ( + ) 0 lengths in
+            let values = List.init n (fun i -> (i mod 7) - 3) in
+            let got =
+              S.to_list
+                (Seg.reduce ( + ) 0 ~lengths:(S.of_list lengths)
+                   ~values:(S.of_list values))
+            in
+            let expect =
+              let rec split l = function
+                | [] -> []
+                | len :: tl ->
+                  List.filteri (fun i _ -> i < len) l
+                  :: split (List.filteri (fun i _ -> i >= len) l) tl
+              in
+              List.map (List.fold_left ( + ) 0) (split values lengths)
+            in
+            got = expect));
+  ]
+
+let () =
+  Alcotest.run "segmented"
+    [
+      ( "segmented",
+        [
+          Alcotest.test_case "basic shapes (all policies)" `Quick test_basic;
+          Alcotest.test_case "large mixed" `Quick test_large;
+          Alcotest.test_case "delayed inputs" `Quick test_delayed_inputs;
+          Alcotest.test_case "of_nested" `Quick test_of_nested;
+          Alcotest.test_case "length mismatch" `Quick test_mismatch;
+          Alcotest.test_case "non-commutative" `Quick test_non_commutative;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]

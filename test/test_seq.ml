@@ -1,0 +1,340 @@
+(* Block-delayed sequences: semantics vs list models under many block
+   policies, representation rules of Figure 11, delaying/forcing
+   behaviour, and edge cases. *)
+
+module S = Bds.Seq
+open Bds_test_util
+
+let () = init ()
+
+let slist = S.to_list
+
+let repr_t = Alcotest.of_pp (fun fmt r ->
+    Format.pp_print_string fmt (match r with `Rad -> "RAD" | `Bid -> "BID"))
+
+let test_representation_rules () =
+  with_policy (Bds.Block.Fixed 8) (fun () ->
+      let t = S.tabulate 100 Fun.id in
+      Alcotest.check repr_t "tabulate is RAD" `Rad (S.repr t);
+      Alcotest.check repr_t "map RAD is RAD" `Rad (S.repr (S.map (( + ) 1) t));
+      Alcotest.check repr_t "zip of RADs is RAD" `Rad (S.repr (S.zip t t));
+      let sc, _ = S.scan ( + ) 0 t in
+      Alcotest.check repr_t "scan is BID" `Bid (S.repr sc);
+      Alcotest.check repr_t "map BID is BID" `Bid (S.repr (S.map (( + ) 1) sc));
+      Alcotest.check repr_t "zip RAD*BID is BID" `Bid (S.repr (S.zip t sc));
+      Alcotest.check repr_t "filter is BID" `Bid
+        (S.repr (S.filter (fun x -> x > 50) t));
+      Alcotest.check repr_t "flatten is BID" `Bid
+        (S.repr (S.flatten (S.tabulate 5 (fun i -> S.iota i))));
+      Alcotest.check repr_t "force is RAD" `Rad (S.repr (S.force sc)))
+
+let pipeline_on_policy _name =
+  let n = 1237 in
+  let base = List.init n Fun.id in
+  let s = S.iota n in
+  (* map-scan-map-reduce (bestcut shape) *)
+  let got =
+    S.reduce ( + ) 0
+      (S.mapi ( + ) (fst (S.scan ( + ) 0 (S.map (fun x -> x mod 5) s))))
+  in
+  let prefixes, _ = list_scan ( + ) 0 (List.map (fun x -> x mod 5) base) in
+  let expect = List.fold_left ( + ) 0 (List.mapi ( + ) prefixes) in
+  Alcotest.(check int) "map-scan-map-reduce" expect got;
+  (* filter-scan-filter chain *)
+  let f1 = S.filter (fun x -> x mod 3 <> 0) s in
+  let sc = S.scan_incl ( + ) 0 f1 in
+  let f2 = S.filter (fun x -> x mod 2 = 0) sc in
+  let e1 = List.filter (fun x -> x mod 3 <> 0) base in
+  let e2 = list_scan_incl ( + ) 0 e1 in
+  let e3 = List.filter (fun x -> x mod 2 = 0) e2 in
+  Alcotest.(check int_list) "filter-scan-filter" e3 (slist f2);
+  (* flatten of maps of BIDs *)
+  let nested = S.tabulate 40 (fun i -> S.filter (fun x -> x mod 2 = i mod 2) (S.iota i)) in
+  let flat = S.flatten nested in
+  let expect_flat =
+    List.concat
+      (List.init 40 (fun i ->
+           List.filter (fun x -> x mod 2 = i mod 2) (List.init i Fun.id)))
+  in
+  Alcotest.(check int_list) "flatten of BIDs" expect_flat (slist flat)
+
+let test_pipelines_all_policies () = for_all_policies pipeline_on_policy
+
+let test_scan_variants () =
+  with_policy (Bds.Block.Fixed 5) (fun () ->
+      let a = Array.init 137 (fun i -> (i mod 11) - 5) in
+      let s = S.of_array a in
+      let got, total = S.scan ( + ) 7 s in
+      let expect, etotal = list_scan ( + ) 7 (Array.to_list a) in
+      Alcotest.(check int_list) "seeded exclusive scan" expect (slist got);
+      Alcotest.(check int) "total" etotal total;
+      Alcotest.(check int_list) "inclusive"
+        (list_scan_incl ( + ) 7 (Array.to_list a))
+        (slist (S.scan_incl ( + ) 7 s));
+      (* Non-commutative monoid across many blocks. *)
+      let compose (a1, b1) (a2, b2) = (a1 * a2, (b1 * a2) + b2) in
+      let pairs = Array.init 100 (fun i -> ((i mod 3) - 1, i mod 7)) in
+      let got2, gt = S.scan compose (1, 0) (S.of_array pairs) in
+      let expect2, et = list_scan compose (1, 0) (Array.to_list pairs) in
+      Alcotest.(check (list (pair int int))) "affine scan" expect2 (slist got2);
+      Alcotest.(check (pair int int)) "affine total" et gt)
+
+let test_delaying_and_memoisation () =
+  with_policy (Bds.Block.Fixed 16) (fun () ->
+      let calls = Atomic.make 0 in
+      let s =
+        S.map
+          (fun x ->
+            Atomic.incr calls;
+            x)
+          (S.iota 1000)
+      in
+      Alcotest.(check int) "map is delayed" 0 (Atomic.get calls);
+      ignore (S.reduce ( + ) 0 s);
+      ignore (S.reduce ( + ) 0 s);
+      Alcotest.(check int) "RAD recomputes per traversal" 2000 (Atomic.get calls);
+      (* BIDs memoise their forced array: repeated random access and
+         repeated to_array pay once. *)
+      Atomic.set calls 0;
+      let bid, _ = S.scan ( + ) 0 s in
+      Alcotest.(check int) "scan phase 1 drove input once" 1000 (Atomic.get calls);
+      let a1 = S.to_array bid in
+      let a2 = S.to_array bid in
+      Alcotest.(check bool) "memoised array is shared" true (a1 == a2);
+      Alcotest.(check int) "phase 3 re-drove input once" 2000 (Atomic.get calls);
+      ignore (S.get bid 123);
+      Alcotest.(check int) "get uses memo" 2000 (Atomic.get calls))
+
+let test_force_semantics () =
+  with_policy (Bds.Block.Fixed 8) (fun () ->
+      (* RADs are not memoised: every to_array is a fresh array. *)
+      let r = S.map (( + ) 1) (S.iota 100) in
+      Alcotest.(check bool) "rad to_array fresh" false (S.to_array r == S.to_array r);
+      (* force is idempotent and preserves contents. *)
+      let f1 = S.force r in
+      let f2 = S.force f1 in
+      Alcotest.(check int_list) "force contents" (List.init 100 (( + ) 1)) (slist f2);
+      Alcotest.check repr_t "force RAD" `Rad (S.repr f1);
+      (* forcing a BID yields an array-backed RAD decoupled from the
+         original blocks. *)
+      let b = S.filter (fun x -> x > 50) r in
+      let fb = S.force b in
+      Alcotest.check repr_t "forced BID is RAD" `Rad (S.repr fb);
+      Alcotest.(check int_list) "same contents" (slist b) (slist fb))
+
+let test_random_access () =
+  with_policy (Bds.Block.Fixed 10) (fun () ->
+      let s = S.tabulate 100 (fun i -> i * 3) in
+      Alcotest.(check int) "rad get" 30 (S.get s 10);
+      let b = S.filter (fun x -> x mod 2 = 0) s in
+      Alcotest.(check int) "bid get forces" (S.to_list b |> fun l -> List.nth l 7)
+        (S.get b 7);
+      Alcotest.check_raises "oob" (Invalid_argument "Seq.get: index out of bounds")
+        (fun () -> ignore (S.get s 100)))
+
+let test_policy_change_mid_life () =
+  (* A BID records its block size at creation: changing the policy before
+     consumption must not corrupt it. *)
+  let b =
+    with_policy (Bds.Block.Fixed 4) (fun () ->
+        fst (S.scan ( + ) 0 (S.filter (fun x -> x mod 2 = 0) (S.iota 100))))
+  in
+  with_policy (Bds.Block.Fixed 17) (fun () ->
+      let evens = List.filter (fun x -> x mod 2 = 0) (List.init 100 Fun.id) in
+      Alcotest.(check int_list) "consumed under new policy"
+        (fst (list_scan ( + ) 0 evens))
+        (slist b))
+
+let test_zip_mixed_block_sizes () =
+  (* BIDs created under different policies must still zip correctly. *)
+  let mk policy =
+    with_policy policy (fun () -> S.filter (fun x -> x mod 2 = 0) (S.iota 100))
+  in
+  let b1 = mk (Bds.Block.Fixed 4) in
+  let b2 = mk (Bds.Block.Fixed 9) in
+  let got = slist (S.zip_with ( + ) b1 b2) in
+  let evens = List.filter (fun x -> x mod 2 = 0) (List.init 100 Fun.id) in
+  Alcotest.(check int_list) "zip across block sizes" (List.map (fun x -> 2 * x) evens) got;
+  Alcotest.check_raises "zip length mismatch" (Invalid_argument "Seq.zip: length mismatch")
+    (fun () -> ignore (S.zip (S.iota 3) (S.iota 4)))
+
+let test_edge_cases () =
+  for_all_policies (fun _ ->
+      Alcotest.(check int_list) "empty map" [] (slist (S.map (( + ) 1) S.empty));
+      Alcotest.(check int) "empty reduce" 5 (S.reduce ( + ) 5 S.empty);
+      let e, t = S.scan ( + ) 5 S.empty in
+      Alcotest.(check int) "empty scan total" 5 t;
+      Alcotest.(check int_list) "empty scan" [] (slist e);
+      Alcotest.(check int_list) "empty filter" [] (slist (S.filter (fun _ -> true) S.empty));
+      Alcotest.(check int_list) "singleton" [ 9 ] (slist (S.singleton 9));
+      let one, t1 = S.scan ( + ) 3 (S.singleton 4) in
+      Alcotest.(check int_list) "scan singleton" [ 3 ] (slist one);
+      Alcotest.(check int) "scan singleton total" 7 t1;
+      Alcotest.(check int_list) "filter to empty" []
+        (slist (S.filter (fun _ -> false) (S.iota 100)));
+      Alcotest.(check int_list) "flatten empty outer" [] (slist (S.flatten S.empty));
+      Alcotest.(check int_list) "flatten all-empty inners" []
+        (slist (S.flatten (S.tabulate 10 (fun _ -> S.empty))));
+      Alcotest.(check int_list) "flatten with empty gaps"
+        [ 0; 0; 1 ]
+        (slist
+           (S.flatten
+              (S.of_list [ S.empty; S.iota 1; S.empty; S.empty; S.iota 2; S.empty ]))))
+
+let test_iteration () =
+  with_policy (Bds.Block.Fixed 7) (fun () ->
+      let hits = Array.init 500 (fun _ -> Atomic.make 0) in
+      S.iter (fun i -> Atomic.incr hits.(i)) (S.iota 500);
+      Array.iteri
+        (fun i a -> if Atomic.get a <> 1 then Alcotest.failf "index %d hit %d times" i (Atomic.get a))
+        hits;
+      let out = Array.make 200 (-1) in
+      let b = S.filter (fun x -> x < 200) (S.iota 1000) in
+      S.iteri (fun i v -> out.(i) <- v) b;
+      Alcotest.(check int_array) "iteri on BID" (Array.init 200 Fun.id) out)
+
+let test_derived () =
+  with_policy (Bds.Block.Fixed 6) (fun () ->
+      let s = S.iota 10 in
+      Alcotest.(check int_list) "slice" [ 3; 4; 5 ] (slist (S.slice s 3 3));
+      Alcotest.(check int_list) "take" [ 0; 1; 2 ] (slist (S.take s 3));
+      Alcotest.(check int_list) "drop" [ 7; 8; 9 ] (slist (S.drop s 7));
+      Alcotest.(check int_list) "rev" (List.rev (List.init 10 Fun.id)) (slist (S.rev s));
+      Alcotest.(check int_list) "append" [ 0; 1; 0; 1; 2 ]
+        (slist (S.append (S.iota 2) (S.iota 3)));
+      (* Derived ops on BIDs force first but stay correct. *)
+      let b = S.filter (fun x -> x mod 2 = 1) (S.iota 20) in
+      Alcotest.(check int_list) "take on BID" [ 1; 3; 5 ] (slist (S.take b 3));
+      Alcotest.(check int_list) "rev on BID"
+        (List.rev (List.filter (fun x -> x mod 2 = 1) (List.init 20 Fun.id)))
+        (slist (S.rev b));
+      Alcotest.(check int) "sum" 45 (S.sum s);
+      Alcotest.(check (float 1e-9)) "float_sum" 4.5
+        (S.float_sum (S.map (fun i -> float_of_int i /. 10.0) s));
+      Alcotest.(check int) "max_by" 9 (S.max_by compare s);
+      Alcotest.(check bool) "equal" true (S.equal ( = ) s (S.iota 10));
+      Alcotest.(check bool) "not equal" false (S.equal ( = ) s (S.rev s)))
+
+let test_blockwise_api () =
+  with_policy (Bds.Block.Fixed 8) (fun () ->
+      (* take on a BID must not force it. *)
+      let calls = Atomic.make 0 in
+      let counted =
+        S.map
+          (fun x ->
+            Atomic.incr calls;
+            x)
+          (S.iota 100)
+      in
+      let b = S.filter (fun x -> x mod 2 = 0) counted in
+      Atomic.set calls 0;
+      let t = S.take b 11 in
+      Alcotest.check repr_t "take keeps BID" `Bid (S.repr t);
+      Alcotest.(check int) "take is O(1)" 0 (Atomic.get calls);
+      Alcotest.(check int_list) "take contents" (List.init 11 (fun i -> 2 * i))
+        (slist t);
+      Alcotest.(check int_list) "take all" (List.init 50 (fun i -> 2 * i))
+        (slist (S.take b 50));
+      Alcotest.(check int) "take empty" 0 (S.length (S.take b 0));
+      (* Memoised BIDs answer take from the cached array. *)
+      ignore (S.to_array b);
+      Alcotest.check repr_t "take after force is RAD" `Rad (S.repr (S.take b 5));
+      (* iter_block_streams: parallel across blocks, ordered within. *)
+      let s = S.filter (fun x -> x mod 3 <> 0) (S.iota 100) in
+      let bs = S.block_size_of s in
+      let out = Array.make (S.length s) (-1) in
+      S.iter_block_streams
+        (fun j st ->
+          Bds_stream.Stream.iteri (fun k v -> out.((j * bs) + k) <- v) st)
+        s;
+      Alcotest.(check int_list) "iter_block_streams"
+        (List.filter (fun x -> x mod 3 <> 0) (List.init 100 Fun.id))
+        (Array.to_list out))
+
+let test_extended_combinators () =
+  with_policy (Bds.Block.Fixed 9) (fun () ->
+      let s = S.iota 100 in
+      Alcotest.(check int_list) "map3"
+        (List.init 100 (fun i -> 3 * i))
+        (slist (S.map3 (fun a b c -> a + b + c) s s s));
+      let pairs = S.map (fun i -> (i, i * 2)) s in
+      let l, r = S.unzip pairs in
+      Alcotest.(check int_list) "unzip fst" (List.init 100 Fun.id) (slist l);
+      Alcotest.(check int_list) "unzip snd" (List.init 100 (fun i -> 2 * i)) (slist r);
+      Alcotest.(check (list (pair int int))) "enumerate"
+        [ (0, 0); (1, 10); (2, 20) ]
+        (S.to_list (S.enumerate (S.tabulate 3 (fun i -> 10 * i))));
+      Alcotest.(check int) "count" 34 (S.count (fun x -> x mod 3 = 0) s);
+      Alcotest.(check bool) "for_all true" true (S.for_all (fun x -> x < 100) s);
+      Alcotest.(check bool) "for_all false" false (S.for_all (fun x -> x < 99) s);
+      Alcotest.(check bool) "exists true" true (S.exists (fun x -> x = 42) s);
+      Alcotest.(check bool) "exists false" false (S.exists (fun x -> x > 100) s);
+      Alcotest.(check (option int)) "find_opt" (Some 51)
+        (S.find_opt (fun x -> x > 50) s);
+      Alcotest.(check (option int)) "find_opt none" None
+        (S.find_opt (fun x -> x > 500) s);
+      Alcotest.(check (option int)) "find_index" (Some 17)
+        (S.find_index (fun x -> x * 3 = 51) s);
+      (* find on a BID input: order must still be leftmost-first. *)
+      let b = S.filter (fun x -> x mod 2 = 1) s in
+      Alcotest.(check (option int)) "find on BID" (Some 21)
+        (S.find_opt (fun x -> x > 19) b);
+      Alcotest.(check int_list) "concat" [ 0; 0; 1; 0; 1; 2 ]
+        (slist (S.concat [ S.iota 1; S.iota 2; S.empty; S.iota 3 ]));
+      Alcotest.(check int_list) "flat_map"
+        (List.concat_map (fun x -> List.init x (fun j -> (10 * x) + j)) (List.init 6 Fun.id))
+        (slist (S.flat_map (fun x -> S.tabulate x (fun j -> (10 * x) + j)) (S.iota 6)));
+      (let evens, odds = S.partition (fun x -> x mod 2 = 0) s in
+       Alcotest.(check int_list) "partition evens"
+         (List.filter (fun x -> x mod 2 = 0) (List.init 100 Fun.id))
+         (slist evens);
+       Alcotest.(check int_list) "partition odds"
+         (List.filter (fun x -> x mod 2 = 1) (List.init 100 Fun.id))
+         (slist odds));
+      Alcotest.(check (list (pair int int))) "pairwise"
+        [ (0, 1); (1, 2); (2, 3) ]
+        (S.to_list (S.pairwise (S.iota 4)));
+      Alcotest.(check int) "pairwise singleton" 0 (S.length (S.pairwise (S.iota 1)));
+      Alcotest.(check (list (pair int int))) "pairwise on BID"
+        [ (0, 2); (2, 4) ]
+        (S.to_list (S.pairwise (S.filter (fun x -> x mod 2 = 0) (S.iota 6))));
+      Alcotest.(check int_list) "std seq roundtrip" (List.init 10 Fun.id)
+        (slist (S.of_std_seq (S.to_std_seq (S.iota 10))));
+      Alcotest.(check int) "min_by" 0 (S.min_by compare s))
+
+let test_filter_op () =
+  for_all_policies (fun _ ->
+      let got =
+        slist
+          (S.filter_op
+             (fun x -> if x mod 3 = 0 then Some (x * x) else None)
+             (S.iota 200))
+      in
+      let expect =
+        List.filter_map
+          (fun x -> if x mod 3 = 0 then Some (x * x) else None)
+          (List.init 200 Fun.id)
+      in
+      Alcotest.(check int_list) "filter_op" expect got)
+
+let () =
+  Alcotest.run "seq"
+    [
+      ( "seq",
+        [
+          Alcotest.test_case "representation rules" `Quick test_representation_rules;
+          Alcotest.test_case "pipelines (all policies)" `Quick test_pipelines_all_policies;
+          Alcotest.test_case "scan variants" `Quick test_scan_variants;
+          Alcotest.test_case "delaying and memoisation" `Quick test_delaying_and_memoisation;
+          Alcotest.test_case "force semantics" `Quick test_force_semantics;
+          Alcotest.test_case "random access" `Quick test_random_access;
+          Alcotest.test_case "zip mixed block sizes" `Quick test_zip_mixed_block_sizes;
+          Alcotest.test_case "policy change mid-life" `Quick test_policy_change_mid_life;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "iteration" `Quick test_iteration;
+          Alcotest.test_case "derived ops" `Quick test_derived;
+          Alcotest.test_case "extended combinators" `Quick test_extended_combinators;
+          Alcotest.test_case "blockwise api" `Quick test_blockwise_api;
+          Alcotest.test_case "filter_op" `Quick test_filter_op;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+(* Property-based testing of block-delayed sequences: random operation
+   pipelines compared against a list model, under random block sizes. *)
+
+module S = Bds.Seq
+open Bds_test_util
+
+let () = init ()
+
+(* A pipeline step on int sequences, with its list-model counterpart. *)
+type step =
+  | Map_add of int
+  | Map_mod of int
+  | Filter_mod of int * int
+  | Scan_ex
+  | Scan_incl
+  | Zip_self
+  | Force
+  | Mapi_add
+  | Rev
+  | Take_half
+  | Drop_third
+  | Append_self
+  | Enumerate_sum
+
+let apply_seq step s =
+  match step with
+  | Map_add k -> S.map (( + ) k) s
+  | Map_mod k -> S.map (fun x -> x mod k) s
+  | Filter_mod (k, r) -> S.filter (fun x -> (x mod k + k) mod k = r) s
+  | Scan_ex -> fst (S.scan ( + ) 0 s)
+  | Scan_incl -> S.scan_incl ( + ) 0 s
+  | Zip_self -> S.zip_with ( + ) s s
+  | Force -> S.force s
+  | Mapi_add -> S.mapi ( + ) s
+  | Rev -> S.rev s
+  | Take_half -> S.take s ((S.length s + 1) / 2)
+  | Drop_third -> S.drop s (S.length s / 3)
+  | Append_self -> S.append s s
+  | Enumerate_sum -> S.map (fun (i, v) -> i + v) (S.enumerate s)
+
+let apply_list step l =
+  match step with
+  | Map_add k -> List.map (( + ) k) l
+  | Map_mod k -> List.map (fun x -> x mod k) l
+  | Filter_mod (k, r) -> List.filter (fun x -> (x mod k + k) mod k = r) l
+  | Scan_ex -> fst (list_scan ( + ) 0 l)
+  | Scan_incl -> list_scan_incl ( + ) 0 l
+  | Zip_self -> List.map (fun x -> x + x) l
+  | Force -> l
+  | Mapi_add -> List.mapi ( + ) l
+  | Rev -> List.rev l
+  | Take_half -> List.filteri (fun i _ -> i < (List.length l + 1) / 2) l
+  | Drop_third -> List.filteri (fun i _ -> i >= List.length l / 3) l
+  | Append_self -> l @ l
+  | Enumerate_sum -> List.mapi ( + ) l
+
+let step_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun k -> Map_add k) (int_range (-10) 10);
+      map (fun k -> Map_mod (k + 2)) (int_bound 10);
+      map2 (fun k r -> Filter_mod (k + 2, r mod (k + 2))) (int_bound 6) (int_bound 10);
+      return Scan_ex;
+      return Scan_incl;
+      return Zip_self;
+      return Force;
+      return Mapi_add;
+      return Rev;
+      return Take_half;
+      return Drop_third;
+      return Append_self;
+      return Enumerate_sum;
+    ]
+
+let pipeline_gen =
+  let open QCheck2.Gen in
+  triple small_int_array (list_size (int_bound 6) step_gen) (int_range 1 40)
+
+let prop_pipeline (a, steps, bsize) =
+  with_policy (Bds.Block.Fixed bsize) (fun () ->
+      let s = List.fold_left (fun s st -> apply_seq st s) (S.of_array a) steps in
+      let l = List.fold_left (fun l st -> apply_list st l) (Array.to_list a) steps in
+      S.to_list s = l && S.length s = List.length l)
+
+let prop_reduce_after_pipeline (a, steps, bsize) =
+  with_policy (Bds.Block.Fixed bsize) (fun () ->
+      let s = List.fold_left (fun s st -> apply_seq st s) (S.of_array a) steps in
+      let l = List.fold_left (fun l st -> apply_list st l) (Array.to_list a) steps in
+      S.reduce ( + ) 0 s = List.fold_left ( + ) 0 l)
+
+(* flatten . map ≡ concat_map *)
+let prop_flatten (a, bsize) =
+  with_policy (Bds.Block.Fixed bsize) (fun () ->
+      let mk x = S.tabulate (abs x mod 5) (fun j -> x + j) in
+      let got = S.to_list (S.flatten (S.map mk (S.of_array a))) in
+      let expect =
+        List.concat_map (fun x -> List.init (abs x mod 5) (fun j -> x + j)) (Array.to_list a)
+      in
+      got = expect)
+
+(* Affine-composition scan (non-commutative monoid) against the list
+   model, under random block sizes. *)
+let prop_affine_scan (pairs, bsize) =
+  with_policy (Bds.Block.Fixed bsize) (fun () ->
+      let compose (a1, b1) (a2, b2) = (a1 * a2, (b1 * a2) + b2) in
+      let arr = Array.map (fun (a, b) -> (a mod 3, b mod 5)) pairs in
+      let got, gt = S.scan compose (1, 0) (S.of_array arr) in
+      let expect, et = list_scan compose (1, 0) (Array.to_list arr) in
+      S.to_list got = expect && gt = et)
+
+(* filter distributes over map. *)
+let prop_filter_map_commute (a, bsize) =
+  with_policy (Bds.Block.Fixed bsize) (fun () ->
+      let f x = (2 * x) + 1 in
+      let p x = x > 0 in
+      let lhs = S.to_list (S.filter p (S.map f (S.of_array a))) in
+      let rhs = S.to_list (S.map f (S.filter (fun x -> p (f x)) (S.of_array a))) in
+      lhs = rhs)
+
+(* to_array . of_array = id; force is semantically the identity. *)
+let prop_roundtrip (a, bsize) =
+  with_policy (Bds.Block.Fixed bsize) (fun () ->
+      S.to_array (S.of_array a) = a
+      && S.to_list (S.force (S.filter (fun x -> x <> 0) (S.of_array a)))
+         = S.to_list (S.filter (fun x -> x <> 0) (S.of_array a)))
+
+let with_bsize g = QCheck2.Gen.(pair g (int_range 1 40))
+
+let tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"pipeline = list model" ~count:500 pipeline_gen prop_pipeline;
+    Test.make ~name:"reduce after pipeline" ~count:300 pipeline_gen
+      prop_reduce_after_pipeline;
+    Test.make ~name:"flatten.map = concat_map" ~count:300 (with_bsize small_int_array)
+      prop_flatten;
+    Test.make ~name:"affine scan (non-commutative)" ~count:300
+      (with_bsize (Gen.array_size (Gen.int_bound 150) (Gen.pair Gen.small_signed_int Gen.small_signed_int)))
+      prop_affine_scan;
+    Test.make ~name:"filter/map commute" ~count:300 (with_bsize small_int_array)
+      prop_filter_map_commute;
+    Test.make ~name:"roundtrips" ~count:300 (with_bsize small_int_array) prop_roundtrip;
+  ]
+
+let () =
+  Alcotest.run "seq_qcheck"
+    [ ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) tests) ]

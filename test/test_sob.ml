@@ -1,0 +1,108 @@
+(* Stream-of-blocks library (§2.1 / Figure 16 comparison). *)
+
+module Sob = Bds_sob.Sob
+open Bds_test_util
+
+let () = init ()
+
+let block_sizes = [ 1; 3; 17; 100; 1000 ]
+
+let test_tabulate_to_array () =
+  List.iter
+    (fun bs ->
+      let s = Sob.tabulate ~block_size:bs 100 (fun i -> i * 2) in
+      Alcotest.(check int_array)
+        (Printf.sprintf "roundtrip bs=%d" bs)
+        (Array.init 100 (fun i -> i * 2))
+        (Sob.to_array s);
+      Alcotest.(check (option int)) "length" (Some 100) (Sob.length s))
+    block_sizes;
+  Alcotest.(check int_array) "empty" [||]
+    (Sob.to_array (Sob.tabulate ~block_size:4 0 (fun _ -> assert false)))
+
+let test_map_mapi () =
+  List.iter
+    (fun bs ->
+      let s = Sob.of_array ~block_size:bs (Array.init 50 Fun.id) in
+      Alcotest.(check int_array) "map"
+        (Array.init 50 (fun i -> i + 1))
+        (Sob.to_array (Sob.map (( + ) 1) s));
+      Alcotest.(check int_array) "mapi"
+        (Array.init 50 (fun i -> 2 * i))
+        (Sob.to_array (Sob.mapi ( + ) s)))
+    block_sizes
+
+let test_scan () =
+  List.iter
+    (fun bs ->
+      let a = Array.init 113 (fun i -> (i mod 9) - 4) in
+      let got = Sob.to_array (Sob.scan ( + ) 0 (Sob.of_array ~block_size:bs a)) in
+      let expect, _ = list_scan ( + ) 0 (Array.to_list a) in
+      Alcotest.(check int_list)
+        (Printf.sprintf "scan bs=%d" bs)
+        expect (Array.to_list got))
+    block_sizes;
+  (* Non-commutative: carry must thread across blocks in order. *)
+  let strs = Array.init 20 (fun i -> String.make 1 (Char.chr (97 + i))) in
+  let got = Sob.to_array (Sob.scan ( ^ ) "" (Sob.of_array ~block_size:3 strs)) in
+  let expect, _ = list_scan ( ^ ) "" (Array.to_list strs) in
+  Alcotest.(check (list string)) "string scan" expect (Array.to_list got)
+
+let test_reduce () =
+  List.iter
+    (fun bs ->
+      let a = Array.init 1000 Fun.id in
+      Alcotest.(check int)
+        (Printf.sprintf "reduce bs=%d" bs)
+        499500
+        (Sob.reduce ( + ) 0 (Sob.of_array ~block_size:bs a)))
+    block_sizes;
+  let strs = Array.init 26 (fun i -> String.make 1 (Char.chr (97 + i))) in
+  Alcotest.(check string) "ordered reduce" "abcdefghijklmnopqrstuvwxyz"
+    (Sob.reduce ( ^ ) "" (Sob.of_array ~block_size:4 strs))
+
+let test_filter () =
+  List.iter
+    (fun bs ->
+      let a = Array.init 200 Fun.id in
+      let s = Sob.of_array ~block_size:bs a in
+      let f = Sob.filter (fun x -> x mod 3 = 0) s in
+      Alcotest.(check (option int)) "length unknown" None (Sob.length f);
+      Alcotest.(check int_list)
+        (Printf.sprintf "filter bs=%d" bs)
+        (List.filter (fun x -> x mod 3 = 0) (Array.to_list a))
+        (Array.to_list (Sob.to_array f));
+      (* filter then reduce, with the carry threading across
+         variable-length blocks. *)
+      Alcotest.(check int) "filter+reduce"
+        (List.fold_left ( + ) 0 (List.filter (fun x -> x mod 3 = 0) (Array.to_list a)))
+        (Sob.reduce ( + ) 0 f))
+    block_sizes;
+  Alcotest.(check int_list) "filter none" []
+    (Array.to_list
+       (Sob.to_array (Sob.filter (fun _ -> false) (Sob.of_array ~block_size:7 (Array.init 50 Fun.id)))))
+
+let test_pipeline () =
+  (* The bestcut shape over sob: map, scan, map, reduce. *)
+  let a = Array.init 500 (fun i -> i mod 7) in
+  let s = Sob.of_array ~block_size:64 a in
+  let got =
+    Sob.reduce min max_int (Sob.mapi (fun i c -> c - i) (Sob.scan ( + ) 0 (Sob.map (( * ) 2) s)))
+  in
+  let prefixes, _ = list_scan ( + ) 0 (List.map (( * ) 2) (Array.to_list a)) in
+  let expect = List.fold_left min max_int (List.mapi (fun i c -> c - i) prefixes) in
+  Alcotest.(check int) "sob pipeline" expect got
+
+let () =
+  Alcotest.run "sob"
+    [
+      ( "sob",
+        [
+          Alcotest.test_case "tabulate/to_array" `Quick test_tabulate_to_array;
+          Alcotest.test_case "map/mapi" `Quick test_map_mapi;
+          Alcotest.test_case "scan" `Quick test_scan;
+          Alcotest.test_case "filter" `Quick test_filter;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "pipeline" `Quick test_pipeline;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+(* Sequential delayed streams: semantics vs list model, laziness. *)
+
+module Stream = Bds_stream.Stream
+module Buffer_ext = Bds_stream.Buffer_ext
+open Bds_test_util
+
+let check_ilist = Alcotest.(check (list int))
+
+let test_tabulate () =
+  check_ilist "tabulate" [ 0; 2; 4; 6 ] (Stream.to_list (Stream.tabulate 4 (fun i -> 2 * i)));
+  check_ilist "empty" [] (Stream.to_list (Stream.tabulate 0 (fun _ -> assert false)))
+
+let test_map_zip () =
+  let s = Stream.tabulate 5 Fun.id in
+  check_ilist "map" [ 1; 2; 3; 4; 5 ] (Stream.to_list (Stream.map (( + ) 1) s));
+  let t = Stream.tabulate 5 (fun i -> 10 * i) in
+  check_ilist "zip_with" [ 0; 11; 22; 33; 44 ]
+    (Stream.to_list (Stream.zip_with ( + ) s t));
+  Alcotest.(check (list (pair int int)))
+    "zip"
+    [ (0, 0); (1, 10); (2, 20) ]
+    (Stream.to_list (Stream.zip (Stream.tabulate 3 Fun.id) (Stream.tabulate 3 (fun i -> 10 * i))));
+  Alcotest.check_raises "zip length mismatch"
+    (Invalid_argument "Stream.zip: length mismatch") (fun () ->
+      ignore (Stream.zip (Stream.tabulate 2 Fun.id) (Stream.tabulate 3 Fun.id)))
+
+let test_mapi () =
+  check_ilist "mapi" [ 0; 11; 22 ]
+    (Stream.to_list (Stream.mapi (fun i v -> i + v) (Stream.tabulate 3 (fun i -> 10 * i))))
+
+let test_scans () =
+  let s = Stream.tabulate 5 (fun i -> i + 1) in
+  check_ilist "exclusive scan" [ 0; 1; 3; 6; 10 ]
+    (Stream.to_list (Stream.scan ( + ) 0 s));
+  check_ilist "inclusive scan" [ 1; 3; 6; 10; 15 ]
+    (Stream.to_list (Stream.scan_incl ( + ) 0 s));
+  (* Non-identity seed: applied exactly once. *)
+  check_ilist "seeded scan" [ 100; 101; 103 ]
+    (Stream.to_list (Stream.scan ( + ) 100 (Stream.tabulate 3 (fun i -> i + 1))))
+
+let test_reduce () =
+  let s = Stream.tabulate 100 Fun.id in
+  Alcotest.(check int) "reduce" 4950 (Stream.reduce ( + ) 0 s);
+  Alcotest.(check int) "reduce1" 4950 (Stream.reduce1 ( + ) (Stream.tabulate 100 Fun.id));
+  Alcotest.(check string) "reduce order" "abc"
+    (Stream.reduce ( ^ ) "" (Stream.of_array [| "a"; "b"; "c" |]));
+  Alcotest.check_raises "reduce1 empty"
+    (Invalid_argument "Stream.reduce1: empty stream") (fun () ->
+      ignore (Stream.reduce1 ( + ) (Stream.tabulate 0 (fun _ -> 0))))
+
+let test_pack () =
+  let s = Stream.tabulate 10 Fun.id in
+  Alcotest.(check int_array) "pack evens" [| 0; 2; 4; 6; 8 |]
+    (Stream.pack_to_array (fun x -> x mod 2 = 0) s);
+  Alcotest.(check int_array) "pack none" [||]
+    (Stream.pack_to_array (fun _ -> false) (Stream.tabulate 10 Fun.id));
+  Alcotest.(check int_array) "pack_op" [| 0; 4; 16; 36; 64 |]
+    (Stream.pack_op_to_array
+       (fun x -> if x mod 2 = 0 then Some (x * x) else None)
+       (Stream.tabulate 10 Fun.id))
+
+let test_take () =
+  let s () = Stream.tabulate 10 Fun.id in
+  check_ilist "take 3" [ 0; 1; 2 ] (Stream.to_list (Stream.take 3 (s ())));
+  check_ilist "take over-length" (List.init 10 Fun.id)
+    (Stream.to_list (Stream.take 99 (s ())));
+  check_ilist "take 0" [] (Stream.to_list (Stream.take 0 (s ())));
+  Alcotest.check_raises "take negative" (Invalid_argument "Stream.take")
+    (fun () -> ignore (Stream.take (-1) (s ())));
+  (* take composes with scan: only the taken prefix is evaluated. *)
+  let calls = ref 0 in
+  let counted =
+    Stream.map
+      (fun x ->
+        incr calls;
+        x)
+      (Stream.tabulate 100 Fun.id)
+  in
+  check_ilist "take of scan" [ 0; 0; 1 ]
+    (Stream.to_list (Stream.take 3 (Stream.scan ( + ) 0 counted)));
+  Alcotest.(check int) "only prefix evaluated" 3 !calls
+
+let test_of_array_slice () =
+  let a = [| 10; 11; 12; 13; 14 |] in
+  check_ilist "slice" [ 11; 12; 13 ] (Stream.to_list (Stream.of_array_slice a 1 3));
+  Alcotest.check_raises "bad slice" (Invalid_argument "Stream.of_array_slice")
+    (fun () -> ignore (Stream.of_array_slice a 3 4))
+
+let test_laziness () =
+  (* Constructors must not evaluate any element. *)
+  let calls = ref 0 in
+  let s =
+    Stream.tabulate 1000 (fun i ->
+        incr calls;
+        i)
+  in
+  let s = Stream.map (( * ) 2) s in
+  let s = Stream.scan ( + ) 0 s in
+  Alcotest.(check int) "no eager calls" 0 !calls;
+  ignore (Stream.reduce ( + ) 0 s);
+  Alcotest.(check int) "one pass" 1000 !calls
+
+let test_iter_iteri () =
+  let acc = ref [] in
+  Stream.iter (fun v -> acc := v :: !acc) (Stream.tabulate 4 Fun.id);
+  check_ilist "iter order" [ 3; 2; 1; 0 ] !acc;
+  let acc2 = ref [] in
+  Stream.iteri (fun i v -> acc2 := (i + v) :: !acc2) (Stream.tabulate 3 (fun i -> 10 * i));
+  check_ilist "iteri" [ 22; 11; 0 ] !acc2
+
+let test_equal () =
+  let mk () = Stream.tabulate 5 Fun.id in
+  Alcotest.(check bool) "equal" true (Stream.equal ( = ) (mk ()) (mk ()));
+  Alcotest.(check bool) "not equal" false
+    (Stream.equal ( = ) (mk ()) (Stream.tabulate 5 (fun i -> i + 1)));
+  Alcotest.(check bool) "length differs" false
+    (Stream.equal ( = ) (mk ()) (Stream.tabulate 4 Fun.id))
+
+let test_buffer () =
+  let b = Buffer_ext.create () in
+  Alcotest.(check int) "empty len" 0 (Buffer_ext.length b);
+  for i = 0 to 99 do
+    Buffer_ext.push b i
+  done;
+  Alcotest.(check int) "len" 100 (Buffer_ext.length b);
+  Alcotest.(check int) "get" 57 (Buffer_ext.get b 57);
+  Alcotest.(check int_array) "to_array" (Array.init 100 Fun.id) (Buffer_ext.to_array b);
+  Alcotest.check_raises "get out of range" (Invalid_argument "Buffer_ext.get")
+    (fun () -> ignore (Buffer_ext.get b 100));
+  Buffer_ext.clear b;
+  Alcotest.(check int) "cleared" 0 (Buffer_ext.length b)
+
+(* QCheck: stream pipeline equals list pipeline. *)
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"scan matches list model" ~count:200 small_int_array (fun a ->
+        let got = Stream.to_list (Stream.scan ( + ) 0 (Stream.of_array a)) in
+        let expect, _ = list_scan ( + ) 0 (Array.to_list a) in
+        got = expect);
+    Test.make ~name:"scan_incl matches list model" ~count:200 small_int_array
+      (fun a ->
+        let got = Stream.to_list (Stream.scan_incl ( + ) 0 (Stream.of_array a)) in
+        got = list_scan_incl ( + ) 0 (Array.to_list a));
+    Test.make ~name:"map-pack pipeline" ~count:200 small_int_array (fun a ->
+        let got =
+          Stream.pack_to_array
+            (fun x -> x > 0)
+            (Stream.map (fun x -> x - 1) (Stream.of_array a))
+        in
+        got
+        = (Array.to_list a
+          |> List.map (fun x -> x - 1)
+          |> List.filter (fun x -> x > 0)
+          |> Array.of_list));
+  ]
+
+(* The alternative pure state-passing encoding must agree with the
+   trickle-closure encoding on every operation. *)
+module SP = Bds_stream.Stream_pure
+
+let test_pure_encoding () =
+  check_ilist "tabulate" [ 0; 2; 4 ] (SP.to_list (SP.tabulate 3 (fun i -> 2 * i)));
+  check_ilist "map" [ 1; 2; 3 ] (SP.to_list (SP.map (( + ) 1) (SP.tabulate 3 Fun.id)));
+  check_ilist "mapi" [ 0; 11; 22 ]
+    (SP.to_list (SP.mapi (fun i v -> i + v) (SP.tabulate 3 (fun i -> 10 * i))));
+  check_ilist "scan" [ 0; 1; 3; 6 ]
+    (SP.to_list (SP.scan ( + ) 0 (SP.tabulate 4 (fun i -> i + 1))));
+  check_ilist "scan_incl" [ 1; 3; 6; 10 ]
+    (SP.to_list (SP.scan_incl ( + ) 0 (SP.tabulate 4 (fun i -> i + 1))));
+  Alcotest.(check int) "reduce" 4950 (SP.reduce ( + ) 0 (SP.tabulate 100 Fun.id));
+  Alcotest.(check int_array) "to_array" [| 5; 6; 7 |]
+    (SP.to_array (SP.of_array_slice [| 4; 5; 6; 7; 8 |] 1 3));
+  let acc = ref [] in
+  SP.iter (fun v -> acc := v :: !acc) (SP.tabulate 3 Fun.id);
+  check_ilist "iter" [ 2; 1; 0 ] !acc
+
+let pure_equiv_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"pure = trickle on random chains" ~count:300
+      Gen.(pair small_int_array (int_range (-5) 5))
+      (fun (a, k) ->
+        let with_trickle =
+          let open Stream in
+          to_list (scan_incl ( + ) k (map (fun x -> x - k) (of_array a)))
+        in
+        let with_pure =
+          let open SP in
+          to_list (scan_incl ( + ) k (map (fun x -> x - k) (of_array a)))
+        in
+        with_trickle = with_pure);
+    Test.make ~name:"pure zip_with = trickle zip_with" ~count:200 small_int_array
+      (fun a ->
+        Stream.(to_list (zip_with ( * ) (of_array a) (of_array a)))
+        = SP.(to_list (zip_with ( * ) (of_array a) (of_array a))));
+  ]
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "tabulate" `Quick test_tabulate;
+          Alcotest.test_case "map/zip" `Quick test_map_zip;
+          Alcotest.test_case "mapi" `Quick test_mapi;
+          Alcotest.test_case "scans" `Quick test_scans;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "pack" `Quick test_pack;
+          Alcotest.test_case "take" `Quick test_take;
+          Alcotest.test_case "of_array_slice" `Quick test_of_array_slice;
+          Alcotest.test_case "laziness" `Quick test_laziness;
+          Alcotest.test_case "iter/iteri" `Quick test_iter_iteri;
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "buffer_ext" `Quick test_buffer;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+      ( "pure encoding",
+        Alcotest.test_case "operations" `Quick test_pure_encoding
+        :: List.map (QCheck_alcotest.to_alcotest ~long:false) pure_equiv_tests );
+    ]

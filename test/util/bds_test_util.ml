@@ -1,0 +1,61 @@
+(* Shared helpers for the test suites. *)
+
+let domains = 3
+
+(* Idempotent: every suite runs on a small oversubscribed pool so that the
+   work-stealing paths are exercised even on a single-core machine. *)
+let init =
+  let done_ = ref false in
+  fun () ->
+    if not !done_ then begin
+      Bds_runtime.Runtime.set_num_domains domains;
+      done_ := true
+    end
+
+(* Run [f] under a block-size policy, restoring the previous policy. *)
+let with_policy p f =
+  let old = Bds.Block.get_policy () in
+  Bds.Block.set_policy p;
+  Fun.protect ~finally:(fun () -> Bds.Block.set_policy old) f
+
+(* Exercise a check under several block-size policies, including
+   degenerate ones. *)
+let policies =
+  [
+    ("B=1", Bds.Block.Fixed 1);
+    ("B=3", Bds.Block.Fixed 3);
+    ("B=64", Bds.Block.Fixed 64);
+    ("B=10000", Bds.Block.Fixed 10000);
+    ("scaled", Bds.Block.default_policy);
+  ]
+
+let for_all_policies f =
+  List.iter (fun (name, p) -> with_policy p (fun () -> f name)) policies
+
+(* Alcotest testables. *)
+let int_array = Alcotest.(array int)
+let int_list = Alcotest.(list int)
+
+(* Exclusive scan reference on lists. *)
+let list_scan f z l =
+  let rec go acc = function
+    | [] -> ([], acc)
+    | x :: tl ->
+      let rest, total = go (f acc x) tl in
+      (acc :: rest, total)
+  in
+  go z l
+
+(* Inclusive scan reference on lists. *)
+let list_scan_incl f z l =
+  let rec go acc = function
+    | [] -> []
+    | x :: tl ->
+      let acc = f acc x in
+      acc :: go acc tl
+  in
+  go z l
+
+(* QCheck arbitrary for small int arrays (including empty). *)
+let small_int_array =
+  QCheck2.Gen.(array_size (int_bound 200) (int_range (-100) 100))
