@@ -1,6 +1,12 @@
 # Convenience targets (cf. the paper artifact's makefiles).
 
-.PHONY: all build test bench bench-quick examples clean
+.PHONY: all build test stress bench bench-quick examples clean
+
+# Fixed-seed chaos specification used by `make stress` (see
+# docs/RUNTIME.md for the BDS_CHAOS format).  delay+starve perturb
+# scheduling without changing results, so the whole suite must still
+# pass exactly.
+CHAOS_SPEC ?= seed=1,p=0.02,kinds=delay+starve
 
 all: build
 
@@ -9,6 +15,15 @@ build:
 
 test:
 	dune runtest --force
+
+# Chaos stress: the dedicated @stress alias, then the full suite under
+# fault injection across 1, 2 and 4 domains.
+stress:
+	dune build @stress --force
+	for d in 1 2 4; do \
+	  echo "== stress: BDS_NUM_DOMAINS=$$d BDS_CHAOS=$(CHAOS_SPEC) =="; \
+	  BDS_NUM_DOMAINS=$$d BDS_CHAOS="$(CHAOS_SPEC)" dune runtest --force || exit 1; \
+	done
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt

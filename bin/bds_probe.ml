@@ -1,0 +1,17 @@
+(* Runtime configuration probe: prints the worker count and the active
+   chaos-injection configuration, then runs a small parallel reduction as
+   a liveness check.  The cram tests use it to assert that BDS_CHAOS is
+   parsed and reported; it is also handy for diagnosing CI environments. *)
+
+module Runtime = Bds_runtime.Runtime
+module Chaos = Bds_runtime.Chaos
+
+let () =
+  Printf.printf "workers=%d\n" (Runtime.num_workers ());
+  print_endline (Chaos.describe ());
+  let n = 100_000 in
+  let sum =
+    Runtime.parallel_for_reduce 0 n ~combine:( + ) ~init:0 (fun i -> i)
+  in
+  Printf.printf "sum(0..%d)=%d\n" (n - 1) sum;
+  Runtime.shutdown ()

@@ -16,6 +16,7 @@
 module Stream = Bds_stream.Stream
 module Parray = Bds_parray.Parray
 module Runtime = Bds_runtime.Runtime
+module Cancel = Bds_runtime.Cancel
 
 type 'a bid = {
   b_len : int;
@@ -77,10 +78,15 @@ let bid_of_seq_with bsize = function
 
 let bid_of_seq s = bid_of_seq_with (Block.size (length s)) s
 
-(* applySeq: parallel across blocks, sequential stream within each. *)
+(* applySeq: parallel across blocks, sequential stream within each.  Block
+   bodies can be long (a full block's stream), so each one polls the
+   enclosing scope's cancellation token before driving its stream: a
+   cancelled pipeline stops at the next block boundary. *)
 let iter f s =
   let b = bid_of_seq s in
-  Runtime.apply (num_blocks_of b) (fun j -> Stream.iter f (b.block j))
+  Runtime.apply (num_blocks_of b) (fun j ->
+      Cancel.poll ();
+      Stream.iter f (b.block j))
 
 (* toArray.  For a RAD this is a plain parallel tabulate; for a BID we
    traverse each block's stream, writing at the block's base offset (this
@@ -99,6 +105,7 @@ let to_array_nomemo = function
       let first = next0 () in
       let out = Array.make b.b_len first in
       Runtime.apply nb (fun j ->
+          Cancel.poll ();
           if j = 0 then begin
             let len0 = min b.b_size b.b_len in
             for k = 1 to len0 - 1 do
@@ -204,6 +211,7 @@ let reduce f z s =
       let nb = Block.num_blocks ~block_size:bsize r_len in
       let sums =
         Parray.tabulate nb (fun j ->
+            Cancel.poll ();
             let lo = j * bsize in
             let hi = min r_len (lo + bsize) in
             let acc = ref (get lo) in
@@ -218,7 +226,9 @@ let reduce f z s =
     if b.b_len = 0 then z
     else begin
       let sums =
-        Parray.tabulate (num_blocks_of b) (fun j -> Stream.reduce1 f (b.block j))
+        Parray.tabulate (num_blocks_of b) (fun j ->
+            Cancel.poll ();
+            Stream.reduce1 f (b.block j))
       in
       Array.fold_left f z sums
     end
@@ -389,7 +399,9 @@ let drop s n = slice s n (length s - n)
    [f j stream] in parallel over the block index space. *)
 let iter_block_streams f s =
   let b = bid_of_seq s in
-  Runtime.apply (num_blocks_of b) (fun j -> f j (b.block j))
+  Runtime.apply (num_blocks_of b) (fun j ->
+      Cancel.poll ();
+      f j (b.block j))
 
 let block_size_of s =
   match s with Rad _ -> Block.size (length s) | Bid b -> b.b_size
@@ -412,6 +424,7 @@ let append s1 s2 =
 let iteri f s =
   let b = bid_of_seq s in
   Runtime.apply (num_blocks_of b) (fun j ->
+      Cancel.poll ();
       let lo, _ = block_bounds b j in
       Stream.iteri (fun k v -> f (lo + k) v) (b.block j))
 

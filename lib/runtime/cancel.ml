@@ -1,0 +1,56 @@
+(* Structured cancellation tokens (see cancel.mli for the model).
+
+   A token is a cancelled flag plus the first recorded failure; tokens
+   link to a parent so that cancelling an outer scope implicitly cancels
+   every nested scope created under it.  All state is in [Atomic]s: any
+   domain may cancel, and grain loops on every worker poll concurrently. *)
+
+type t = {
+  cancelled : bool Atomic.t;
+  reason : (exn * Printexc.raw_backtrace) option Atomic.t;
+  parent : t option;
+}
+
+exception Cancelled
+
+let create ?parent () =
+  { cancelled = Atomic.make false; reason = Atomic.make None; parent }
+
+let cancel t = Atomic.set t.cancelled true
+
+let cancel_with t exn bt =
+  (* Keep only the first failure: it is the one the sequential program
+     would have raised, and the one that triggered the cancellation of
+     everything else in the scope. *)
+  ignore (Atomic.compare_and_set t.reason None (Some (exn, bt)));
+  Atomic.set t.cancelled true
+
+let rec is_cancelled t =
+  Atomic.get t.cancelled
+  || (match t.parent with Some p -> is_cancelled p | None -> false)
+
+let check t = if is_cancelled t then raise Cancelled
+
+let reason t = Atomic.get t.reason
+
+(* ------------------------------------------------------------------ *)
+(* Ambient token *)
+
+let ambient_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let ambient () = !(Domain.DLS.get ambient_key)
+
+let with_ambient t f =
+  let cell = Domain.DLS.get ambient_key in
+  let saved = !cell in
+  cell := Some t;
+  match f () with
+  | v ->
+    cell := saved;
+    v
+  | exception e ->
+    cell := saved;
+    raise e
+
+let poll () = match ambient () with Some t -> check t | None -> ()

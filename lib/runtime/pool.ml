@@ -12,7 +12,23 @@
    - [await] suspends the current fiber with an effect when the promise is
      unresolved; the continuation is re-scheduled by whoever fulfills the
      promise.  Work-first [par] means suspension is rare: the local pop
-     usually retrieves the task we just pushed. *)
+     usually retrieves the task we just pushed.
+
+   Failure semantics (docs/RUNTIME.md "Failure semantics"):
+   - [async]/[run] on a torn-down pool raise [Shutdown] instead of
+     queueing work that nobody will run;
+   - [teardown] switches workers into drain mode: every already-queued
+     task is executed (so its promise resolves) before domains exit, and
+     the tearing-down caller drains any stragglers itself — no promise is
+     left forever pending;
+   - an exception escaping the scheduler on a worker domain (tasks proper
+     are exception-contained by their promise wrappers) poisons the pool:
+     the crash is recorded with a diagnostic, remaining workers wind
+     down, and [run]/[async]/[await] raise [Worker_crashed] instead of
+     deadlocking on a promise whose fulfiller died;
+   - if [Domain.spawn] fails during [create], the pool degrades to the
+     workers that did spawn (down to just the runner slot) with a logged
+     warning instead of aborting. *)
 
 type 'a state =
   | Pending of (unit -> unit) list
@@ -27,11 +43,25 @@ type t = {
   deques : task Ws_deque.t array;
   overflow : task Queue.t;
   overflow_mutex : Mutex.t;
+  (* Queue.length mirror maintained under [overflow_mutex]; reading the
+     Queue itself without the mutex is a data race under OCaml 5's memory
+     model, so lock-free emptiness pre-checks read this instead. *)
+  overflow_size : int Atomic.t;
   idle_mutex : Mutex.t;
   idle_cond : Condition.t;
   idlers : int Atomic.t;
   shutdown : bool Atomic.t;
+  (* [teardown] completed: domains joined and queues drained. *)
+  terminated : bool Atomic.t;
+  (* [teardown] claimed (separately from [shutdown], which a worker crash
+     also sets): guarantees join/drain runs exactly once. *)
+  tearing_down : bool Atomic.t;
+  (* First scheduler-level crash on a worker domain, with its backtrace. *)
+  poisoned : (exn * Printexc.raw_backtrace) option Atomic.t;
   mutable domains : unit Domain.t array;
+  (* Worker slots actually live (spawn failures degrade this below
+     [Array.length deques]). *)
+  mutable live : int;
   runner_mutex : Mutex.t;
   steals : int Atomic.t; (* statistics: successful steals *)
   executed : int Atomic.t; (* statistics: tasks executed *)
@@ -40,6 +70,8 @@ type t = {
 type _ Effect.t += Suspend : ((unit -> unit) -> bool) -> unit Effect.t
 
 exception Shutdown
+
+exception Worker_crashed of string
 
 let log_src = Logs.Src.create "bds.runtime" ~doc:"Block-delayed sequences task pool"
 
@@ -56,10 +88,16 @@ let current_context () = !(Domain.DLS.get context_key)
 
 let set_context c = Domain.DLS.get context_key := c
 
-let size pool = Array.length pool.deques
+let size pool = pool.live
 
 (* ------------------------------------------------------------------ *)
-(* Waking and sleeping                                                 *)
+(* Poisoning and liveness                                              *)
+
+let crash_diagnostic exn =
+  Printf.sprintf
+    "Pool: worker domain crashed with %s; pool is poisoned (see logs for \
+     backtrace)"
+    (Printexc.to_string exn)
 
 let wake_idlers pool =
   if Atomic.get pool.idlers > 0 then begin
@@ -68,25 +106,64 @@ let wake_idlers pool =
     Mutex.unlock pool.idle_mutex
   end
 
+(* Record a scheduler-level crash: keep the first one, stop accepting
+   work, and wake everyone so blocked workers / the runner observe it. *)
+let poison pool exn bt =
+  ignore (Atomic.compare_and_set pool.poisoned None (Some (exn, bt)));
+  Atomic.set pool.shutdown true;
+  Log.err (fun m ->
+      m "%s@.%s" (crash_diagnostic exn) (Printexc.raw_backtrace_to_string bt));
+  wake_idlers pool
+
+let health pool =
+  match Atomic.get pool.poisoned with
+  | Some (exn, _) -> `Poisoned (crash_diagnostic exn)
+  | None -> if Atomic.get pool.shutdown then `Shutdown else `Ok
+
+(* Fail fast on pools that can no longer make progress. *)
+let check_alive pool =
+  match Atomic.get pool.poisoned with
+  | Some (exn, _) -> raise (Worker_crashed (crash_diagnostic exn))
+  | None -> if Atomic.get pool.shutdown then raise Shutdown
+
 let has_visible_work pool =
   let rec scan i =
     if i >= Array.length pool.deques then false
     else if not (Ws_deque.is_empty pool.deques.(i)) then true
     else scan (i + 1)
   in
-  (not (Queue.is_empty pool.overflow)) || scan 0
+  Atomic.get pool.overflow_size > 0 || scan 0
 
 (* ------------------------------------------------------------------ *)
 (* Task acquisition                                                    *)
 
 let pop_overflow pool =
-  if Queue.is_empty pool.overflow then None
+  (* Lock-free pre-check on the atomic mirror only — inspecting the
+     [Queue.t] itself requires [overflow_mutex]. *)
+  if Atomic.get pool.overflow_size = 0 then None
   else begin
     Mutex.lock pool.overflow_mutex;
-    let v = if Queue.is_empty pool.overflow then None else Some (Queue.pop pool.overflow) in
+    let v =
+      if Queue.is_empty pool.overflow then None
+      else begin
+        Atomic.decr pool.overflow_size;
+        Some (Queue.pop pool.overflow)
+      end
+    in
     Mutex.unlock pool.overflow_mutex;
     v
   end
+
+(* Chaos steal starvation is suppressed once the pool is shutting down so
+   drain mode always terminates. *)
+let steal_from pool victim =
+  if (not (Atomic.get pool.shutdown)) && Chaos.starve_steal () then None
+  else
+    match Ws_deque.steal pool.deques.(victim) with
+    | Some _ as r ->
+      Atomic.incr pool.steals;
+      r
+    | None -> None
 
 let try_steal pool me =
   let n = Array.length pool.deques in
@@ -96,10 +173,8 @@ let try_steal pool me =
       let victim = (me + k) mod n in
       if victim = me then loop (k + 1)
       else
-        match Ws_deque.steal pool.deques.(victim) with
-        | Some _ as r ->
-          Atomic.incr pool.steals;
-          r
+        match steal_from pool victim with
+        | Some _ as r -> r
         | None -> loop (k + 1)
     end
   in
@@ -123,6 +198,7 @@ let push_task pool task =
   | _ ->
     Mutex.lock pool.overflow_mutex;
     Queue.push task pool.overflow;
+    Atomic.incr pool.overflow_size;
     Mutex.unlock pool.overflow_mutex);
   wake_idlers pool
 
@@ -145,6 +221,16 @@ let execute pool (task : task) =
           | _ -> None);
     }
 
+(* [execute] with scheduler-crash containment, for task loops that must
+   not die on a raw task raising (nothing escapes a well-formed task: the
+   promise wrappers catch; anything that does escape is a scheduler bug
+   or an injected crash, and poisons the pool instead of killing us). *)
+let execute_contained pool task =
+  try execute pool task
+  with exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    poison pool exn bt
+
 (* ------------------------------------------------------------------ *)
 (* Promises                                                            *)
 
@@ -155,7 +241,19 @@ let rec fulfill (p : 'a promise) (result : 'a state) =
   | Pending waiters as old ->
     if Atomic.compare_and_set p old result then List.iter (fun w -> w ()) waiters
     else fulfill p result
-  | Returned _ | Raised _ -> invalid_arg "Pool: promise fulfilled twice"
+  | Returned _ | Raised _ ->
+    (* Double fulfill is a scheduler-level bug, but raising here would
+       kill the worker domain that tripped it.  Contain it instead: keep
+       the first result, cancel the enclosing scope (if any) so dependent
+       work winds down, and log loudly. *)
+    (match Cancel.ambient () with
+    | Some tok -> Cancel.cancel tok
+    | None -> ());
+    Log.err (fun m ->
+        m "Pool: promise fulfilled twice; second result dropped%s"
+          (match result with
+          | Raised (e, _) -> Printf.sprintf " (dropped exception: %s)" (Printexc.to_string e)
+          | _ -> ""))
 
 (* Returns false if the promise was already resolved (caller must not
    suspend). *)
@@ -177,14 +275,20 @@ let promise_result (p : 'a promise) : 'a =
 
 let spin_rounds = 64
 
+(* Workers keep executing while work is visible.  Once [shutdown] is set
+   they switch to drain mode: keep taking tasks until none remain, then
+   exit — so teardown resolves every queued promise deterministically. *)
 let rec worker_loop pool me =
-  if Atomic.get pool.shutdown then ()
-  else begin
-    (match get_task pool me with
-    | Some task -> execute pool task
-    | None -> idle pool me);
+  match get_task pool me with
+  | Some task ->
+    execute pool task;
     worker_loop pool me
-  end
+  | None ->
+    if Atomic.get pool.shutdown then ()
+    else begin
+      idle pool me;
+      worker_loop pool me
+    end
 
 and idle pool me =
   (* Bounded spin before sleeping. *)
@@ -211,7 +315,10 @@ and idle pool me =
 
 let worker_main pool me () =
   set_context (Some { ctx_pool = pool; ctx_id = me });
-  worker_loop pool me;
+  (try worker_loop pool me
+   with exn ->
+     let bt = Printexc.get_raw_backtrace () in
+     poison pool exn bt);
   set_context None
 
 (* ------------------------------------------------------------------ *)
@@ -226,32 +333,81 @@ let create ?(num_additional_domains = 0) () =
       deques = Array.init n (fun _ -> Ws_deque.create ());
       overflow = Queue.create ();
       overflow_mutex = Mutex.create ();
+      overflow_size = Atomic.make 0;
       idle_mutex = Mutex.create ();
       idle_cond = Condition.create ();
       idlers = Atomic.make 0;
       shutdown = Atomic.make false;
+      terminated = Atomic.make false;
+      tearing_down = Atomic.make false;
+      poisoned = Atomic.make None;
       domains = [||];
+      live = n;
       runner_mutex = Mutex.create ();
       steals = Atomic.make 0;
       executed = Atomic.make 0;
     }
   in
-  pool.domains <-
-    Array.init num_additional_domains (fun i ->
-        Domain.spawn (worker_main pool (i + 1)));
+  (* Graceful degradation: a failed [Domain.spawn] (e.g. the OS refusing
+     more threads) shrinks the pool to the workers that did start instead
+     of aborting pool creation. *)
+  let spawned = ref [] in
+  (try
+     for i = 1 to num_additional_domains do
+       spawned := Domain.spawn (worker_main pool i) :: !spawned
+     done
+   with exn ->
+     Log.warn (fun m ->
+         m
+           "Pool.create: Domain.spawn failed (%s); degrading to %d worker \
+            slot(s) instead of %d"
+           (Printexc.to_string exn)
+           (List.length !spawned + 1)
+           n));
+  pool.domains <- Array.of_list (List.rev !spawned);
+  pool.live <- Array.length pool.domains + 1;
   Log.debug (fun m ->
-      m "pool created: %d worker slots (%d spawned domains)" n
-        num_additional_domains);
+      m "pool created: %d worker slots (%d spawned domains); %s" pool.live
+        (Array.length pool.domains) (Chaos.describe ()));
   pool
 
+(* For non-members: take work without touching any deque's owner end. *)
+let steal_or_overflow pool =
+  match pop_overflow pool with
+  | Some _ as r -> r
+  | None ->
+    let n = Array.length pool.deques in
+    let rec loop i =
+      if i >= n then None
+      else
+        match steal_from pool i with
+        | Some _ as r -> r
+        | None -> loop (i + 1)
+    in
+    loop 0
+
 let teardown pool =
-  if not (Atomic.get pool.shutdown) then begin
+  if not (Atomic.exchange pool.tearing_down true) then begin
     Atomic.set pool.shutdown true;
     Mutex.lock pool.idle_mutex;
     Condition.broadcast pool.idle_cond;
     Mutex.unlock pool.idle_mutex;
+    (* Workers drain their queues (see [worker_loop]) and exit. *)
     Array.iter Domain.join pool.domains;
     pool.domains <- [||];
+    (* Stragglers: tasks pushed to the (now ownerless) deques or to the
+       overflow queue after the workers stopped looking.  Execute them
+       here so their promises resolve — crash-contained, since we must
+       finish teardown regardless. *)
+    let rec drain () =
+      match steal_or_overflow pool with
+      | Some task ->
+        execute_contained pool task;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    Atomic.set pool.terminated true;
     Log.debug (fun m ->
         m "pool torn down: %d tasks executed, %d steals"
           (Atomic.get pool.executed) (Atomic.get pool.steals))
@@ -272,9 +428,13 @@ let local_deque_empty pool =
   | _ -> true
 
 let async pool f =
+  check_alive pool;
   let p = promise () in
   let task () =
-    match f () with
+    match
+      Chaos.point_task ();
+      f ()
+    with
     | v -> fulfill p (Returned v)
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
@@ -282,23 +442,6 @@ let async pool f =
   in
   push_task pool task;
   p
-
-(* For non-members: take work without touching any deque's owner end. *)
-let steal_or_overflow pool =
-  match pop_overflow pool with
-  | Some _ as r -> r
-  | None ->
-    let n = Array.length pool.deques in
-    let rec loop i =
-      if i >= n then None
-      else
-        match Ws_deque.steal pool.deques.(i) with
-        | Some _ as r ->
-          Atomic.incr pool.steals;
-          r
-        | None -> loop (i + 1)
-    in
-    loop 0
 
 let await pool p =
   (match Atomic.get p with
@@ -309,13 +452,20 @@ let await pool p =
       (* Called from outside the pool (no handler installed): help by
          draining the overflow queue and stealing, so progress is
          guaranteed even on a pool with no spawned workers and no active
-         [run]. *)
+         [run].  Fail fast instead of spinning forever when the pool can
+         no longer resolve the promise: poisoned, or fully terminated
+         with no work left to run. *)
       while
         match Atomic.get p with
         | Pending _ ->
+          (match Atomic.get pool.poisoned with
+          | Some (exn, _) -> raise (Worker_crashed (crash_diagnostic exn))
+          | None -> ());
           (match steal_or_overflow pool with
-          | Some task -> execute pool task
-          | None -> Domain.cpu_relax ());
+          | Some task -> execute_contained pool task
+          | None ->
+            if Atomic.get pool.terminated then raise Shutdown
+            else Domain.cpu_relax ());
           true
         | _ -> false
       do
@@ -325,7 +475,7 @@ let await pool p =
   promise_result p
 
 let run pool f =
-  if Atomic.get pool.shutdown then raise Shutdown;
+  check_alive pool;
   if in_context pool then
     (* Already inside the pool: just run inline under the existing
        handler. *)
@@ -334,29 +484,48 @@ let run pool f =
     Mutex.lock pool.runner_mutex;
     let saved = current_context () in
     set_context (Some { ctx_pool = pool; ctx_id = 0 });
-    let p = promise () in
-    let task () =
-      match f () with
-      | v -> fulfill p (Returned v)
-      | exception e ->
-        let bt = Printexc.get_raw_backtrace () in
-        fulfill p (Raised (e, bt))
-    in
-    execute pool task;
-    (* Participate as worker 0 until the root promise resolves. *)
-    let rec help () =
-      match Atomic.get p with
-      | Pending _ ->
-        (match get_task pool 0 with
-        | Some task -> execute pool task
-        | None -> Domain.cpu_relax ());
-        help ()
-      | Returned _ | Raised _ -> ()
-    in
-    help ();
-    set_context saved;
-    Mutex.unlock pool.runner_mutex;
-    promise_result p
+    Fun.protect
+      ~finally:(fun () ->
+        set_context saved;
+        Mutex.unlock pool.runner_mutex)
+      (fun () ->
+        let p = promise () in
+        let task () =
+          match
+            Chaos.point_task ();
+            f ()
+          with
+          | v -> fulfill p (Returned v)
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            fulfill p (Raised (e, bt))
+        in
+        execute pool task;
+        (* Participate as worker 0 until the root promise resolves.  If a
+           worker domain crashes while we wait, surface the poisoning as
+           [Worker_crashed] instead of spinning on a promise that may
+           never resolve. *)
+        let rec help () =
+          match Atomic.get p with
+          | Pending _ ->
+            (match Atomic.get pool.poisoned with
+            | Some (exn, _) -> raise (Worker_crashed (crash_diagnostic exn))
+            | None -> ());
+            (match get_task pool 0 with
+            | Some task -> execute_contained pool task
+            | None -> Domain.cpu_relax ());
+            help ()
+          | Returned _ | Raised _ -> ()
+        in
+        help ();
+        promise_result p)
   end
 
 let stats pool = (Atomic.get pool.executed, Atomic.get pool.steals)
+
+(* ------------------------------------------------------------------ *)
+(* Test backdoors                                                      *)
+
+module For_testing = struct
+  let inject_raw_task pool task = push_task pool task
+end

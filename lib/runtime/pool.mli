@@ -3,39 +3,68 @@
 
     This is the parallel runtime substrate for the block-delayed sequence
     library — the role played by the MPL scheduler / ParlayLib in the
-    paper's implementations. *)
+    paper's implementations.
+
+    Failure semantics (see docs/RUNTIME.md): submitting to or running on a
+    torn-down pool raises {!Shutdown}; {!teardown} drains all queued tasks
+    so no promise is left pending; a scheduler-level crash on a worker
+    domain poisons the pool and surfaces as {!Worker_crashed} instead of
+    deadlocking. *)
 
 type t
 
 (** A handle to an asynchronous computation producing ['a]. *)
 type 'a promise
 
+(** Raised by {!async} / {!run} / {!await} on a pool that has been torn
+    down (fail fast instead of queueing work nobody will execute, or
+    spinning on a promise nobody will fulfill). *)
 exception Shutdown
+
+(** Raised when the pool is poisoned: an exception escaped the scheduler
+    on a worker domain (task-body exceptions are contained by promises and
+    never poison the pool).  The payload is a human-readable diagnostic. *)
+exception Worker_crashed of string
 
 (** [create ~num_additional_domains ()] spawns that many worker domains.
     The domain that later calls {!run} participates as an extra worker, so
-    total parallelism is [num_additional_domains + 1]. *)
+    total parallelism is [num_additional_domains + 1].  If [Domain.spawn]
+    fails partway, the pool degrades to the domains that did spawn (down
+    to just the runner slot) with a logged warning. *)
 val create : ?num_additional_domains:int -> unit -> t
 
-(** Total number of workers, including the runner slot. *)
+(** Total number of live workers, including the runner slot (may be less
+    than requested if spawning degraded). *)
 val size : t -> int
 
-(** Stop and join all worker domains. Idempotent. *)
+(** Stop the pool: workers finish every queued task (drain mode), domains
+    are joined, and any straggler tasks are executed by the caller so all
+    promises resolve deterministically. Idempotent. *)
 val teardown : t -> unit
 
 (** [async pool f] schedules [f] and immediately returns its promise. May
-    be called from inside or outside pool tasks. *)
+    be called from inside or outside pool tasks.
+    @raise Shutdown on a torn-down pool.
+    @raise Worker_crashed on a poisoned pool. *)
 val async : t -> (unit -> 'a) -> 'a promise
 
 (** [await pool p] returns the result of [p], re-raising any exception with
     its original backtrace. Inside the pool this suspends the fiber without
-    blocking the worker; outside it spins. *)
+    blocking the worker; outside it helps execute tasks.
+    @raise Shutdown if the pool terminated with [p] unresolvable.
+    @raise Worker_crashed if the pool is poisoned while waiting. *)
 val await : t -> 'a promise -> 'a
 
 (** [run pool f] executes [f] with the calling domain acting as worker 0
     and returns its result. Only one concurrent [run] per pool; calls from
-    within pool tasks execute [f] inline. *)
+    within pool tasks execute [f] inline.
+    @raise Shutdown on a torn-down pool.
+    @raise Worker_crashed on a poisoned pool. *)
 val run : t -> (unit -> 'a) -> 'a
+
+(** Pool liveness: [`Ok], [`Shutdown] after {!teardown} began, or
+    [`Poisoned diag] after a worker-domain crash. *)
+val health : t -> [ `Ok | `Shutdown | `Poisoned of string ]
 
 (** [(executed, steals)] counters, for observability and tests. *)
 val stats : t -> int * int
@@ -46,3 +75,11 @@ val in_context : t -> bool
 (** True when the calling worker's own deque is empty (racy snapshot;
     true for non-members). Basis for lazy binary splitting. *)
 val local_deque_empty : t -> bool
+
+(** Test backdoors — not part of the public contract. *)
+module For_testing : sig
+  (** Push a raw task that bypasses the promise wrapper: if it raises, the
+      exception escapes the scheduler and poisons the pool.  Used to test
+      worker-crash containment. *)
+  val inject_raw_task : t -> (unit -> unit) -> unit
+end

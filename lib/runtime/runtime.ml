@@ -1,8 +1,23 @@
 (* High-level parallel primitives over Pool, plus a process-global default
    pool.  [apply] is the paper's sole parallel primitive (Figure 7):
-   divide-and-conquer over the iteration space. *)
+   divide-and-conquer over the iteration space.
+
+   Every combinator here is a *cancellation scope*: it owns a
+   [Cancel.t] token; the first exception in any branch records itself in
+   the token and cancels it, un-started subtasks observe the token and
+   become no-ops, and sequential grain chunks poll it every
+   [poll_mask + 1] iterations — so a poisoned 10M-iteration loop stops
+   within a few thousand iterations instead of running to completion.
+   The scope root re-raises the recorded first exception, preserving the
+   sequential program's observable failure. *)
 
 let default_grain = 1
+
+(* Poll the cancellation token every 64 iterations of a sequential chunk:
+   cheap enough to be invisible on fine-grained bodies, frequent enough
+   that a cancelled scope wastes at most ~64 iterations per in-flight
+   chunk. *)
+let poll_mask = 63
 
 let global : Pool.t option Atomic.t = Atomic.make None
 
@@ -27,10 +42,14 @@ let rec get_pool () =
 
 let set_num_domains n =
   if n < 1 then invalid_arg "Runtime.set_num_domains";
-  (match Atomic.get global with
-  | Some p -> Pool.teardown p
-  | None -> ());
-  Atomic.set global (Some (Pool.create ~num_additional_domains:(n - 1) ()))
+  (* Publish the new pool with a single [exchange]: a concurrent
+     [get_pool] either sees the old pool (about to be drained) or the new
+     one — it can neither resurrect the old pool after its teardown nor
+     race [get_pool]'s CAS into leaking the pool we just made. *)
+  let fresh = Pool.create ~num_additional_domains:(n - 1) () in
+  match Atomic.exchange global (Some fresh) with
+  | Some old -> Pool.teardown old
+  | None -> ()
 
 let shutdown () =
   match Atomic.exchange global None with
@@ -42,13 +61,71 @@ let num_workers () = Pool.size (get_pool ())
 (* [run f] enters the pool if we are not already inside it. *)
 let run f = Pool.run (get_pool ()) f
 
+(* ------------------------------------------------------------------ *)
+(* Cancellation-scope plumbing *)
+
+(* Fresh token for a new scope, nested under the innermost scope whose
+   chunk is executing on this domain (if any), so cancelling an outer
+   loop reaches into inner ones. *)
+let scope_token () = Cancel.create ?parent:(Cancel.ambient ()) ()
+
+(* Record [e] as the scope's first failure ([Cancelled] itself is only
+   ever scope-unwinding noise, never a reason). *)
+let record tok e bt =
+  match e with Cancel.Cancelled -> () | _ -> Cancel.cancel_with tok e bt
+
+(* Scope root: run the spine; on any exception re-raise the *first*
+   failure recorded in the token — the exception the sequential program
+   would have raised — rather than whichever [Cancelled] unwound the
+   spine fastest. *)
+let scoped tok thunk =
+  match thunk () with
+  | v -> v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    record tok e bt;
+    (match Cancel.reason tok with
+    | Some (e0, bt0) -> Printexc.raise_with_backtrace e0 bt0
+    | None -> Printexc.raise_with_backtrace e bt)
+
+(* Run one sequential chunk [lo, hi) of [body] under [tok]: ambient for
+   nested scopes and [Seq]'s block-boundary polls, token polled every
+   [poll_mask + 1] iterations, first failure recorded. *)
+let seq_chunk tok body lo hi =
+  Cancel.with_ambient tok (fun () ->
+      try
+        for i = lo to hi - 1 do
+          if (i - lo) land poll_mask = 0 then Cancel.check tok;
+          body i
+        done
+      with
+      | Cancel.Cancelled as e -> raise e
+      | e ->
+        let bt = Printexc.get_raw_backtrace () in
+        record tok e bt;
+        Printexc.raise_with_backtrace e bt)
+
 let par f g =
   let pool = get_pool () in
+  let tok = scope_token () in
+  let branch h () =
+    (* Un-started branches of a cancelled scope become no-ops. *)
+    Cancel.check tok;
+    Cancel.with_ambient tok (fun () ->
+        try h ()
+        with
+        | Cancel.Cancelled as e -> raise e
+        | e ->
+          let bt = Printexc.get_raw_backtrace () in
+          record tok e bt;
+          Printexc.raise_with_backtrace e bt)
+  in
   Pool.run pool (fun () ->
-      let pg = Pool.async pool g in
-      let a = f () in
-      let b = Pool.await pool pg in
-      (a, b))
+      scoped tok (fun () ->
+          let pg = Pool.async pool (branch g) in
+          let a = branch f () in
+          let b = Pool.await pool pg in
+          (a, b)))
 
 (* Sequential base case threshold: split until [size / (8 * workers)] or
    [grain], whichever is larger. *)
@@ -61,12 +138,11 @@ let parallel_for ?grain lo hi (body : int -> unit) =
   if n <= 0 then ()
   else begin
     let pool = get_pool () in
+    let tok = scope_token () in
     let grain = match grain with Some g -> max 1 g | None -> max 1 (auto_grain n) in
     let rec go lo hi =
-      if hi - lo <= grain then
-        for i = lo to hi - 1 do
-          body i
-        done
+      Cancel.check tok;
+      if hi - lo <= grain then seq_chunk tok body lo hi
       else begin
         let mid = lo + ((hi - lo) / 2) in
         let p = Pool.async pool (fun () -> go mid hi) in
@@ -74,7 +150,7 @@ let parallel_for ?grain lo hi (body : int -> unit) =
         Pool.await pool p
       end
     in
-    Pool.run pool (fun () -> go lo hi)
+    Pool.run pool (fun () -> scoped tok (fun () -> go lo hi))
   end
 
 (* The paper's [apply : int -> (int -> unit) -> unit]. *)
@@ -90,13 +166,12 @@ let parallel_for_lazy ?(chunk = 64) lo hi (body : int -> unit) =
   let n = hi - lo in
   if n <= 0 then ()
   else begin
-    let chunk = max 1 chunk in
+    let chunk_size = max 1 chunk in
     let pool = get_pool () in
+    let tok = scope_token () in
     let rec go lo hi =
-      if hi - lo <= chunk then
-        for i = lo to hi - 1 do
-          body i
-        done
+      Cancel.check tok;
+      if hi - lo <= chunk_size then seq_chunk tok body lo hi
       else if Pool.local_deque_empty pool then begin
         let mid = lo + ((hi - lo) / 2) in
         let p = Pool.async pool (fun () -> go mid hi) in
@@ -104,14 +179,12 @@ let parallel_for_lazy ?(chunk = 64) lo hi (body : int -> unit) =
         Pool.await pool p
       end
       else begin
-        let stop = min hi (lo + chunk) in
-        for i = lo to stop - 1 do
-          body i
-        done;
+        let stop = min hi (lo + chunk_size) in
+        seq_chunk tok body lo stop;
         go stop hi
       end
     in
-    Pool.run pool (fun () -> go lo hi)
+    Pool.run pool (fun () -> scoped tok (fun () -> go lo hi))
   end
 
 let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
@@ -119,18 +192,28 @@ let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
   if n <= 0 then init
   else begin
     let pool = get_pool () in
+    let tok = scope_token () in
     let grain = match grain with Some g -> max 1 g | None -> max 1 (auto_grain n) in
     (* [go lo hi] folds the non-empty range seeded from its first element,
        so [init] is combined exactly once at the top: correct for any
        associative [combine], with no identity requirement on [init]. *)
     let rec go lo hi =
-      if hi - lo <= grain then begin
-        let acc = ref (body lo) in
-        for i = lo + 1 to hi - 1 do
-          acc := combine !acc (body i)
-        done;
-        !acc
-      end
+      Cancel.check tok;
+      if hi - lo <= grain then
+        Cancel.with_ambient tok (fun () ->
+            try
+              let acc = ref (body lo) in
+              for i = lo + 1 to hi - 1 do
+                if (i - lo) land poll_mask = 0 then Cancel.check tok;
+                acc := combine !acc (body i)
+              done;
+              !acc
+            with
+            | Cancel.Cancelled as e -> raise e
+            | e ->
+              let bt = Printexc.get_raw_backtrace () in
+              record tok e bt;
+              Printexc.raise_with_backtrace e bt)
       else begin
         let mid = lo + ((hi - lo) / 2) in
         let p = Pool.async pool (fun () -> go mid hi) in
@@ -139,5 +222,5 @@ let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
         combine a b
       end
     in
-    Pool.run pool (fun () -> combine init (go lo hi))
+    Pool.run pool (fun () -> scoped tok (fun () -> combine init (go lo hi)))
   end

@@ -1,15 +1,25 @@
 (** High-level parallel primitives and the process-global worker pool.
 
     [apply] is the paper's single parallel primitive (Figure 7): everything
-    else in the block-delayed sequence library is built on it. *)
+    else in the block-delayed sequence library is built on it.
+
+    Every combinator below is a {e cancellation scope} (see {!Cancel}):
+    the first exception raised in any branch cancels the scope's token,
+    remaining un-started subtasks become no-ops, in-flight sequential
+    chunks poll the token at grain boundaries (every 64 iterations) and
+    stop early, and the scope re-raises that first exception with its
+    original backtrace.  Nested scopes link to the enclosing scope's
+    token, so cancelling an outer loop also winds down loops nested in
+    its body. *)
 
 (** The global pool, created on first use with
     [BDS_NUM_DOMAINS] (or [Domain.recommended_domain_count ()]) workers. *)
 val get_pool : unit -> Pool.t
 
 (** Replace the global pool with one of [n] total workers (tears down the
-    previous pool). Used by the benchmark harness to sweep processor
-    counts. *)
+    previous pool). The swap is a single atomic exchange: a concurrent
+    {!get_pool} can neither resurrect the old pool nor leak the new one.
+    Used by the benchmark harness to sweep processor counts. *)
 val set_num_domains : int -> unit
 
 (** Tear down the global pool (it is re-created lazily on next use). *)

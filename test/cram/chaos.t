@@ -1,0 +1,50 @@
+The runtime probe reports the worker count and the chaos-injection
+configuration parsed from BDS_CHAOS (docs/RUNTIME.md "Failure semantics,
+cancellation, and chaos testing").
+
+Chaos is off by default:
+
+  $ BDS_NUM_DOMAINS=2 bds_probe
+  workers=2
+  chaos: off
+  sum(0..99999)=4999950000
+
+A full specification is parsed and reported (p=0 so the raise kind cannot
+perturb the liveness check):
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='seed=7,p=0,kinds=raise+delay+starve' bds_probe
+  workers=2
+  chaos: seed=7 p=0.000 kinds=raise+delay+starve
+  sum(0..99999)=4999950000
+
+Fields may be omitted; seed defaults to 1, p to 0.01, and kinds to the
+semantics-preserving delay+starve:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='seed=3' bds_probe
+  workers=2
+  chaos: seed=3 p=0.010 kinds=delay+starve
+  sum(0..99999)=4999950000
+
+Semantics-preserving chaos actually firing still yields the exact result:
+
+  $ BDS_NUM_DOMAINS=4 BDS_CHAOS='seed=1,p=0.05,kinds=delay+starve' bds_probe
+  workers=4
+  chaos: seed=1 p=0.050 kinds=delay+starve
+  sum(0..99999)=4999950000
+
+Malformed specifications disable chaos and say why:
+
+  $ BDS_NUM_DOMAINS=1 BDS_CHAOS='p=2.0' bds_probe
+  workers=1
+  chaos: off (BDS_CHAOS parse error: p: out of range [0,1]: "2.0")
+  sum(0..99999)=4999950000
+
+  $ BDS_NUM_DOMAINS=1 BDS_CHAOS='kinds=explode' bds_probe
+  workers=1
+  chaos: off (BDS_CHAOS parse error: unknown fault kind "explode")
+  sum(0..99999)=4999950000
+
+  $ BDS_NUM_DOMAINS=1 BDS_CHAOS='frobnicate' bds_probe
+  workers=1
+  chaos: off (BDS_CHAOS parse error: malformed field "frobnicate" (expected key=value))
+  sum(0..99999)=4999950000

@@ -116,6 +116,181 @@ let test_stats_and_teardown () =
   Alcotest.check_raises "run after teardown" Pool.Shutdown (fun () ->
       ignore (Pool.run pool (fun () -> 0)))
 
+(* ------------------------------------------------------------------ *)
+(* Cancellation scopes *)
+
+let test_cancellation_bounds_wasted_work () =
+  (* Acceptance criterion: a 10M-iteration parallel_for whose body raises
+     at i=0 executes at most 1% of the remaining iterations after the
+     fault fires — un-started subtasks no-op on the cancelled token,
+     in-flight chunks observe it at grain boundaries.  (Iterations that
+     run before the fault are legitimate work, and on an oversubscribed
+     machine the OS can delay the faulting chunk arbitrarily, so the
+     bound is on post-fault work.) *)
+  let n = 10_000_000 in
+  let fired = Atomic.make false in
+  let late = Atomic.make 0 in
+  let raised = ref false in
+  (try
+     Runtime.parallel_for 0 n (fun i ->
+         if Atomic.get fired then ignore (Atomic.fetch_and_add late 1);
+         if i = 0 then begin
+           Atomic.set fired true;
+           raise (Boom 0)
+         end)
+   with Boom 0 -> raised := true);
+  Alcotest.(check bool) "original exception propagated" true !raised;
+  let late = Atomic.get late in
+  Alcotest.(check bool)
+    (Printf.sprintf "post-fault iterations %d <= %d (1%% of %d)" late (n / 100) n)
+    true
+    (late <= n / 100)
+
+let test_cancellation_single_domain_exact () =
+  (* On one domain the schedule is deterministic: the raising chunk runs
+     first, every other queued subtask observes the cancelled token at
+     its entry, so exactly one body call happens. *)
+  Runtime.set_num_domains 1;
+  Fun.protect
+    ~finally:(fun () -> Runtime.set_num_domains Bds_test_util.domains)
+    (fun () ->
+      let count = Atomic.make 0 in
+      (try
+         Runtime.parallel_for ~grain:100 0 100_000 (fun i ->
+             ignore (Atomic.fetch_and_add count 1);
+             if i = 0 then raise (Boom 0))
+       with Boom 0 -> ());
+      Alcotest.(check int) "exactly one body call" 1 (Atomic.get count))
+
+let test_cancellation_sibling_par () =
+  (* First raise in one branch of [par] stops the sibling: either it
+     never starts (token checked at branch entry) or its own nested loop
+     observes the inherited token at grain boundaries. *)
+  let n = 10_000_000 in
+  let fired = Atomic.make false in
+  let late = Atomic.make 0 in
+  let raised = ref false in
+  (try
+     ignore
+       (Runtime.par
+          (fun () ->
+            Atomic.set fired true;
+            raise (Boom 9))
+          (fun () ->
+            Runtime.parallel_for 0 n (fun _ ->
+                if Atomic.get fired then ignore (Atomic.fetch_and_add late 1))))
+   with Boom 9 -> raised := true);
+  Alcotest.(check bool) "sibling's scope raised Boom" true !raised;
+  let late = Atomic.get late in
+  Alcotest.(check bool)
+    (Printf.sprintf "sibling post-fault iterations %d <= %d" late (n / 100))
+    true
+    (late <= n / 100)
+
+let test_cancellation_reduce () =
+  let n = 10_000_000 in
+  let fired = Atomic.make false in
+  let late = Atomic.make 0 in
+  Alcotest.check_raises "reduce propagates first raise" (Boom 3) (fun () ->
+      ignore
+        (Runtime.parallel_for_reduce 0 n ~combine:( + ) ~init:0 (fun i ->
+             if Atomic.get fired then ignore (Atomic.fetch_and_add late 1);
+             if i = 0 then begin
+               Atomic.set fired true;
+               raise (Boom 3)
+             end
+             else i)));
+  Alcotest.(check bool) "reduce stopped early" true (Atomic.get late <= n / 100)
+
+let test_pool_alive_after_cancellation () =
+  (try Runtime.parallel_for 0 1_000_000 (fun i -> if i = 17 then raise (Boom 2))
+   with Boom 2 -> ());
+  Alcotest.(check int) "pool computes after cancellation" 1000
+    (Runtime.parallel_for_reduce 0 1000 ~combine:( + ) ~init:0 (fun _ -> 1))
+
+(* ------------------------------------------------------------------ *)
+(* Fail-fast lifecycle *)
+
+let test_async_after_teardown () =
+  let pool = Pool.create ~num_additional_domains:1 () in
+  Pool.teardown pool;
+  Alcotest.check_raises "async raises Shutdown" Pool.Shutdown (fun () ->
+      ignore (Pool.async pool (fun () -> 1)));
+  Alcotest.check_raises "run raises Shutdown" Pool.Shutdown (fun () ->
+      ignore (Pool.run pool (fun () -> 1)))
+
+let test_teardown_drains_queued () =
+  (* Every task queued before teardown resolves: teardown drains
+     deterministically instead of dropping work on the floor. *)
+  let pool = Pool.create ~num_additional_domains:2 () in
+  let ps = List.init 64 (fun i -> Pool.async pool (fun () -> i * i)) in
+  Pool.teardown pool;
+  List.iteri
+    (fun i p -> Alcotest.(check int) "drained result" (i * i) (Pool.await pool p))
+    ps
+
+let test_teardown_while_busy () =
+  let work i =
+    let acc = ref 0 in
+    for k = 0 to 50_000 do
+      acc := !acc + ((k + i) mod 7)
+    done;
+    !acc
+  in
+  let pool = Pool.create ~num_additional_domains:2 () in
+  let ps = List.init 32 (fun i -> Pool.async pool (fun () -> work i)) in
+  (* Tear down while tasks are still queued / in flight. *)
+  Pool.teardown pool;
+  List.iteri
+    (fun i p -> Alcotest.(check int) "busy task drained" (work i) (Pool.await pool p))
+    ps;
+  Alcotest.check_raises "pool rejects new work" Pool.Shutdown (fun () ->
+      ignore (Pool.async pool (fun () -> 0)))
+
+let test_worker_crash_poisons () =
+  (* A raw task that raises escapes the scheduler (task-body exceptions
+     are normally contained by promise wrappers) and must poison the pool
+     rather than silently killing the worker domain. *)
+  let pool = Pool.create ~num_additional_domains:1 () in
+  Pool.For_testing.inject_raw_task pool (fun () ->
+      failwith "injected scheduler crash");
+  let rec wait n =
+    if n = 0 then Alcotest.fail "pool never became poisoned"
+    else
+      match Pool.health pool with
+      | `Poisoned diag ->
+        Alcotest.(check bool) "diagnostic names the exception" true
+          (String.length diag > 0)
+      | _ ->
+        Unix.sleepf 0.005;
+        wait (n - 1)
+  in
+  wait 2000;
+  (try
+     ignore (Pool.async pool (fun () -> 1));
+     Alcotest.fail "async on poisoned pool should raise"
+   with Pool.Worker_crashed _ -> ());
+  (try
+     ignore (Pool.run pool (fun () -> 1));
+     Alcotest.fail "run on poisoned pool should raise"
+   with Pool.Worker_crashed _ -> ());
+  Pool.teardown pool
+
+let test_spawn_degradation () =
+  (* Ask for more domains than the OCaml runtime allows (128 total):
+     creation must degrade to the domains that did spawn — with the
+     runner slot the pool stays usable — instead of aborting. *)
+  let pool = Pool.create ~num_additional_domains:200 () in
+  Alcotest.(check bool) "degraded below request" true (Pool.size pool < 201);
+  Alcotest.(check bool) "at least the runner survives" true (Pool.size pool >= 1);
+  let r =
+    Pool.run pool (fun () ->
+        let p = Pool.async pool (fun () -> 40) in
+        Pool.await pool p + 2)
+  in
+  Alcotest.(check int) "degraded pool computes" 42 r;
+  Pool.teardown pool
+
 let test_parallel_for_lazy () =
   List.iter
     (fun (n, chunk) ->
@@ -206,10 +381,26 @@ let () =
           Alcotest.test_case "await re-raises" `Quick test_exception_propagation;
           Alcotest.test_case "parallel_for body" `Quick test_exception_in_parallel_for;
         ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "bounds wasted work (10M)" `Quick
+            test_cancellation_bounds_wasted_work;
+          Alcotest.test_case "single domain exact" `Quick
+            test_cancellation_single_domain_exact;
+          Alcotest.test_case "par sibling stops" `Quick test_cancellation_sibling_par;
+          Alcotest.test_case "reduce stops early" `Quick test_cancellation_reduce;
+          Alcotest.test_case "pool alive after cancel" `Quick
+            test_pool_alive_after_cancellation;
+        ] );
       ( "lifecycle",
         [
           Alcotest.test_case "async outside run" `Quick test_async_from_outside;
           Alcotest.test_case "run inline nested" `Quick test_run_inline_when_nested;
           Alcotest.test_case "stats and teardown" `Quick test_stats_and_teardown;
+          Alcotest.test_case "async after teardown" `Quick test_async_after_teardown;
+          Alcotest.test_case "teardown drains queued" `Quick test_teardown_drains_queued;
+          Alcotest.test_case "teardown while busy" `Quick test_teardown_while_busy;
+          Alcotest.test_case "worker crash poisons" `Quick test_worker_crash_poisons;
+          Alcotest.test_case "spawn degradation" `Quick test_spawn_degradation;
         ] );
     ]

@@ -5,6 +5,7 @@
 module S = Bds.Seq
 module Pool = Bds_runtime.Pool
 module Runtime = Bds_runtime.Runtime
+module Chaos = Bds_runtime.Chaos
 module K = Bds_kernels
 open Bds_test_util
 
@@ -46,6 +47,96 @@ let test_exception_in_flatten_inner () =
   in
   Alcotest.check_raises "flatten inner propagates" (Kernel_bug 50) (fun () ->
       ignore (S.to_array (S.flatten nested)))
+
+let test_cancellation_in_fused_pipeline () =
+  (* A fault early in a fused pipeline cancels the whole scope: blocks
+     that have not started observe the token (Seq polls it at block
+     boundaries) and skip their streams, so only a small fraction of the
+     input is ever touched. *)
+  with_policy (Bds.Block.Fixed 1000) (fun () ->
+      let n = 1_000_000 in
+      let fired = Atomic.make false in
+      let late = Atomic.make 0 in
+      Alcotest.check_raises "first fault propagates" (Kernel_bug 0) (fun () ->
+          ignore
+            (S.reduce ( + ) 0
+               (S.map
+                  (fun x ->
+                    if Atomic.get fired then ignore (Atomic.fetch_and_add late 1);
+                    if x = 0 then begin
+                      Atomic.set fired true;
+                      raise (Kernel_bug 0)
+                    end
+                    else x)
+                  (S.iota n))));
+      let late = Atomic.get late in
+      Alcotest.(check bool)
+        (Printf.sprintf "post-fault touches %d <= %d (5%% of %d)" late (n / 20) n)
+        true
+        (late <= n / 20));
+  Alcotest.(check int) "pool alive" 4950 (S.sum (S.iota 100))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos injection                                                     *)
+
+let with_chaos cfg f =
+  Chaos.set_config (Some cfg);
+  Fun.protect ~finally:(fun () -> Chaos.set_config None) f
+
+let test_chaos_raise_contained () =
+  (* Every task raises at its fault point: the injected fault must
+     surface like any task exception (captured, re-raised at the scope
+     root) and the pool must stay healthy once chaos stops. *)
+  with_chaos { Chaos.seed = 11; p = 1.0; kinds = [ Chaos.Raise ] } (fun () ->
+      match Runtime.parallel_for 0 1000 (fun _ -> ()) with
+      | () -> Alcotest.fail "expected an injected fault"
+      | exception Chaos.Injected_fault _ -> ());
+  Alcotest.(check int) "pool healthy after chaos" 499500 (S.sum (S.iota 1000))
+
+let test_chaos_delay_starve_preserves_results () =
+  (* delay+starve shake the schedule but preserve semantics: exact
+     results must survive a high fault rate. *)
+  with_chaos { Chaos.seed = 2; p = 0.2; kinds = [ Chaos.Delay; Chaos.Starve ] }
+    (fun () ->
+      let n = 200_000 in
+      Alcotest.(check int) "sum under chaos" (n * (n - 1) / 2) (S.sum (S.iota n));
+      Alcotest.(check int) "nested under chaos" (45 * 45)
+        (Runtime.parallel_for_reduce ~grain:1 0 10 ~combine:( + ) ~init:0
+           (fun i ->
+             Runtime.parallel_for_reduce ~grain:2 0 10 ~combine:( + ) ~init:0
+               (fun j -> i * j))))
+
+let test_chaos_kernel_sweep () =
+  (* Acceptance: a chaos-seeded sweep of three kernels across 1, 2 and 4
+     domains, checked against their sequential references. *)
+  let text =
+    Bytes.of_string
+      "the quick brown fox jumps over the lazy dog\n\
+       pack my box with five dozen liquor jugs\n\
+       how vexingly quick daft zebras jump"
+  in
+  let arr = Array.init 4096 (fun i -> ((i * 2654435761) mod 201) - 100) in
+  with_chaos { Chaos.seed = 42; p = 0.05; kinds = [ Chaos.Delay; Chaos.Starve ] }
+    (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Runtime.set_num_domains Bds_test_util.domains)
+        (fun () ->
+          List.iter
+            (fun d ->
+              Runtime.set_num_domains d;
+              Alcotest.(check bool)
+                (Printf.sprintf "tokens = reference (d=%d)" d)
+                true
+                (K.Tokens.Delay_version.tokens text = K.Tokens.reference text);
+              Alcotest.(check bool)
+                (Printf.sprintf "mcss = reference (d=%d)" d)
+                true
+                (K.Mcss.Delay_version.mcss arr = K.Mcss.reference arr);
+              Alcotest.(check bool)
+                (Printf.sprintf "wc = reference (d=%d)" d)
+                true
+                (K.Wc.Delay_version.wc text = K.Wc.reference text))
+            [ 1; 2; 4 ]))
 
 (* ------------------------------------------------------------------ *)
 (* Concurrent consumption                                              *)
@@ -135,6 +226,16 @@ let () =
           Alcotest.test_case "filter predicate raises" `Quick test_exception_in_filter_predicate;
           Alcotest.test_case "poisoned scan output" `Quick test_exception_in_scan_phase3;
           Alcotest.test_case "flatten inner raises" `Quick test_exception_in_flatten_inner;
+          Alcotest.test_case "cancellation in fused pipeline" `Quick
+            test_cancellation_in_fused_pipeline;
+        ] );
+      ( "chaos injection",
+        [
+          Alcotest.test_case "raise kind contained" `Quick test_chaos_raise_contained;
+          Alcotest.test_case "delay+starve preserve results" `Quick
+            test_chaos_delay_starve_preserves_results;
+          Alcotest.test_case "kernel sweep 1/2/4 domains" `Quick
+            test_chaos_kernel_sweep;
         ] );
       ( "concurrent consumption",
         [
