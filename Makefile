@@ -4,8 +4,10 @@
 
 # Fixed-seed chaos specification used by `make stress` (see
 # docs/RUNTIME.md for the BDS_CHAOS format).  delay+starve perturb
-# scheduling without changing results, so the whole suite must still
-# pass exactly.
+# scheduling without changing results, so the whole suite — cram tests
+# included — must still pass exactly; cram blocks that assert chaos-off
+# output pin BDS_CHAOS='' themselves (the empty string is the explicit
+# opt-out, not the default config).
 CHAOS_SPEC ?= seed=1,p=0.02,kinds=delay+starve
 
 all: build

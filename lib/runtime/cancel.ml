@@ -41,16 +41,24 @@ let ambient_key : t option ref Domain.DLS.key =
 
 let ambient () = !(Domain.DLS.get ambient_key)
 
+let set_ambient v = Domain.DLS.get ambient_key := v
+
+(* The ambient value is *fiber-local*, not merely domain-local: [f] may
+   suspend (Pool's [Suspend] effect) and resume on a different domain, so
+   both the prologue's save and the epilogue's restore must go through
+   [ambient]/[set_ambient], which re-read the *current* domain's DLS cell
+   at each point.  Pool's scheduler context-switches the value across
+   suspensions (snapshot at suspend, reinstall at resume), which is what
+   makes [saved] meaningful on whichever domain the epilogue runs. *)
 let with_ambient t f =
-  let cell = Domain.DLS.get ambient_key in
-  let saved = !cell in
-  cell := Some t;
+  let saved = ambient () in
+  set_ambient (Some t);
   match f () with
   | v ->
-    cell := saved;
+    set_ambient saved;
     v
   | exception e ->
-    cell := saved;
+    set_ambient saved;
     raise e
 
 let poll () = match ambient () with Some t -> check t | None -> ()

@@ -48,13 +48,26 @@ val reason : t -> (exn * Printexc.raw_backtrace) option
     this domain.  [Runtime] sets it around every sequential grain chunk;
     consumers that run long per-iteration bodies (e.g. [Seq]'s per-block
     stream loops) call {!poll} at their own natural boundaries to observe
-    cancellation sooner than the enclosing chunk loop would. *)
+    cancellation sooner than the enclosing chunk loop would.
+
+    The value is logically {e fiber}-local: a fiber that suspends inside a
+    {!with_ambient} region and resumes on another domain carries its token
+    with it — [Pool]'s scheduler snapshots the ambient value when a fiber
+    suspends and reinstalls it with {!set_ambient} before resuming the
+    remainder. *)
 
 (** The current domain's ambient token, if a scope chunk is running. *)
 val ambient : unit -> t option
 
+(** [set_ambient v] installs [v] as the current domain's ambient value.
+    Scheduler hook (see the fiber-locality note above): [Pool] uses it to
+    context-switch the token across suspension and around task execution.
+    User code should use {!with_ambient} instead. *)
+val set_ambient : t option -> unit
+
 (** [with_ambient t f] runs [f] with [t] as the ambient token, restoring
-    the previous ambient token on exit (normal or exceptional). *)
+    the previous ambient token on exit (normal or exceptional) — on
+    whichever domain [f] finishes, if it suspended and migrated. *)
 val with_ambient : t -> (unit -> 'a) -> 'a
 
 (** {!check} on the ambient token; no-op when there is none. *)

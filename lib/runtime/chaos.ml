@@ -37,7 +37,7 @@ let parse s =
     |> List.filter (fun f -> String.trim f <> "")
   in
   let rec go cfg = function
-    | [] -> Ok cfg
+    | [] -> Ok (Some cfg)
     | field :: rest -> (
       match String.index_opt field '=' with
       | None -> Error (Printf.sprintf "malformed field %S (expected key=value)" field)
@@ -75,7 +75,11 @@ let parse s =
             | Error e -> Error e)
         | _ -> Error (Printf.sprintf "unknown key %S" key)))
   in
-  go { seed = 1; p = 0.01; kinds = default_kinds } fields
+  (* The empty (or all-blank) string is the explicit opt-out — so a
+     sub-command inside a chaos sweep can pin [BDS_CHAOS=''] to run
+     without faults — NOT a request for the default configuration. *)
+  if fields = [] then Ok None
+  else go { seed = 1; p = 0.01; kinds = default_kinds } fields
 
 (* ------------------------------------------------------------------ *)
 (* State *)
@@ -88,7 +92,7 @@ let state : (config option * int) Atomic.t =
     | None -> (None, None)
     | Some s -> (
       match parse s with
-      | Ok cfg -> (Some cfg, None)
+      | Ok cfg -> (cfg, None)
       | Error e -> (None, Some e))
   in
   Atomic.make (fst init, 0)
@@ -140,6 +144,11 @@ let next_int64 r =
   r.s <- Int64.add r.s golden;
   mix r.s
 
+(* Non-negative draw for [Int64.rem]-based bounded picks.  Masking the
+   sign bit, not [Int64.abs]: [abs Int64.min_int] is still negative, and
+   a negative remainder would turn into an out-of-range [List.nth]. *)
+let next_nonneg r = Int64.logand (next_int64 r) 0x7FFFFFFFFFFFFFFFL
+
 (* Uniform in [0, 1): take the top 53 bits. *)
 let next_float r =
   let bits = Int64.shift_right_logical (next_int64 r) 11 in
@@ -160,7 +169,7 @@ let local_rng seed gen =
 (* Short busy-wait: long enough to reorder races, short enough that a
    p=0.05 sweep over thousands of tasks stays fast. *)
 let delay r =
-  let rounds = 1 + Int64.to_int (Int64.rem (Int64.abs (next_int64 r)) 400L) in
+  let rounds = 1 + Int64.to_int (Int64.rem (next_nonneg r) 400L) in
   for _ = 1 to rounds do
     Domain.cpu_relax ()
   done
@@ -178,8 +187,8 @@ let point_task () =
         let n = Atomic.fetch_and_add faults 1 in
         let k =
           List.nth kinds
-            (Int64.to_int (Int64.rem (Int64.abs (next_int64 r))
-                             (Int64.of_int (List.length kinds))))
+            (Int64.to_int
+               (Int64.rem (next_nonneg r) (Int64.of_int (List.length kinds))))
         in
         (match k with
         | Delay -> delay r

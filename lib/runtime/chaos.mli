@@ -20,7 +20,10 @@
     per-site fault probability, in [0..1]) defaults to [0.01], and [kinds]
     defaults to [delay+starve] — the semantics-preserving kinds, so the
     full test suite can run under chaos and still check exact results.
-    A malformed value disables chaos and is reported by {!describe}.
+    The empty string is the explicit opt-out: [BDS_CHAOS=''] disables
+    chaos (handy for pinning chaos off in one command of a sweep whose
+    environment sets it globally).  A malformed value disables chaos and
+    is reported by {!describe}.
 
     Fault decisions come from a per-domain splitmix64 stream derived from
     the seed, so a given seed yields a reproducible fault plan per domain
@@ -41,8 +44,9 @@ val config : unit -> config option
     chaos off.  Resets per-domain fault streams. *)
 val set_config : config option -> unit
 
-(** Parse a [BDS_CHAOS]-formatted string. *)
-val parse : string -> (config, string) result
+(** Parse a [BDS_CHAOS]-formatted string.  [Ok None] for the empty (or
+    all-blank) string — the explicit chaos-off opt-out. *)
+val parse : string -> (config option, string) result
 
 (** One line describing the active configuration, e.g.
     ["chaos: seed=7 p=0.500 kinds=raise+delay+starve"] or ["chaos: off"];

@@ -203,23 +203,47 @@ let push_task pool task =
   wake_idlers pool
 
 (* Run one task under the suspend handler.  The handler closes over the
-   pool so that resumed continuations are rescheduled on it. *)
+   pool so that resumed continuations are rescheduled on it.
+
+   The ambient cancellation token (Cancel.ambient) is fiber-local state:
+   when a fiber suspends here, its token is snapshotted off this domain's
+   DLS and reinstalled on whichever domain resumes the remainder, so the
+   resumed code polls *its own* scope's token rather than whatever the
+   hosting domain happens to be running.  The domain's own ambient value
+   is restored around both the suspension and the whole task, so a fiber
+   can never leak its scope's token into the worker loop (where a stale
+   cancelled token would make an unrelated healthy scope raise). *)
 let execute pool (task : task) =
   Atomic.incr pool.executed;
-  Effect.Deep.try_with task ()
-    {
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Suspend register ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                let resume () =
-                  push_task pool (fun () -> Effect.Deep.continue k ())
-                in
-                if not (register resume) then Effect.Deep.continue k ())
-          | _ -> None);
-    }
+  let saved = Cancel.ambient () in
+  match
+    Effect.Deep.try_with task ()
+      {
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let amb = Cancel.ambient () in
+                  Cancel.set_ambient None;
+                  let resume () =
+                    push_task pool (fun () ->
+                        Cancel.set_ambient amb;
+                        Effect.Deep.continue k ())
+                  in
+                  if not (register resume) then begin
+                    (* Already resolved: resume immediately, same domain. *)
+                    Cancel.set_ambient amb;
+                    Effect.Deep.continue k ()
+                  end)
+            | _ -> None);
+      }
+  with
+  | () -> Cancel.set_ambient saved
+  | exception e ->
+    Cancel.set_ambient saved;
+    raise e
 
 (* [execute] with scheduler-crash containment, for task loops that must
    not die on a raw task raising (nothing escapes a well-formed task: the
@@ -244,11 +268,10 @@ let rec fulfill (p : 'a promise) (result : 'a state) =
   | Returned _ | Raised _ ->
     (* Double fulfill is a scheduler-level bug, but raising here would
        kill the worker domain that tripped it.  Contain it instead: keep
-       the first result, cancel the enclosing scope (if any) so dependent
-       work winds down, and log loudly. *)
-    (match Cancel.ambient () with
-    | Some tok -> Cancel.cancel tok
-    | None -> ());
+       the first result and log loudly.  Deliberately no ambient-scope
+       cancel here: by the time a second fulfill runs, this domain's
+       ambient token (if any) belongs to whatever unrelated scope is
+       currently executing, not to the promise's owner. *)
     Log.err (fun m ->
         m "Pool: promise fulfilled twice; second result dropped%s"
           (match result with
@@ -269,6 +292,9 @@ let promise_result (p : 'a promise) : 'a =
   | Returned v -> v
   | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending _ -> assert false
+
+let still_pending (p : 'a promise) =
+  match Atomic.get p with Pending _ -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Worker loop                                                         *)
@@ -454,17 +480,22 @@ let await pool p =
          guaranteed even on a pool with no spawned workers and no active
          [run].  Fail fast instead of spinning forever when the pool can
          no longer resolve the promise: poisoned, or fully terminated
-         with no work left to run. *)
+         with no work left to run.  Each fail-fast raise re-checks the
+         promise one final time first: teardown's drain (or a concurrent
+         worker) may have resolved it after we observed it pending, and
+         the documented guarantee is that a resolved promise's result is
+         always returned. *)
       while
         match Atomic.get p with
         | Pending _ ->
           (match Atomic.get pool.poisoned with
-          | Some (exn, _) -> raise (Worker_crashed (crash_diagnostic exn))
-          | None -> ());
+          | Some (exn, _) when still_pending p ->
+            raise (Worker_crashed (crash_diagnostic exn))
+          | _ -> ());
           (match steal_or_overflow pool with
           | Some task -> execute_contained pool task
           | None ->
-            if Atomic.get pool.terminated then raise Shutdown
+            if Atomic.get pool.terminated && still_pending p then raise Shutdown
             else Domain.cpu_relax ());
           true
         | _ -> false
@@ -504,13 +535,16 @@ let run pool f =
         (* Participate as worker 0 until the root promise resolves.  If a
            worker domain crashes while we wait, surface the poisoning as
            [Worker_crashed] instead of spinning on a promise that may
-           never resolve. *)
+           never resolve — unless the promise resolved in the meantime
+           (re-checked under the [when] guard), in which case its result
+           wins. *)
         let rec help () =
           match Atomic.get p with
           | Pending _ ->
             (match Atomic.get pool.poisoned with
-            | Some (exn, _) -> raise (Worker_crashed (crash_diagnostic exn))
-            | None -> ());
+            | Some (exn, _) when still_pending p ->
+              raise (Worker_crashed (crash_diagnostic exn))
+            | _ -> ());
             (match get_task pool 0 with
             | Some task -> execute_contained pool task
             | None -> Domain.cpu_relax ());

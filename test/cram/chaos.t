@@ -2,9 +2,11 @@ The runtime probe reports the worker count and the chaos-injection
 configuration parsed from BDS_CHAOS (docs/RUNTIME.md "Failure semantics,
 cancellation, and chaos testing").
 
-Chaos is off by default:
+Chaos is off by default, and the empty string is the explicit opt-out —
+pinned here so this block holds even when the surrounding environment
+(e.g. `make stress`) exports a BDS_CHAOS of its own:
 
-  $ BDS_NUM_DOMAINS=2 bds_probe
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' bds_probe
   workers=2
   chaos: off
   sum(0..99999)=4999950000

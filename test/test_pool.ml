@@ -202,6 +202,34 @@ let test_cancellation_reduce () =
              else i)));
   Alcotest.(check bool) "reduce stopped early" true (Atomic.get late <= n / 100)
 
+let test_ambient_fiber_local () =
+  (* Regression: the ambient cancellation token is fiber-local.  Nested
+     scopes suspend (Pool.await) inside [with_ambient] regions and their
+     continuations can resume on other domains; a migrated fiber must
+     carry its own token and must not clobber the resuming domain's
+     ambient.  Before the fix, a cancelled scope's token could leak into
+     the worker loop, and a later healthy scope — whose [scope_token]
+     inherits the ambient as parent — was born cancelled and raised raw
+     [Cancel.Cancelled].  Interleave raising and healthy nested scopes
+     repeatedly and require the healthy ones to always complete. *)
+  for _round = 1 to 50 do
+    (try
+       ignore
+         (Runtime.par
+            (fun () ->
+              Runtime.parallel_for ~grain:1 0 64 (fun i ->
+                  if i = 13 then raise (Boom 13)))
+            (fun () ->
+              Runtime.parallel_for_reduce ~grain:1 0 64 ~combine:( + ) ~init:0
+                (fun i ->
+                  Runtime.parallel_for_reduce ~grain:1 0 8 ~combine:( + )
+                    ~init:0 (fun j -> i + j))))
+     with Boom 13 -> ());
+    Alcotest.(check int) "healthy scope after cancelled one" 4950
+      (Runtime.parallel_for_reduce ~grain:1 0 100 ~combine:( + ) ~init:0
+         Fun.id)
+  done
+
 let test_pool_alive_after_cancellation () =
   (try Runtime.parallel_for 0 1_000_000 (fun i -> if i = 17 then raise (Boom 2))
    with Boom 2 -> ());
@@ -389,6 +417,8 @@ let () =
             test_cancellation_single_domain_exact;
           Alcotest.test_case "par sibling stops" `Quick test_cancellation_sibling_par;
           Alcotest.test_case "reduce stops early" `Quick test_cancellation_reduce;
+          Alcotest.test_case "ambient token is fiber-local" `Quick
+            test_ambient_fiber_local;
           Alcotest.test_case "pool alive after cancel" `Quick
             test_pool_alive_after_cancellation;
         ] );

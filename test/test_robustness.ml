@@ -83,6 +83,17 @@ let with_chaos cfg f =
   Chaos.set_config (Some cfg);
   Fun.protect ~finally:(fun () -> Chaos.set_config None) f
 
+let test_chaos_parse_empty_is_off () =
+  (* The empty (or blank) BDS_CHAOS is the explicit opt-out, not the
+     default configuration — a chaos sweep that exports BDS_CHAOS
+     globally must be able to pin it off for one command. *)
+  Alcotest.(check bool) "empty means off" true (Chaos.parse "" = Ok None);
+  Alcotest.(check bool) "blank means off" true (Chaos.parse " \t " = Ok None);
+  Alcotest.(check bool) "fields still enable chaos" true
+    (match Chaos.parse "seed=5" with
+    | Ok (Some { Chaos.seed = 5; _ }) -> true
+    | _ -> false)
+
 let test_chaos_raise_contained () =
   (* Every task raises at its fault point: the injected fault must
      surface like any task exception (captured, re-raised at the scope
@@ -231,6 +242,8 @@ let () =
         ] );
       ( "chaos injection",
         [
+          Alcotest.test_case "empty spec is the opt-out" `Quick
+            test_chaos_parse_empty_is_off;
           Alcotest.test_case "raise kind contained" `Quick test_chaos_raise_contained;
           Alcotest.test_case "delay+starve preserve results" `Quick
             test_chaos_delay_starve_preserves_results;
