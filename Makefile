@@ -1,6 +1,6 @@
 # Convenience targets (cf. the paper artifact's makefiles).
 
-.PHONY: all build test stress bench bench-quick examples clean
+.PHONY: all build test stress trace-smoke bench bench-quick examples clean
 
 # Fixed-seed chaos specification used by `make stress` (see
 # docs/RUNTIME.md for the BDS_CHAOS format).  delay+starve perturb
@@ -19,13 +19,22 @@ test:
 	dune runtest --force
 
 # Chaos stress: the dedicated @stress alias, then the full suite under
-# fault injection across 1, 2 and 4 domains.
-stress:
+# fault injection across 1, 2 and 4 domains, then a trace round-trip.
+stress: trace-smoke
 	dune build @stress --force
 	for d in 1 2 4; do \
 	  echo "== stress: BDS_NUM_DOMAINS=$$d BDS_CHAOS=$(CHAOS_SPEC) =="; \
 	  BDS_NUM_DOMAINS=$$d BDS_CHAOS="$(CHAOS_SPEC)" dune runtest --force || exit 1; \
 	done
+
+# Trace round-trip: run the probe with tracing enabled, then validate
+# the emitted Chrome-trace JSON with the probe's own checker (the same
+# grammar Perfetto accepts; see docs/OBSERVABILITY.md).
+TRACE_SMOKE_FILE ?= /tmp/bds-trace-smoke.json
+trace-smoke:
+	dune build bin/bds_probe.exe
+	BDS_TRACE=$(TRACE_SMOKE_FILE) BDS_NUM_DOMAINS=4 dune exec bin/bds_probe.exe -- stats
+	dune exec bin/bds_probe.exe -- trace-check $(TRACE_SMOKE_FILE)
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt

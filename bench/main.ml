@@ -12,6 +12,7 @@ module Measure = Bds_harness.Measure
 module Registry = Bds_harness.Registry
 module Tables = Bds_harness.Tables
 module Runtime = Bds_runtime.Runtime
+module Telemetry = Bds_runtime.Telemetry
 module S = Bds.Seq
 module K = Bds_kernels
 
@@ -21,6 +22,8 @@ type config = {
   proc_list : int list;
   repeat : int;
   sections : string list;
+  micro_filter : string option;
+      (** substring filter on microbenchmark names (--micro-filter) *)
   csv : string option;
   plots : string option;  (** directory for SVG versions of the figures *)
 }
@@ -84,6 +87,8 @@ type row_result = {
   size : int;
   times_p1 : (string * float) list;
   times_pn : (string * float) list;
+  sched_pn : (string * Measure.timed) list;
+      (** P=max scheduler-telemetry deltas, one per version (best run) *)
   allocs : (string * float) list;
 }
 
@@ -98,14 +103,26 @@ let run_bench cfg (b : Registry.bench) =
     Measure.with_domains p (fun () ->
         List.map
           (fun v ->
-            let t = Measure.time ~repeat:cfg.repeat v.Registry.run in
+            let m = Measure.time_counters ~repeat:cfg.repeat v.Registry.run in
             record ~section ~bench:b.name ~version:v.Registry.vname ~procs:p
-              ~metric:"time_s" t;
-            (v.Registry.vname, t))
+              ~metric:"time_s" m.Measure.best_s;
+            (v.Registry.vname, m))
           versions)
   in
-  let times_p1 = times 1 in
-  let times_pn = times cfg.procs in
+  let times_p1 = List.map (fun (v, m) -> (v, m.Measure.best_s)) (times 1) in
+  let sched_pn = times cfg.procs in
+  let times_pn = List.map (fun (v, m) -> (v, m.Measure.best_s)) sched_pn in
+  List.iter
+    (fun (vname, (m : Measure.timed)) ->
+      let c = m.Measure.counters in
+      record ~section ~bench:b.name ~version:vname ~procs:cfg.procs
+        ~metric:"steals" (float_of_int c.Telemetry.s_steals);
+      record ~section ~bench:b.name ~version:vname ~procs:cfg.procs
+        ~metric:"tasks_per_s"
+        (if m.Measure.best_s > 0.0 then
+           float_of_int c.Telemetry.s_tasks_spawned /. m.Measure.best_s
+         else 0.0))
+    sched_pn;
   let allocs =
     List.map
       (fun v ->
@@ -115,9 +132,44 @@ let run_bench cfg (b : Registry.bench) =
         (v.Registry.vname, a))
       versions
   in
-  { bench = b; size; times_p1; times_pn; allocs }
+  { bench = b; size; times_p1; times_pn; sched_pn; allocs }
 
 let get vname l = List.assoc vname l
+
+(* Scheduler pressure at P=max, from the same (best) runs the time table
+   reports: how many tasks the version spawned, how often thieves
+   succeeded, and task throughput.  High steal counts with low task
+   counts indicate imbalance; the delayed versions should spawn strictly
+   fewer tasks than the eager array versions (fewer intermediate
+   loops). *)
+let print_sched ~title results =
+  let pct num den =
+    if den = 0 then "-" else Printf.sprintf "%.0f%%" (100.0 *. float_of_int num /. float_of_int den)
+  in
+  let rows =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun (v, (m : Measure.timed)) ->
+            let c = m.Measure.counters in
+            [
+              r.bench.Registry.name;
+              Registry.describe_version v;
+              string_of_int c.Telemetry.s_tasks_spawned;
+              string_of_int c.Telemetry.s_chunks_executed;
+              string_of_int c.Telemetry.s_steals;
+              pct c.Telemetry.s_steals c.Telemetry.s_steal_attempts;
+              (if m.Measure.best_s > 0.0 then
+                 Printf.sprintf "%.2e"
+                   (float_of_int c.Telemetry.s_tasks_spawned /. m.Measure.best_s)
+               else "-");
+            ])
+          r.sched_pn)
+      results
+  in
+  Tables.print ~title
+    ~headers:[ "bench"; "version"; "tasks"; "chunks"; "steals"; "steal hit"; "tasks/s" ]
+    ~rows
 
 let fig13_rows cfg = List.map (run_bench cfg) Registry.bid_benches
 
@@ -486,9 +538,22 @@ let micro cfg =
   let n = scaled cfg 200_000 in
   let bc_input = K.Bestcut.generate n in
   let mcss_input = K.Mcss.generate n in
-  let mk name f = Test.make ~name (Staged.stage f) in
+  (* --micro-filter: keep only benchmarks whose name contains the
+     substring (quick single-kernel timings while tuning). *)
+  let wanted name =
+    match cfg.micro_filter with
+    | None -> true
+    | Some sub ->
+      let nl = String.length name and sl = String.length sub in
+      let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
+      sl = 0 || at 0
+  in
+  let mk name f =
+    if wanted name then [ Test.make ~name (Staged.stage f) ] else []
+  in
   let tests =
     Test.make_grouped ~name:"bds" ~fmt:"%s %s"
+      (List.concat
       [
         (* Figure 13's headline kernel in all three versions. *)
         mk "fig13/bestcut/array" (fun () -> K.Bestcut.Array_version.best_cut bc_input);
@@ -512,7 +577,7 @@ let micro cfg =
             Bds.Seq.(reduce ( + ) 0 (filter (fun x -> x land 7 < 3) (iota n))));
         mk "ops/filter/array" (fun () ->
             Bds_parray.Parray.(reduce ( + ) 0 (filter (fun x -> x land 7 < 3) (iota n))));
-      ]
+      ])
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -543,11 +608,19 @@ let run cfg =
   if enabled cfg "fig5" then fig5 cfg;
   if enabled cfg "fig13" then begin
     Printf.eprintf "fig13 (BID benchmarks)...\n%!";
-    print_fig13 (fig13_rows cfg)
+    let results = fig13_rows cfg in
+    print_fig13 results;
+    print_sched
+      ~title:(Printf.sprintf "Figure 13 scheduler pressure (P=%d, best run)" cfg.procs)
+      results
   end;
   if enabled cfg "fig14" then begin
     Printf.eprintf "fig14 (RAD benchmarks)...\n%!";
-    print_fig14 (fig14_rows cfg)
+    let results = fig14_rows cfg in
+    print_fig14 results;
+    print_sched
+      ~title:(Printf.sprintf "Figure 14 scheduler pressure (P=%d, best run)" cfg.procs)
+      results
   end;
   if enabled cfg "fig15" then fig15 cfg;
   if enabled cfg "fig16" then fig16 cfg;
@@ -584,6 +657,11 @@ let only_arg =
   Arg.(value & opt (list string) []
        & info [ "only" ] ~doc:"Sections to run: fig5, fig13, fig14, fig15, fig16, ext, ablation, micro. Default: all.")
 
+let micro_filter_arg =
+  Arg.(value & opt (some string) None
+       & info [ "micro-filter" ]
+           ~doc:"Only run microbenchmarks whose name contains this substring.")
+
 let csv_arg =
   Arg.(value & opt (some string) None
        & info [ "csv" ] ~doc:"Also write raw measurements to this CSV file.")
@@ -592,7 +670,7 @@ let plots_arg =
   Arg.(value & opt (some string) None
        & info [ "plots" ] ~doc:"Also write SVG versions of the plotted figures to this directory.")
 
-let main scale quick procs proc_list repeat sections csv plots =
+let main scale quick procs proc_list repeat sections micro_filter csv plots =
   let cfg =
     {
       scale = (if quick then scale /. 10.0 else scale);
@@ -600,6 +678,7 @@ let main scale quick procs proc_list repeat sections csv plots =
       proc_list;
       repeat = (if quick then 1 else repeat);
       sections;
+      micro_filter;
       csv;
       plots;
     }
@@ -615,6 +694,6 @@ let cmd =
     (Cmd.info "bds-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const main $ scale_arg $ quick_arg $ procs_arg $ proc_list_arg $ repeat_arg
-      $ only_arg $ csv_arg $ plots_arg)
+      $ only_arg $ micro_filter_arg $ csv_arg $ plots_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,17 +1,50 @@
 (* Runtime configuration probe: prints the worker count and the active
    chaos-injection configuration, then runs a small parallel reduction as
    a liveness check.  The cram tests use it to assert that BDS_CHAOS is
-   parsed and reported; it is also handy for diagnosing CI environments. *)
+   parsed and reported; it is also handy for diagnosing CI environments.
+
+   Sub-commands:
+     bds_probe             — liveness probe (historical default)
+     bds_probe stats       — probe + scheduler-telemetry counters
+     bds_probe trace-check F — validate a BDS_TRACE JSON file *)
 
 module Runtime = Bds_runtime.Runtime
 module Chaos = Bds_runtime.Chaos
+module Telemetry = Bds_runtime.Telemetry
+module Trace = Bds_runtime.Trace
 
-let () =
+let probe ~stats =
   Printf.printf "workers=%d\n" (Runtime.num_workers ());
   print_endline (Chaos.describe ());
+  let before = Telemetry.snapshot () in
   let n = 100_000 in
   let sum =
     Runtime.parallel_for_reduce 0 n ~combine:( + ) ~init:0 (fun i -> i)
   in
   Printf.printf "sum(0..%d)=%d\n" (n - 1) sum;
+  if stats then begin
+    let after = Telemetry.snapshot () in
+    print_endline "telemetry:";
+    List.iter
+      (fun (k, v) -> Printf.printf "  %s=%d\n" k v)
+      (Telemetry.to_assoc (Telemetry.diff ~before ~after))
+  end;
   Runtime.shutdown ()
+
+let trace_check file =
+  match Trace.validate_file file with
+  | Ok n ->
+    Printf.printf "trace ok: %d events\n" n;
+    0
+  | Error e ->
+    Printf.eprintf "trace invalid: %s\n" e;
+    1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] -> probe ~stats:false
+  | _ :: [ "stats" ] -> probe ~stats:true
+  | _ :: [ "trace-check"; file ] -> exit (trace_check file)
+  | _ ->
+    prerr_endline "usage: bds_probe [stats | trace-check FILE]";
+    exit 2

@@ -22,7 +22,10 @@ type 'a bid = {
   b_len : int;
   b_size : int;  (** block size B; blocks 0 .. ceil(len/B)-1 *)
   block : int -> 'a Stream.t;
-  mutable memo : 'a array option;  (** cached result of forcing *)
+  memo : 'a array option Atomic.t;
+      (** cached result of forcing, published by CAS (first writer wins)
+          so that a reader domain observing [Some a] is synchronized with
+          the writes that filled [a] *)
 }
 
 type 'a t =
@@ -73,7 +76,7 @@ let bid_of_seq_with bsize = function
           let lo = j * bsize in
           let len = min bsize (r_len - lo) in
           Stream.tabulate len (fun k -> get (lo + k)));
-      memo = None;
+      memo = Atomic.make None;
     }
 
 let bid_of_seq s = bid_of_seq_with (Block.size (length s)) s
@@ -123,13 +126,18 @@ let to_array s =
   match s with
   | Rad _ -> to_array_nomemo s
   | Bid b -> (
-      match b.memo with
+      match Atomic.get b.memo with
       | Some a -> a
       | None ->
         let a = to_array_nomemo s in
-        (* Benign race: concurrent forcers compute equal arrays. *)
-        b.memo <- Some a;
-        a)
+        (* Publish by CAS: the first forcer wins and every domain settles
+           on one physical array.  A plain mutable store here would be a
+           real (not benign) race under the OCaml memory model — a reader
+           could observe [Some a] without the writes that filled [a] —
+           and concurrent forcers would each keep their own copy, so
+           repeated [get]s on a shared BID could disagree on identity. *)
+        if Atomic.compare_and_set b.memo None (Some a) then a
+        else (match Atomic.get b.memo with Some a' -> a' | None -> a))
 
 (* RADfromSeq / force *)
 let rad_of_seq = function
@@ -147,20 +155,39 @@ let get s i =
 (* ------------------------------------------------------------------ *)
 (* Delayed operations (Figure 10)                                      *)
 
+(* If a BID has already been forced, derive further delayed operations
+   from the memoised array rather than re-driving the original block
+   streams (which may re-run arbitrary element functions — e.g. a scan's
+   phase 3).  The block grid is preserved so the result is still a BID
+   with the same shape, only with trivially cheap blocks. *)
+let refresh_bid b =
+  match Atomic.get b.memo with
+  | None -> b
+  | Some a ->
+    {
+      b with
+      block =
+        (fun j ->
+          let lo = j * b.b_size in
+          Stream.of_array_slice a lo (min b.b_size (b.b_len - lo)));
+    }
+
 let map g = function
   | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g (get i)) }
   | Bid b ->
+    let b = refresh_bid b in
     Bid
       {
         b_len = b.b_len;
         b_size = b.b_size;
         block = (fun j -> Stream.map g (b.block j));
-        memo = None;
+        memo = Atomic.make None;
       }
 
 let mapi g = function
   | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g i (get i)) }
   | Bid b ->
+    let b = refresh_bid b in
     Bid
       {
         b_len = b.b_len;
@@ -169,7 +196,7 @@ let mapi g = function
           (fun j ->
             let lo = j * b.b_size in
             Stream.mapi (fun k v -> g (lo + k) v) (b.block j));
-        memo = None;
+        memo = Atomic.make None;
       }
 
 let zip_with f s1 s2 =
@@ -187,13 +214,14 @@ let zip_with f s1 s2 =
       | Rad _, Bid b2 -> (bid_of_seq_with b2.b_size s1, s2)
       | Rad _, Rad _ -> assert false
     in
-    let b2 = bid_of_seq_with b1.b_size s2 in
+    let b1 = refresh_bid b1 in
+    let b2 = refresh_bid (bid_of_seq_with b1.b_size s2) in
     Bid
       {
         b_len = b1.b_len;
         b_size = b1.b_size;
         block = (fun j -> Stream.zip_with f (b1.block j) (b2.block j));
-        memo = None;
+        memo = Atomic.make None;
       }
 
 let zip s1 s2 = zip_with (fun a b -> (a, b)) s1 s2
@@ -243,7 +271,11 @@ let scan f z s =
   else begin
     let b = bid_of_seq s in
     let nb = num_blocks_of b in
-    let sums = Parray.tabulate nb (fun j -> Stream.reduce1 f (b.block j)) in
+    let sums =
+      Parray.tabulate nb (fun j ->
+          Cancel.poll ();
+          Stream.reduce1 f (b.block j))
+    in
     let offsets, total = Parray.scan_seq f z sums in
     let out =
       Bid
@@ -251,7 +283,7 @@ let scan f z s =
           b_len = n;
           b_size = b.b_size;
           block = (fun j -> Stream.scan f offsets.(j) (b.block j));
-          memo = None;
+          memo = Atomic.make None;
         }
     in
     (out, total)
@@ -263,14 +295,18 @@ let scan_incl f z s =
   else begin
     let b = bid_of_seq s in
     let nb = num_blocks_of b in
-    let sums = Parray.tabulate nb (fun j -> Stream.reduce1 f (b.block j)) in
+    let sums =
+      Parray.tabulate nb (fun j ->
+          Cancel.poll ();
+          Stream.reduce1 f (b.block j))
+    in
     let offsets, _ = Parray.scan_seq f z sums in
     Bid
       {
         b_len = n;
         b_size = b.b_size;
         block = (fun j -> Stream.scan_incl f offsets.(j) (b.block j));
-        memo = None;
+        memo = Atomic.make None;
       }
   end
 
@@ -313,7 +349,11 @@ let filter_with pack s =
   else begin
     let b = bid_of_seq s in
     let nb = num_blocks_of b in
-    let packed = Parray.tabulate nb (fun j -> pack (b.block j)) in
+    let packed =
+      Parray.tabulate nb (fun j ->
+          Cancel.poll ();
+          pack (b.block j))
+    in
     let lengths = Array.map Array.length packed in
     let offsets, total = Parray.scan_seq ( + ) 0 lengths in
     if total = 0 then empty
@@ -327,7 +367,7 @@ let filter_with pack s =
             get_region ~offsets ~lengths
               ~elem:(fun j k -> packed.(j).(k))
               ~total ~bsize;
-          memo = None;
+          memo = Atomic.make None;
         }
     end
   end
@@ -357,7 +397,7 @@ let flatten (s : 'a t t) =
         b_len = total;
         b_size = bsize;
         block = get_region ~offsets ~lengths ~elem ~total ~bsize;
-        memo = None;
+        memo = Atomic.make None;
       }
   end
 
@@ -377,7 +417,9 @@ let take s n =
   if n < 0 || n > length s then invalid_arg "Seq.take";
   match s with
   | Rad { get; _ } -> Rad { r_len = n; get }
-  | Bid { memo = Some a; _ } -> Rad { r_len = n; get = Array.unsafe_get a }
+  | Bid b when Atomic.get b.memo <> None ->
+    let a = match Atomic.get b.memo with Some a -> a | None -> assert false in
+    Rad { r_len = n; get = Array.unsafe_get a }
   | Bid b ->
     if n = b.b_len then s
     else if n = 0 then empty
@@ -390,7 +432,7 @@ let take s n =
             (fun j ->
               let lo = j * b.b_size in
               Stream.take (min b.b_size (n - lo)) (b.block j));
-          memo = None;
+          memo = Atomic.make None;
         }
 
 let drop s n = slice s n (length s - n)

@@ -29,6 +29,31 @@ let time ?(warmup = 1) ?(repeat = 3) f =
   done;
   !best
 
+type timed = { best_s : float; counters : Bds_runtime.Telemetry.snapshot }
+
+(* Like [time], but also report the scheduler-telemetry delta of the
+   *best* run (the run whose time we report), so counter rows line up
+   with timing rows.  Counters are process-global, so the delta also
+   includes whatever the benchmark body spawns internally — which is the
+   point: it is the scheduler pressure of one run. *)
+let time_counters ?(warmup = 1) ?(repeat = 3) f =
+  let module T = Bds_runtime.Telemetry in
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let best = ref infinity in
+  let best_counters = ref (T.diff ~before:(T.snapshot ()) ~after:(T.snapshot ())) in
+  for _ = 1 to repeat do
+    let before = T.snapshot () in
+    let t = time_once f in
+    let after = T.snapshot () in
+    if t < !best then begin
+      best := t;
+      best_counters := T.diff ~before ~after
+    end
+  done;
+  { best_s = !best; counters = !best_counters }
+
 (* Space of one run of [f], measured on a 1-worker pool. Restores the
    previous worker count.
 

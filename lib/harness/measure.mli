@@ -8,6 +8,13 @@ val time_once : (unit -> 'a) -> float
 (** Minimum wall-clock over [repeat] runs after [warmup] runs. *)
 val time : ?warmup:int -> ?repeat:int -> (unit -> 'a) -> float
 
+type timed = { best_s : float; counters : Bds_runtime.Telemetry.snapshot }
+
+(** Like {!time}, but additionally returns the scheduler-telemetry delta
+    ({!Bds_runtime.Telemetry.diff}) observed during the best (reported)
+    run, so benchmark tables can show steals / tasks alongside times. *)
+val time_counters : ?warmup:int -> ?repeat:int -> (unit -> 'a) -> timed
+
 (** Major-heap bytes allocated by one run of [f], measured on a
     single-domain pool (exact; see the implementation notes: this is the
     portable analogue of the paper's max-residency metric). Restores the

@@ -16,6 +16,16 @@ type bench = {
   prepare : int -> version list;  (** array, [rad], delay *)
 }
 
+(* How a version name reads in table rows: the paper's Figure 12 labels
+   (A = eager array library, R = non-block delayed, Ours = block-delayed)
+   for the three standard versions, the raw name for bench-specific ones
+   (stdlib/psort, atomics/sort, ...). *)
+let describe_version = function
+  | "array" -> "A"
+  | "rad" -> "R"
+  | "delay" -> "Ours"
+  | v -> v
+
 let sink_int = ref 0
 let sink_float = ref 0.0
 

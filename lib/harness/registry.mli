@@ -14,6 +14,11 @@ type bench = {
           in each library version (in order: array, [rad], delay). *)
 }
 
+(** Paper label (Figure 12) for a version name: ["array"] is "A",
+    ["rad"] is "R", ["delay"] is "Ours"; bench-specific names pass
+    through unchanged. *)
+val describe_version : string -> string
+
 (** Result sinks, defeating dead-code elimination of benchmark bodies. *)
 val sink_int : int ref
 

@@ -29,7 +29,16 @@ let rec is_cancelled t =
   Atomic.get t.cancelled
   || (match t.parent with Some p -> is_cancelled p | None -> false)
 
-let check t = if is_cancelled t then raise Cancelled
+(* Out of line: the cancelled case is the cold path (taken at most once
+   per chunk), keeping [check] itself small for the grain-loop call
+   sites. *)
+let[@inline never] trip () =
+  Telemetry.incr_cancel_trips ();
+  raise Cancelled
+
+let check t =
+  Telemetry.incr_cancel_polls ();
+  if is_cancelled t then trip ()
 
 let reason t = Atomic.get t.reason
 

@@ -184,6 +184,7 @@ let point_task () =
       match task_kinds with
       | [] -> ()
       | kinds ->
+        Telemetry.incr_chaos_injections ();
         let n = Atomic.fetch_and_add faults 1 in
         let k =
           List.nth kinds
@@ -206,6 +207,7 @@ let starve_steal () =
     &&
     let r = local_rng cfg.seed gen in
     if next_float r < cfg.p then begin
+      Telemetry.incr_chaos_injections ();
       ignore (Atomic.fetch_and_add faults 1);
       true
     end

@@ -192,10 +192,12 @@ let get_task pool me =
 (* Scheduling                                                          *)
 
 let push_task pool task =
+  Telemetry.incr_tasks_spawned ();
   (match current_context () with
   | Some { ctx_pool; ctx_id } when ctx_pool == pool ->
     Ws_deque.push pool.deques.(ctx_id) task
   | _ ->
+    Telemetry.incr_overflow_pushes ();
     Mutex.lock pool.overflow_mutex;
     Queue.push task pool.overflow;
     Atomic.incr pool.overflow_size;
@@ -434,6 +436,9 @@ let teardown pool =
     in
     drain ();
     Atomic.set pool.terminated true;
+    (* Torn-down pools are the natural trace boundary: workers have
+       joined, so every ring buffer is quiescent. *)
+    Trace.flush ();
     Log.debug (fun m ->
         m "pool torn down: %d tasks executed, %d steals"
           (Atomic.get pool.executed) (Atomic.get pool.steals))

@@ -91,7 +91,7 @@ let scoped tok thunk =
 (* Run one sequential chunk [lo, hi) of [body] under [tok]: ambient for
    nested scopes and [Seq]'s block-boundary polls, token polled every
    [poll_mask + 1] iterations, first failure recorded. *)
-let seq_chunk tok body lo hi =
+let seq_chunk_body tok body lo hi =
   Cancel.with_ambient tok (fun () ->
       try
         for i = lo to hi - 1 do
@@ -104,6 +104,13 @@ let seq_chunk tok body lo hi =
         let bt = Printexc.get_raw_backtrace () in
         record tok e bt;
         Printexc.raise_with_backtrace e bt)
+
+let seq_chunk tok body lo hi =
+  Telemetry.incr_chunks_executed ();
+  if Trace.enabled () then
+    Trace.with_span ~cat:"chunk" ~lo ~hi "chunk" (fun () ->
+        seq_chunk_body tok body lo hi)
+  else seq_chunk_body tok body lo hi
 
 let par f g =
   let pool = get_pool () in
@@ -120,18 +127,27 @@ let par f g =
           record tok e bt;
           Printexc.raise_with_backtrace e bt)
   in
-  Pool.run pool (fun () ->
-      scoped tok (fun () ->
-          let pg = Pool.async pool (branch g) in
-          let a = branch f () in
-          let b = Pool.await pool pg in
-          (a, b)))
+  Trace.with_span "par" (fun () ->
+      Pool.run pool (fun () ->
+          scoped tok (fun () ->
+              let pg = Pool.async pool (branch g) in
+              let a = branch f () in
+              let b = Pool.await pool pg in
+              (a, b))))
 
-(* Sequential base case threshold: split until [size / (8 * workers)] or
-   [grain], whichever is larger. *)
+(* Sequential base-case threshold: split until chunks of
+   [n / (32 * workers)] iterations (or [grain], whichever is larger) —
+   i.e. about 32 leaf chunks per worker.  The often-quoted 8 chunks per
+   worker is the bare minimum for thieves to find work at all; the
+   telemetry counters show why the extra headroom is kept: on the
+   harness's triangular-load ablation, steals keep succeeding late into
+   the loop only when spare chunks remain (32/worker), while
+   chunks_executed stays small enough that per-chunk scheduling overhead
+   is far below 1%.  The full policy discussion lives in docs/RUNTIME.md
+   "Grain policy". *)
 let auto_grain n =
   let w = num_workers () in
-  max default_grain (n / (8 * w * 4))
+  max default_grain (n / (32 * w))
 
 let parallel_for ?grain lo hi (body : int -> unit) =
   let n = hi - lo in
@@ -150,7 +166,8 @@ let parallel_for ?grain lo hi (body : int -> unit) =
         Pool.await pool p
       end
     in
-    Pool.run pool (fun () -> scoped tok (fun () -> go lo hi))
+    Trace.with_span ~lo ~hi "parallel_for" (fun () ->
+        Pool.run pool (fun () -> scoped tok (fun () -> go lo hi)))
   end
 
 (* The paper's [apply : int -> (int -> unit) -> unit]. *)
@@ -184,7 +201,8 @@ let parallel_for_lazy ?(chunk = 64) lo hi (body : int -> unit) =
         go stop hi
       end
     in
-    Pool.run pool (fun () -> scoped tok (fun () -> go lo hi))
+    Trace.with_span ~lo ~hi "parallel_for_lazy" (fun () ->
+        Pool.run pool (fun () -> scoped tok (fun () -> go lo hi)))
   end
 
 let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
@@ -197,9 +215,9 @@ let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
     (* [go lo hi] folds the non-empty range seeded from its first element,
        so [init] is combined exactly once at the top: correct for any
        associative [combine], with no identity requirement on [init]. *)
-    let rec go lo hi =
-      Cancel.check tok;
-      if hi - lo <= grain then
+    let leaf lo hi =
+      Telemetry.incr_chunks_executed ();
+      let chunk () =
         Cancel.with_ambient tok (fun () ->
             try
               let acc = ref (body lo) in
@@ -214,6 +232,13 @@ let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
               let bt = Printexc.get_raw_backtrace () in
               record tok e bt;
               Printexc.raise_with_backtrace e bt)
+      in
+      if Trace.enabled () then Trace.with_span ~cat:"chunk" ~lo ~hi "chunk" chunk
+      else chunk ()
+    in
+    let rec go lo hi =
+      Cancel.check tok;
+      if hi - lo <= grain then leaf lo hi
       else begin
         let mid = lo + ((hi - lo) / 2) in
         let p = Pool.async pool (fun () -> go mid hi) in
@@ -222,5 +247,6 @@ let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
         combine a b
       end
     in
-    Pool.run pool (fun () -> scoped tok (fun () -> combine init (go lo hi)))
+    Trace.with_span ~lo ~hi "parallel_for_reduce" (fun () ->
+        Pool.run pool (fun () -> scoped tok (fun () -> combine init (go lo hi))))
   end

@@ -31,6 +31,13 @@ val num_workers : unit -> int
 (** [run f] executes [f] inside the global pool (inline if already inside). *)
 val run : (unit -> 'a) -> 'a
 
+(** The default sequential-chunk size for an [n]-iteration loop:
+    [max 1 (n / (32 * num_workers ()))], i.e. ~32 leaf chunks per worker
+    so thieves keep finding work on imbalanced bodies (policy rationale
+    in docs/RUNTIME.md "Grain policy").  Exposed so harnesses and tests
+    can reason about the chunking a loop will get. *)
+val auto_grain : int -> int
+
 (** Binary fork-join: evaluate both closures, potentially in parallel. *)
 val par : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 

@@ -1,0 +1,177 @@
+(* Always-on scheduler telemetry (see telemetry.mli for the contract).
+
+   Each domain owns a private record of plain mutable ints, created
+   lazily through DLS on first use and registered in a process-global
+   list.  Increments are therefore one DLS read plus one unsynchronized
+   store — no atomics, no contention, no shared cache lines — which is
+   what keeps the counters cheap enough to leave compiled into every
+   hot path of the scheduler.
+
+   [snapshot] reads every registered record from the aggregating domain.
+   Those reads race with the owners' stores; under the OCaml 5 memory
+   model they may observe slightly stale values, but ints are single
+   words (no tearing) and each counter only ever grows, so a snapshot is
+   a consistent-enough lower bound for the statistics use-case.  Records
+   of exited domains stay registered, so counters are cumulative over
+   the whole process lifetime and snapshots are monotone. *)
+
+type counters = {
+  mutable tasks_spawned : int;
+  mutable steal_attempts : int;
+  mutable steals : int;
+  mutable overflow_pushes : int;
+  mutable chunks_executed : int;
+  mutable cancel_polls : int;
+  mutable cancel_trips : int;
+  mutable chaos_injections : int;
+  (* Padding out to two cache lines (the 8 counters above are 64 bytes
+     of payload plus the header): adjacent domains' records can never
+     share a line even when the allocator places them back to back. *)
+  mutable pad0 : int;
+  mutable pad1 : int;
+  mutable pad2 : int;
+  mutable pad3 : int;
+  mutable pad4 : int;
+  mutable pad5 : int;
+  mutable pad6 : int;
+  mutable pad7 : int;
+}
+
+type snapshot = {
+  s_tasks_spawned : int;
+  s_steal_attempts : int;
+  s_steals : int;
+  s_overflow_pushes : int;
+  s_chunks_executed : int;
+  s_cancel_polls : int;
+  s_cancel_trips : int;
+  s_chaos_injections : int;
+}
+
+let registry_mutex = Mutex.create ()
+
+let registry : counters list ref = ref []
+
+let fresh_counters () =
+  {
+    tasks_spawned = 0;
+    steal_attempts = 0;
+    steals = 0;
+    overflow_pushes = 0;
+    chunks_executed = 0;
+    cancel_polls = 0;
+    cancel_trips = 0;
+    chaos_injections = 0;
+    pad0 = 0;
+    pad1 = 0;
+    pad2 = 0;
+    pad3 = 0;
+    pad4 = 0;
+    pad5 = 0;
+    pad6 = 0;
+    pad7 = 0;
+  }
+
+let key : counters Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let c = fresh_counters () in
+      Mutex.lock registry_mutex;
+      registry := c :: !registry;
+      Mutex.unlock registry_mutex;
+      c)
+
+let[@inline] local () = Domain.DLS.get key
+
+let[@inline] incr_tasks_spawned () =
+  let c = local () in
+  c.tasks_spawned <- c.tasks_spawned + 1
+
+let[@inline] incr_steal_attempts () =
+  let c = local () in
+  c.steal_attempts <- c.steal_attempts + 1
+
+let[@inline] incr_steals () =
+  let c = local () in
+  c.steals <- c.steals + 1
+
+let[@inline] incr_overflow_pushes () =
+  let c = local () in
+  c.overflow_pushes <- c.overflow_pushes + 1
+
+let[@inline] incr_chunks_executed () =
+  let c = local () in
+  c.chunks_executed <- c.chunks_executed + 1
+
+let[@inline] incr_cancel_polls () =
+  let c = local () in
+  c.cancel_polls <- c.cancel_polls + 1
+
+let[@inline] incr_cancel_trips () =
+  let c = local () in
+  c.cancel_trips <- c.cancel_trips + 1
+
+let[@inline] incr_chaos_injections () =
+  let c = local () in
+  c.chaos_injections <- c.chaos_injections + 1
+
+let zero =
+  {
+    s_tasks_spawned = 0;
+    s_steal_attempts = 0;
+    s_steals = 0;
+    s_overflow_pushes = 0;
+    s_chunks_executed = 0;
+    s_cancel_polls = 0;
+    s_cancel_trips = 0;
+    s_chaos_injections = 0;
+  }
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let records = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left
+    (fun acc c ->
+      {
+        s_tasks_spawned = acc.s_tasks_spawned + c.tasks_spawned;
+        s_steal_attempts = acc.s_steal_attempts + c.steal_attempts;
+        s_steals = acc.s_steals + c.steals;
+        s_overflow_pushes = acc.s_overflow_pushes + c.overflow_pushes;
+        s_chunks_executed = acc.s_chunks_executed + c.chunks_executed;
+        s_cancel_polls = acc.s_cancel_polls + c.cancel_polls;
+        s_cancel_trips = acc.s_cancel_trips + c.cancel_trips;
+        s_chaos_injections = acc.s_chaos_injections + c.chaos_injections;
+      })
+    zero records
+
+(* Clamped at 0 per field: the racy reads in [snapshot] can lag a domain
+   that was mid-burst at [before] time, so tiny negative deltas are
+   measurement noise, not meaningful. *)
+let diff ~before ~after =
+  let d a b = max 0 (a - b) in
+  {
+    s_tasks_spawned = d after.s_tasks_spawned before.s_tasks_spawned;
+    s_steal_attempts = d after.s_steal_attempts before.s_steal_attempts;
+    s_steals = d after.s_steals before.s_steals;
+    s_overflow_pushes = d after.s_overflow_pushes before.s_overflow_pushes;
+    s_chunks_executed = d after.s_chunks_executed before.s_chunks_executed;
+    s_cancel_polls = d after.s_cancel_polls before.s_cancel_polls;
+    s_cancel_trips = d after.s_cancel_trips before.s_cancel_trips;
+    s_chaos_injections = d after.s_chaos_injections before.s_chaos_injections;
+  }
+
+let to_assoc s =
+  [
+    ("tasks_spawned", s.s_tasks_spawned);
+    ("steal_attempts", s.s_steal_attempts);
+    ("steals", s.s_steals);
+    ("overflow_pushes", s.s_overflow_pushes);
+    ("chunks_executed", s.s_chunks_executed);
+    ("cancel_polls", s.s_cancel_polls);
+    ("cancel_trips", s.s_cancel_trips);
+    ("chaos_injections", s.s_chaos_injections);
+  ]
+
+let pp s =
+  String.concat " "
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (to_assoc s))

@@ -1,0 +1,49 @@
+(** Always-on, low-overhead scheduler telemetry.
+
+    Every hot path of the runtime (task pushes, steal attempts, grain
+    chunks, cancellation polls, chaos injections) bumps a per-domain,
+    cache-line-padded plain [int] — one domain-local store, no atomics —
+    so the counters stay compiled in unconditionally: with tracing off
+    their cost is unmeasurable.
+
+    Counters are process-global and cumulative (they survive pool
+    churn); use {!snapshot} before and after a region and {!diff} to
+    attribute activity to it.  Snapshots read other domains' counters
+    without synchronization: values may lag by in-flight increments but
+    never tear (single-word ints) and never decrease. *)
+
+(** Aggregated counter values at one point in time. *)
+type snapshot = {
+  s_tasks_spawned : int;  (** tasks pushed to a deque or overflow queue *)
+  s_steal_attempts : int;  (** {!Ws_deque.steal} calls *)
+  s_steals : int;  (** steal attempts that returned a task *)
+  s_overflow_pushes : int;  (** pushes routed to the overflow queue *)
+  s_chunks_executed : int;  (** sequential grain chunks run by [Runtime] *)
+  s_cancel_polls : int;  (** cancellation-token checks *)
+  s_cancel_trips : int;  (** checks that observed a cancelled token *)
+  s_chaos_injections : int;  (** faults injected by {!Chaos} *)
+}
+
+(** Sum of every domain's counters (racy lower bound; monotone). *)
+val snapshot : unit -> snapshot
+
+(** Per-field [after - before], clamped at 0 (racy reads can lag). *)
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+(** Fixed-order [(name, value)] list, the format surfaced by
+    [bds_probe stats]. *)
+val to_assoc : snapshot -> (string * int) list
+
+(** One-line rendering of {!to_assoc}. *)
+val pp : snapshot -> string
+
+(** {2 Hook points} — called by the scheduler; also usable by tests. *)
+
+val incr_tasks_spawned : unit -> unit
+val incr_steal_attempts : unit -> unit
+val incr_steals : unit -> unit
+val incr_overflow_pushes : unit -> unit
+val incr_chunks_executed : unit -> unit
+val incr_cancel_polls : unit -> unit
+val incr_cancel_trips : unit -> unit
+val incr_chaos_injections : unit -> unit

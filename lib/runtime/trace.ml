@@ -1,0 +1,397 @@
+(* Chrome-trace scope/chunk recorder (see trace.mli for the contract).
+
+   When enabled ([BDS_TRACE=<file>], or [set_output] from tests), every
+   Runtime scope and sequential chunk records one complete ("ph":"X")
+   event — name, category, start timestamp, duration, optional [lo,hi)
+   iteration range — into a per-domain ring buffer.  Recording is a few
+   domain-local stores; nothing is shared, nothing is flushed on the hot
+   path.  When disabled, the only cost at an instrumentation point is
+   one atomic bool load.
+
+   [flush] serialises every ring into Chrome's trace-event JSON format
+   (the "traceEvents" array of chrome://tracing / Perfetto), one track
+   ("tid") per domain.  Pool teardown calls it, so any program that ends
+   with [Runtime.shutdown] — the bench harness, bds_probe, the tests —
+   writes its trace without further plumbing; an [at_exit] hook covers
+   programs that never tear the pool down explicitly.
+
+   Rings are fixed-capacity (events per domain) and overwrite their
+   oldest events when full; the flushed JSON reports how many were
+   dropped per domain so a truncated trace is never mistaken for a
+   complete one. *)
+
+let capacity = 16384 (* events per domain; must be a power of two *)
+
+type ring = {
+  dom : int;
+  names : string array;
+  cats : string array;
+  ts : float array; (* start, µs since [epoch] *)
+  dur : float array; (* µs *)
+  lo : int array; (* iteration range args; min_int = absent *)
+  hi : int array;
+  mutable count : int; (* total events ever recorded on this ring *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* State *)
+
+(* The empty string is the explicit opt-out (mirroring BDS_CHAOS=''), so
+   a tracing sweep can pin tracing off for one command. *)
+let output : string option Atomic.t =
+  Atomic.make
+    (match Sys.getenv_opt "BDS_TRACE" with Some "" -> None | v -> v)
+
+let enabled_flag = Atomic.make (Atomic.get output <> None)
+
+let[@inline] enabled () = Atomic.get enabled_flag
+
+let epoch = Unix.gettimeofday ()
+
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let registry_mutex = Mutex.create ()
+
+let registry : ring list ref = ref []
+
+let make_ring dom =
+  {
+    dom;
+    names = Array.make capacity "";
+    cats = Array.make capacity "";
+    ts = Array.make capacity 0.0;
+    dur = Array.make capacity 0.0;
+    lo = Array.make capacity min_int;
+    hi = Array.make capacity min_int;
+    count = 0;
+  }
+
+(* Rings are big (6 arrays x capacity), so they are allocated on a
+   domain's first *recorded* event, not eagerly for every domain of a
+   tracing-off process. *)
+let key : ring option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let local_ring () =
+  let cell = Domain.DLS.get key in
+  match !cell with
+  | Some r -> r
+  | None ->
+    let r = make_ring (Domain.self () :> int) in
+    Mutex.lock registry_mutex;
+    registry := r :: !registry;
+    Mutex.unlock registry_mutex;
+    cell := Some r;
+    r
+
+let record name cat t0 t1 lo hi =
+  let r = local_ring () in
+  let i = r.count land (capacity - 1) in
+  r.names.(i) <- name;
+  r.cats.(i) <- cat;
+  r.ts.(i) <- t0;
+  r.dur.(i) <- t1 -. t0;
+  r.lo.(i) <- lo;
+  r.hi.(i) <- hi;
+  r.count <- r.count + 1
+
+let with_span ?(cat = "scope") ?(lo = min_int) ?(hi = min_int) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = now_us () in
+    match f () with
+    | v ->
+      record name cat t0 (now_us ()) lo hi;
+      v
+    | exception e ->
+      (* Record the span even when it unwinds: cancelled scopes are
+         exactly the ones worth seeing in a trace. *)
+      record name cat t0 (now_us ()) lo hi;
+      raise e
+  end
+
+let set_output path =
+  Atomic.set output path;
+  Atomic.set enabled_flag (path <> None)
+
+let reset () =
+  Mutex.lock registry_mutex;
+  let rings = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter (fun r -> r.count <- 0) rings
+
+(* ------------------------------------------------------------------ *)
+(* Flushing *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_events oc =
+  Mutex.lock registry_mutex;
+  let rings = !registry in
+  Mutex.unlock registry_mutex;
+  let pid = Unix.getpid () in
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else output_string oc ",\n";
+        output_string oc s)
+      fmt
+  in
+  let total = ref 0 in
+  List.iter
+    (fun r ->
+      let dropped = max 0 (r.count - capacity) in
+      let label =
+        if dropped = 0 then Printf.sprintf "domain %d" r.dom
+        else Printf.sprintf "domain %d (%d events dropped)" r.dom dropped
+      in
+      emit
+        {|{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}|}
+        pid r.dom (escape label);
+      let stored = min r.count capacity in
+      for i = 0 to stored - 1 do
+        incr total;
+        let args =
+          if r.lo.(i) = min_int then ""
+          else Printf.sprintf {|,"args":{"lo":%d,"hi":%d}|} r.lo.(i) r.hi.(i)
+        in
+        emit {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d%s}|}
+          (escape r.names.(i)) (escape r.cats.(i)) r.ts.(i) r.dur.(i) pid r.dom args
+      done)
+    rings;
+  !total
+
+let flush () =
+  match Atomic.get output with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "{\"traceEvents\":[\n";
+    let n = write_events oc in
+    output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n";
+    close_out oc;
+    ignore n
+
+(* Programs that exit without tearing the pool down still get their
+   trace.  Registered only when BDS_TRACE was set at startup; tests that
+   enable tracing via [set_output] flush explicitly. *)
+let () = if enabled () then at_exit flush
+
+(* ------------------------------------------------------------------ *)
+(* Trace-JSON validation (used by `bds_probe trace-check` and the unit
+   tests; no external JSON library is assumed by this repo) *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  type state = { src : string; mutable pos : int }
+
+  let peek st = if st.pos >= String.length st.src then '\255' else st.src.[st.pos]
+
+  let advance st = st.pos <- st.pos + 1
+
+  let rec skip_ws st =
+    match peek st with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance st;
+      skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    if peek st = c then advance st
+    else raise (Bad (Printf.sprintf "expected %c at offset %d" c st.pos))
+
+  let literal st word v =
+    String.iter (fun c -> expect st c) word;
+    v
+
+  let parse_string st =
+    expect st '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek st with
+      | '\255' -> raise (Bad "unterminated string")
+      | '"' -> advance st
+      | '\\' ->
+        advance st;
+        (match peek st with
+        | '"' | '\\' | '/' ->
+          Buffer.add_char b (peek st);
+          advance st
+        | 'n' -> Buffer.add_char b '\n'; advance st
+        | 't' -> Buffer.add_char b '\t'; advance st
+        | 'r' -> Buffer.add_char b '\r'; advance st
+        | 'b' -> Buffer.add_char b '\b'; advance st
+        | 'f' -> Buffer.add_char b '\012'; advance st
+        | 'u' ->
+          advance st;
+          for _ = 1 to 4 do
+            (match peek st with
+            | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance st
+            | _ -> raise (Bad "bad unicode escape"))
+          done;
+          Buffer.add_char b '?'
+        | _ -> raise (Bad "bad escape"));
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+
+  let parse_number st =
+    let start = st.pos in
+    let consume () = advance st in
+    if peek st = '-' then consume ();
+    while (match peek st with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false) do
+      consume ()
+    done;
+    let s = String.sub st.src start (st.pos - start) in
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "bad number %S" s))
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek st with
+    | '{' -> parse_obj st
+    | '[' -> parse_arr st
+    | '"' -> Str (parse_string st)
+    | 't' -> literal st "true" (Bool true)
+    | 'f' -> literal st "false" (Bool false)
+    | 'n' -> literal st "null" Null
+    | '-' | '0' .. '9' -> Num (parse_number st)
+    | c -> raise (Bad (Printf.sprintf "unexpected %C at offset %d" c st.pos))
+
+  and parse_obj st =
+    expect st '{';
+    skip_ws st;
+    if peek st = '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | ',' ->
+          advance st;
+          fields ((k, v) :: acc)
+        | '}' ->
+          advance st;
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> raise (Bad "expected , or } in object")
+      in
+      fields []
+    end
+
+  and parse_arr st =
+    expect st '[';
+    skip_ws st;
+    if peek st = ']' then begin
+      advance st;
+      Arr []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | ',' ->
+          advance st;
+          elems (v :: acc)
+        | ']' ->
+          advance st;
+          Arr (List.rev (v :: acc))
+        | _ -> raise (Bad "expected , or ] in array")
+      in
+      elems []
+    end
+
+  let parse s =
+    let st = { src = s; pos = 0 } in
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then raise (Bad "trailing garbage");
+    v
+end
+
+let validate_string s =
+  match Json.parse s with
+  | exception Json.Bad e -> Error ("not valid JSON: " ^ e)
+  | Json.Obj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | None -> Error "missing \"traceEvents\" key"
+    | Some (Json.Arr events) ->
+      let check_event = function
+        | Json.Obj ev ->
+          let has k = List.mem_assoc k ev in
+          if has "name" && has "ph" && has "pid" && has "tid" then Ok ()
+          else Error "event missing one of name/ph/pid/tid"
+        | _ -> Error "event is not an object"
+      in
+      let rec go n = function
+        | [] -> Ok n
+        | ev :: tl -> (
+          match check_event ev with
+          | Ok () ->
+            (* Complete events additionally carry a timestamp/duration. *)
+            let ok_x =
+              match ev with
+              | Json.Obj fields when List.assoc_opt "ph" fields = Some (Json.Str "X") ->
+                List.mem_assoc "ts" fields && List.mem_assoc "dur" fields
+              | _ -> true
+            in
+            if ok_x then go (n + 1) tl else Error "X event missing ts/dur"
+          | Error _ as e -> e)
+      in
+      go 0 events
+    | Some _ -> Error "\"traceEvents\" is not an array")
+  | _ -> Error "top level is not an object"
+
+let validate_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | s -> validate_string s
+
+(* ------------------------------------------------------------------ *)
+(* Test backdoors *)
+
+module For_testing = struct
+  let events () =
+    Mutex.lock registry_mutex;
+    let rings = !registry in
+    Mutex.unlock registry_mutex;
+    List.concat_map
+      (fun r ->
+        let stored = min r.count capacity in
+        List.init stored (fun i -> (r.names.(i), r.cats.(i))))
+      rings
+end

@@ -1,0 +1,51 @@
+(** Chrome-trace observability for the runtime.
+
+    When [BDS_TRACE=<file>] is set in the environment (or {!set_output}
+    is called), every [Runtime] cancellation scope and every sequential
+    grain chunk records a complete span — name, category, timestamp,
+    duration, and the chunk's [\[lo, hi)] range — into a per-domain ring
+    buffer.  {!flush} (called automatically at pool teardown, and at
+    process exit when [BDS_TRACE] was set at startup) writes all buffers
+    as Chrome trace-event JSON, loadable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}, one track per domain.
+
+    With tracing disabled an instrumentation point costs a single atomic
+    boolean load.  Ring buffers hold a fixed number of events per domain
+    and overwrite their oldest entries when full; the flushed JSON names
+    each track with the number of events dropped, if any. *)
+
+(** True when spans are being recorded. *)
+val enabled : unit -> bool
+
+(** [with_span ?cat ?lo ?hi name f] runs [f] and, if tracing is enabled,
+    records its duration as a span.  [cat] defaults to ["scope"]; pass
+    [~cat:"chunk"] with [lo]/[hi] for iteration chunks. *)
+val with_span : ?cat:string -> ?lo:int -> ?hi:int -> string -> (unit -> 'a) -> 'a
+
+(** Redirect (or, with [None], disable) trace output at runtime.
+    Overrides the [BDS_TRACE] environment variable. *)
+val set_output : string option -> unit
+
+(** Discard all buffered events (test isolation). *)
+val reset : unit -> unit
+
+(** Write every buffered event to the configured output file as Chrome
+    trace JSON.  A no-op when no output is configured.  Called by
+    [Pool.teardown]. *)
+val flush : unit -> unit
+
+(** [validate_file path] checks that [path] parses as JSON and is shaped
+    like a Chrome trace (a top-level object whose ["traceEvents"] array
+    holds well-formed events); returns the event count.  Backs
+    [bds_probe trace-check] and the unit tests — no external JSON
+    library required. *)
+val validate_file : string -> (int, string) result
+
+(** Like {!validate_file}, on an in-memory string. *)
+val validate_string : string -> (int, string) result
+
+(** Test backdoors — not part of the public contract. *)
+module For_testing : sig
+  (** [(name, cat)] of every buffered event, across all domains. *)
+  val events : unit -> (string * string) list
+end

@@ -78,13 +78,18 @@ let pop q =
   end
 
 let steal q =
+  Telemetry.incr_steal_attempts ();
   let t = Atomic.get q.top in
   let b = Atomic.get q.bottom in
   if t >= b then None
   else begin
     let buf = Atomic.get q.buf in
     let v = buffer_get buf t in
-    if Atomic.compare_and_set q.top t (t + 1) then v else None
+    if Atomic.compare_and_set q.top t (t + 1) then begin
+      Telemetry.incr_steals ();
+      v
+    end
+    else None
   end
 
 let size q =

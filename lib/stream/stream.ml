@@ -191,8 +191,13 @@ let to_array s =
   end
 
 let to_list s =
+  (* Pull elements with an explicit left-to-right loop: trickle streams
+     are stateful, and [List.init]'s evaluation order is unspecified, so
+     handing it an effectful [next] could permute (or, for scans,
+     corrupt) the result. *)
   let next = s.start () in
-  List.init s.length (fun _ -> next ())
+  let rec go i acc = if i = 0 then List.rev acc else go (i - 1) (next () :: acc) in
+  go s.length []
 
 let equal eq s1 s2 =
   s1.length = s2.length

@@ -1,0 +1,43 @@
+Scheduler telemetry and trace observability through bds_probe
+(docs/OBSERVABILITY.md).
+
+`bds_probe stats` appends the telemetry counters for its own liveness
+reduction to the classic probe output.  The key set and order are part
+of the interface (consumers parse `key=value` lines); the values depend
+on scheduling, so they are normalised to N here.  Chaos is pinned off so
+the chaos_injections counter stays meaningful:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe stats | sed -E 's/=[0-9]+$/=N/'
+  workers=N
+  chaos: off
+  sum(0..99999)=N
+  telemetry:
+    tasks_spawned=N
+    steal_attempts=N
+    steals=N
+    overflow_pushes=N
+    chunks_executed=N
+    cancel_polls=N
+    cancel_trips=N
+    chaos_injections=N
+
+With BDS_TRACE set, the probe writes a Chrome-trace JSON at pool
+teardown; `bds_probe trace-check` validates it (the same shape Perfetto
+loads) and reports the event count:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE=probe-trace.json bds_probe > /dev/null
+  $ bds_probe trace-check probe-trace.json | sed -E 's/[0-9]+/N/'
+  trace ok: N events
+
+The validator rejects files that are not Chrome traces:
+
+  $ echo '{"events":[]}' > bad.json
+  $ bds_probe trace-check bad.json
+  trace invalid: missing "traceEvents" key
+  [1]
+
+Unknown sub-commands fail with usage:
+
+  $ bds_probe frobnicate
+  usage: bds_probe [stats | trace-check FILE]
+  [2]

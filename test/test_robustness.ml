@@ -76,6 +76,45 @@ let test_cancellation_in_fused_pipeline () =
         (late <= n / 20));
   Alcotest.(check int) "pool alive" 4950 (S.sum (S.iota 100))
 
+let test_cancellation_in_scan_phase1 () =
+  (* Scan's eager phase 1 (per-block reduce) must poll at block
+     boundaries like reduce/iter do.  One worker makes the check
+     deterministic: blocks run in order, in leaf chunks of
+     [nb / 32] blocks; the element function cancels the ambient scope
+     mid-block, and the chunk must stop at the *next block boundary* —
+     not run its remaining blocks (which is what happened when phase 1
+     had no poll: only the chunk-level checks fired, an entire leaf
+     chunk of ~31 blocks late). *)
+  Fun.protect
+    ~finally:(fun () -> Runtime.set_num_domains Bds_test_util.domains)
+    (fun () ->
+      Runtime.set_num_domains 1;
+      with_policy (Bds.Block.Fixed 100) (fun () ->
+          let n = 100_000 in
+          let touches = ref 0 in
+          let poison x =
+            incr touches;
+            if x = 1234 then (
+              match Bds_runtime.Cancel.ambient () with
+              | Some tok ->
+                Bds_runtime.Cancel.cancel_with tok (Kernel_bug 7)
+                  (Printexc.get_callstack 0)
+              | None -> Alcotest.fail "no ambient token in scan phase 1");
+            x
+          in
+          Alcotest.check_raises "recorded failure propagates" (Kernel_bug 7)
+            (fun () -> ignore (S.scan ( + ) 0 (S.map poison (S.iota n))));
+          let touches = !touches in
+          Alcotest.(check bool)
+            (Printf.sprintf "reached the cancel point (%d touches)" touches)
+            true (touches > 1234);
+          (* Post-fix: the in-flight block finishes (<= 1300 touches).
+             Pre-fix: the whole ~31-block leaf chunk ran (~3100). *)
+          Alcotest.(check bool)
+            (Printf.sprintf "stops at a block boundary (%d touches <= 2000)" touches)
+            true
+            (touches <= 2000)))
+
 (* ------------------------------------------------------------------ *)
 (* Chaos injection                                                     *)
 
@@ -168,6 +207,52 @@ let test_shared_bid_concurrent_force () =
         (fun a -> Alcotest.(check int_list) "same contents" expect (Array.to_list a))
         results)
 
+let test_shared_bid_memo_published_once () =
+  (* Concurrent forcers of one BID must all end up with the *same
+     physical array*: [to_array] publishes the memo by CAS, first writer
+     wins.  (With the old plain-mutable-field publication each forcer
+     kept its own copy — equal contents, different arrays — and the
+     store itself was a data race under the OCaml memory model.) *)
+  with_policy (Bds.Block.Fixed 1000) (fun () ->
+      let pool = Runtime.get_pool () in
+      (* Forcing must outlast an OS timeslice so that the two forcers
+         overlap even when the pool's domains timeshare one core: a
+         scan's delayed phase 3 re-drives this deliberately slow element
+         function on every force (tens of ms). *)
+      let slow x =
+        let acc = ref x in
+        for _ = 1 to 200 do
+          acc := (!acc * 31) + 7
+        done;
+        !acc
+      in
+      let b, _ = S.scan ( + ) 0 (S.map slow (S.iota 100_000)) in
+      (* Two forcers (strictly fewer than the pool's workers, so spinning
+         cannot deadlock) rendezvous at a gate before calling [to_array]:
+         both observe an unforced BID and race to publish. *)
+      let gate = Atomic.make 0 in
+      let forcer () =
+        Atomic.incr gate;
+        while Atomic.get gate < 2 do
+          Domain.cpu_relax ()
+        done;
+        S.to_array b
+      in
+      let results =
+        Pool.run pool (fun () ->
+            let ps = List.init 2 (fun _ -> Pool.async pool forcer) in
+            List.map (Pool.await pool) ps)
+      in
+      let first = List.hd results in
+      List.iteri
+        (fun i a ->
+          Alcotest.(check bool)
+            (Printf.sprintf "forcer %d sees the published array" i)
+            true (a == first))
+        results;
+      Alcotest.(check bool) "later to_array hits the memo" true
+        (S.to_array b == first))
+
 let test_shared_rad_concurrent_reduce () =
   let pool = Runtime.get_pool () in
   let s = S.map (fun x -> x * 2) (S.iota 20_000) in
@@ -239,6 +324,8 @@ let () =
           Alcotest.test_case "flatten inner raises" `Quick test_exception_in_flatten_inner;
           Alcotest.test_case "cancellation in fused pipeline" `Quick
             test_cancellation_in_fused_pipeline;
+          Alcotest.test_case "cancellation latency in scan phase 1" `Quick
+            test_cancellation_in_scan_phase1;
         ] );
       ( "chaos injection",
         [
@@ -253,6 +340,8 @@ let () =
       ( "concurrent consumption",
         [
           Alcotest.test_case "shared BID force" `Quick test_shared_bid_concurrent_force;
+          Alcotest.test_case "shared BID memo published once" `Quick
+            test_shared_bid_memo_published_once;
           Alcotest.test_case "shared RAD reduce" `Quick test_shared_rad_concurrent_reduce;
           Alcotest.test_case "pool churn" `Quick test_pool_churn;
         ] );

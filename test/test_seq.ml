@@ -105,6 +105,42 @@ let test_delaying_and_memoisation () =
       ignore (S.get bid 123);
       Alcotest.(check int) "get uses memo" 2000 (Atomic.get calls))
 
+let test_memoised_bid_reuse () =
+  (* Delayed ops on an already-forced BID must read the memoised array
+     instead of re-driving the original block streams: a scan's delayed
+     phase 3 would otherwise re-run the input's element functions on
+     every traversal of the derived sequence.  (Regression: map/mapi/
+     zip_with used to close over the original [block] even when the memo
+     was populated; only [take] routed through it.) *)
+  with_policy (Bds.Block.Fixed 16) (fun () ->
+      let calls = Atomic.make 0 in
+      let counted =
+        S.map
+          (fun x ->
+            Atomic.incr calls;
+            x)
+          (S.iota 1000)
+      in
+      let bid, _ = S.scan ( + ) 0 counted in
+      ignore (S.to_array bid) (* force: phases 1 and 3 each drive input *);
+      let baseline = Atomic.get calls in
+      let prefixes, _ = list_scan ( + ) 0 (List.init 1000 Fun.id) in
+      let m = S.map (( + ) 1) bid in
+      Alcotest.check repr_t "map of BID stays BID" `Bid (S.repr m);
+      Alcotest.(check int_list) "map contents"
+        (List.map (( + ) 1) prefixes) (slist m);
+      let mi = S.mapi ( + ) bid in
+      Alcotest.check repr_t "mapi of BID stays BID" `Bid (S.repr mi);
+      Alcotest.(check int_list) "mapi contents"
+        (List.mapi ( + ) prefixes) (slist mi);
+      let z = S.zip_with ( + ) bid bid in
+      Alcotest.check repr_t "zip_with of BIDs stays BID" `Bid (S.repr z);
+      Alcotest.(check int_list) "zip_with contents"
+        (List.map (fun x -> 2 * x) prefixes) (slist z);
+      ignore (S.to_array (S.take bid 500));
+      Alcotest.(check int) "derived ops read the memo, not the blocks"
+        baseline (Atomic.get calls))
+
 let test_force_semantics () =
   with_policy (Bds.Block.Fixed 8) (fun () ->
       (* RADs are not memoised: every to_array is a fresh array. *)
@@ -326,6 +362,7 @@ let () =
           Alcotest.test_case "pipelines (all policies)" `Quick test_pipelines_all_policies;
           Alcotest.test_case "scan variants" `Quick test_scan_variants;
           Alcotest.test_case "delaying and memoisation" `Quick test_delaying_and_memoisation;
+          Alcotest.test_case "memoised BID reuse" `Quick test_memoised_bid_reuse;
           Alcotest.test_case "force semantics" `Quick test_force_semantics;
           Alcotest.test_case "random access" `Quick test_random_access;
           Alcotest.test_case "zip mixed block sizes" `Quick test_zip_mixed_block_sizes;

@@ -80,6 +80,30 @@ let test_take () =
     (Stream.to_list (Stream.take 3 (Stream.scan ( + ) 0 counted)));
   Alcotest.(check int) "only prefix evaluated" 3 !calls
 
+let test_to_list_order () =
+  (* to_list must pull the trickle function strictly left-to-right:
+     streams are stateful, so any other evaluation order (e.g. handing
+     the effectful [next] to [List.init], whose order is unspecified)
+     permutes — and for scans corrupts — the result.  A scan stream
+     makes order violations visible in the values, and a side-channel
+     log pins the pull order itself.  The length is large enough that a
+     right-to-left [List.init] implementation would also hit its
+     non-tail-recursive fallback threshold. *)
+  let n = 20_000 in
+  let order = ref [] in
+  let logged =
+    Stream.map
+      (fun x ->
+        order := x :: !order;
+        x)
+      (Stream.tabulate n Fun.id)
+  in
+  let got = Stream.to_list (Stream.scan_incl ( + ) 0 logged) in
+  let expect = list_scan_incl ( + ) 0 (List.init n Fun.id) in
+  Alcotest.(check bool) "inclusive prefix sums, in order" true (got = expect);
+  Alcotest.(check bool) "elements pulled left-to-right" true
+    (List.rev !order = List.init n Fun.id)
+
 let test_of_array_slice () =
   let a = [| 10; 11; 12; 13; 14 |] in
   check_ilist "slice" [ 11; 12; 13 ] (Stream.to_list (Stream.of_array_slice a 1 3));
@@ -209,6 +233,7 @@ let () =
           Alcotest.test_case "pack" `Quick test_pack;
           Alcotest.test_case "take" `Quick test_take;
           Alcotest.test_case "of_array_slice" `Quick test_of_array_slice;
+          Alcotest.test_case "to_list order" `Quick test_to_list_order;
           Alcotest.test_case "laziness" `Quick test_laziness;
           Alcotest.test_case "iter/iteri" `Quick test_iter_iteri;
           Alcotest.test_case "equal" `Quick test_equal;

@@ -1,0 +1,152 @@
+(* Telemetry counters and the Chrome-trace recorder.
+
+   Counter tests only assert *monotone lower bounds* (snapshots read
+   other domains' counters without synchronization), never exact values:
+   the chaos stress runs re-execute this suite with fault injection, and
+   the pool's own background activity (steal attempts while idle) also
+   moves the counters. *)
+
+module Runtime = Bds_runtime.Runtime
+module Telemetry = Bds_runtime.Telemetry
+module Trace = Bds_runtime.Trace
+open Bds_test_util
+
+let snap = Telemetry.snapshot
+
+(* A snapshot never decreases, and running real parallel work strictly
+   increases the task/chunk counters. *)
+let test_monotone () =
+  init ();
+  let s0 = snap () in
+  let n = 100_000 in
+  let sum =
+    Runtime.parallel_for_reduce ~grain:1000 0 n ~combine:( + ) ~init:0 Fun.id
+  in
+  Alcotest.(check int) "sum" (n * (n - 1) / 2) sum;
+  let s1 = snap () in
+  let le a b = List.for_all2 (fun (_, x) (_, y) -> x <= y)
+      (Telemetry.to_assoc a) (Telemetry.to_assoc b)
+  in
+  Alcotest.(check bool) "monotone" true (le s0 s1);
+  let d = Telemetry.diff ~before:s0 ~after:s1 in
+  Alcotest.(check bool) "spawned tasks" true (d.Telemetry.s_tasks_spawned > 0);
+  Alcotest.(check bool) "executed chunks" true
+    (d.Telemetry.s_chunks_executed >= 99 (* ~n/grain, minus boundary *));
+  Alcotest.(check bool) "polled cancellation" true (d.Telemetry.s_cancel_polls > 0)
+
+(* diff clamps at zero even for inverted snapshot pairs (racy lag). *)
+let test_diff_clamps () =
+  init ();
+  let before = snap () in
+  Runtime.apply 64 (fun _ -> ());
+  let after = snap () in
+  let inverted = Telemetry.diff ~before:after ~after:before in
+  List.iter
+    (fun (k, v) -> Alcotest.(check int) ("clamped " ^ k) 0 v)
+    (Telemetry.to_assoc inverted);
+  let d = Telemetry.diff ~before ~after in
+  Alcotest.(check bool) "forward diff nonneg" true
+    (List.for_all (fun (_, v) -> v >= 0) (Telemetry.to_assoc d))
+
+(* to_assoc has a fixed key order: bds_probe's stats output (pinned by a
+   cram test) and any CSV consumer rely on it. *)
+let test_assoc_order () =
+  let keys = List.map fst (Telemetry.to_assoc (snap ())) in
+  Alcotest.(check (list string)) "key order"
+    [
+      "tasks_spawned"; "steal_attempts"; "steals"; "overflow_pushes";
+      "chunks_executed"; "cancel_polls"; "cancel_trips"; "chaos_injections";
+    ]
+    keys;
+  let s = Telemetry.pp (snap ()) in
+  Alcotest.(check bool) "pp mentions every key" true
+    (List.for_all
+       (fun k ->
+         (* naive substring check *)
+         let rec has i =
+           i + String.length k <= String.length s
+           && (String.sub s i (String.length k) = k || has (i + 1))
+         in
+         has 0)
+       keys)
+
+(* The exposed grain policy: ~32 leaf chunks per worker, floor 1. *)
+let test_auto_grain () =
+  init ();
+  let w = Runtime.num_workers () in
+  Alcotest.(check int) "large n" (1_000_000 / (32 * w)) (Runtime.auto_grain 1_000_000);
+  Alcotest.(check int) "small n floors at 1" 1 (Runtime.auto_grain 10);
+  Alcotest.(check int) "zero" 1 (Runtime.auto_grain 0)
+
+(* Trace round-trip: enable tracing, run every Runtime combinator, flush,
+   and validate the JSON with the same checker `bds_probe trace-check`
+   uses.  Runs combinators on the test pool; Trace state is global. *)
+let test_trace_roundtrip () =
+  init ();
+  let file = Filename.temp_file "bds_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_output None;
+      Sys.remove file)
+    (fun () ->
+      Trace.set_output (Some file);
+      Trace.reset ();
+      let a, b = Runtime.par (fun () -> 1) (fun () -> 2) in
+      Alcotest.(check int) "par" 3 (a + b);
+      Runtime.parallel_for ~grain:100 0 1_000 (fun _ -> ());
+      Runtime.parallel_for_lazy ~chunk:64 0 1_000 (fun _ -> ());
+      let s = Runtime.parallel_for_reduce ~grain:100 0 1_000 ~combine:( + ) ~init:0 Fun.id in
+      Alcotest.(check int) "reduce" 499_500 s;
+      Trace.flush ();
+      (match Trace.validate_file file with
+      | Ok n -> Alcotest.(check bool) "events recorded" true (n >= 4)
+      | Error e -> Alcotest.failf "invalid trace: %s" e);
+      let names = List.map fst (Trace.For_testing.events ()) in
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool) ("span " ^ expected) true (List.mem expected names))
+        [ "par"; "parallel_for"; "parallel_for_lazy"; "parallel_for_reduce"; "chunk" ])
+
+(* The validator rejects malformed traces (it guards the cram test and
+   `make trace-smoke`, so it must actually discriminate). *)
+let test_validator_rejects () =
+  let bad s =
+    match Trace.validate_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "not json" true (bad "{");
+  Alcotest.(check bool) "not an object" true (bad "[1,2]");
+  Alcotest.(check bool) "missing traceEvents" true (bad {|{"foo":[]}|});
+  Alcotest.(check bool) "traceEvents not array" true (bad {|{"traceEvents":3}|});
+  Alcotest.(check bool) "event missing fields" true
+    (bad {|{"traceEvents":[{"name":"x"}]}|});
+  Alcotest.(check bool) "X event missing ts/dur" true
+    (bad {|{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":0}]}|});
+  Alcotest.(check bool) "minimal valid" false
+    (bad {|{"traceEvents":[{"name":"x","ph":"M","pid":1,"tid":0}]}|})
+
+(* Tracing off: with_span must still run the thunk and propagate
+   exceptions (the zero-overhead path is also the common path). *)
+let test_disabled_passthrough () =
+  Trace.set_output None;
+  Alcotest.(check int) "value" 7 (Trace.with_span "x" (fun () -> 7));
+  Alcotest.check_raises "exception" Exit (fun () ->
+      Trace.with_span "x" (fun () -> raise Exit))
+
+let () =
+  init ();
+  Alcotest.run "telemetry"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "monotone snapshots" `Quick test_monotone;
+          Alcotest.test_case "diff clamps at zero" `Quick test_diff_clamps;
+          Alcotest.test_case "to_assoc order is fixed" `Quick test_assoc_order;
+          Alcotest.test_case "auto_grain policy" `Quick test_auto_grain;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "roundtrip through validator" `Quick test_trace_roundtrip;
+          Alcotest.test_case "validator rejects malformed" `Quick test_validator_rejects;
+          Alcotest.test_case "disabled is a passthrough" `Quick test_disabled_passthrough;
+        ] );
+    ]
