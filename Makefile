@@ -10,6 +10,10 @@
 # opt-out, not the default config).
 CHAOS_SPEC ?= seed=1,p=0.02,kinds=delay+starve
 
+# Domain counts swept by `make stress`.  CI's smoke job narrows this to a
+# single count (STRESS_DOMAINS=2) to keep the job fast.
+STRESS_DOMAINS ?= 1 2 4
+
 all: build
 
 build:
@@ -22,7 +26,7 @@ test:
 # fault injection across 1, 2 and 4 domains, then a trace round-trip.
 stress: trace-smoke
 	dune build @stress --force
-	for d in 1 2 4; do \
+	for d in $(STRESS_DOMAINS); do \
 	  echo "== stress: BDS_NUM_DOMAINS=$$d BDS_CHAOS=$(CHAOS_SPEC) =="; \
 	  BDS_NUM_DOMAINS=$$d BDS_CHAOS="$(CHAOS_SPEC)" dune runtest --force || exit 1; \
 	done

@@ -12,6 +12,7 @@ module Measure = Bds_harness.Measure
 module Registry = Bds_harness.Registry
 module Tables = Bds_harness.Tables
 module Runtime = Bds_runtime.Runtime
+module Grain = Bds_runtime.Grain
 module Telemetry = Bds_runtime.Telemetry
 module S = Bds.Seq
 module K = Bds_kernels
@@ -26,6 +27,10 @@ type config = {
       (** substring filter on microbenchmark names (--micro-filter) *)
   csv : string option;
   plots : string option;  (** directory for SVG versions of the figures *)
+  sweep_grain : int list;
+      (** leaf-grain values to sweep the bestcut pipeline over (--sweep-grain) *)
+  sweep_block : int list;
+      (** fixed block sizes to sweep the bestcut pipeline over (--sweep-block) *)
 }
 
 (* Raw results accumulated for --csv: section, bench, version, procs,
@@ -410,23 +415,29 @@ let ablation cfg =
       Tables.print
         ~title:(Printf.sprintf "Ablation: BID block size B on bestcut/delay (n=%d, P=%d)" n cfg.procs)
         ~headers:[ "B"; "time" ] ~rows);
-  (* 2. parallel_for grain. *)
+  (* 2. Leaf grain, swept through the unified granularity layer: the
+     override steers every auto-grained parallel_for, exactly what
+     BDS_GRAIN does from the environment. *)
   Printf.eprintf "  ablation: grain...\n%!" ;
   let out = Array.make n 0 in
   Measure.with_domains cfg.procs (fun () ->
       let rows =
         List.map
           (fun g ->
+            Grain.set_leaf_grain (Some g);
             let t =
-              Measure.time ~repeat:cfg.repeat (fun () ->
-                  Runtime.parallel_for ~grain:g 0 n (fun i ->
-                      Array.unsafe_set out i (i * 3)))
+              Fun.protect
+                ~finally:(fun () -> Grain.set_leaf_grain None)
+                (fun () ->
+                  Measure.time ~repeat:cfg.repeat (fun () ->
+                      Runtime.parallel_for 0 n (fun i ->
+                          Array.unsafe_set out i (i * 3))))
             in
             [ string_of_int g; Measure.pp_time t ])
           [ 16; 256; 4096; 65536; 1048576 ]
       in
       Tables.print
-        ~title:(Printf.sprintf "Ablation: parallel_for grain (n=%d, P=%d)" n cfg.procs)
+        ~title:(Printf.sprintf "Ablation: leaf grain via Grain.set_leaf_grain (n=%d, P=%d)" n cfg.procs)
         ~headers:[ "grain"; "time" ] ~rows);
   (* 3. The §3 force-vs-recompute tradeoff: fully delayed bestcut
      evaluates the initial map twice (2n + O(b) memory ops); forcing it
@@ -491,7 +502,15 @@ let ablation cfg =
           [
             ("static grain (auto)", fun () -> Runtime.parallel_for 0 nl body);
             ("static grain 4096", fun () -> Runtime.parallel_for ~grain:4096 0 nl body);
-            ("lazy binary splitting", fun () -> Runtime.parallel_for_lazy ~chunk:64 0 nl body);
+            ( "lazy binary splitting",
+              (* Chunk comes from the unified knob (BDS-equivalent of
+                 setting it via Grain), not a local magic number. *)
+              fun () ->
+                let old = Grain.lazy_chunk () in
+                Grain.set_lazy_chunk 64;
+                Fun.protect
+                  ~finally:(fun () -> Grain.set_lazy_chunk old)
+                  (fun () -> Runtime.parallel_for_lazy 0 nl body) );
           ]
       in
       Tables.print
@@ -528,6 +547,81 @@ let ablation cfg =
         [ "trickle closures (ours)"; Measure.pp_time tt; Measure.pp_bytes at ];
         [ "pure state-passing"; Measure.pp_time tp; Measure.pp_bytes ap ];
       ]
+
+(* ------------------------------------------------------------------ *)
+(* Granularity sweeps (--sweep-grain / --sweep-block): run the bestcut
+   delayed pipeline at each knob setting and report time plus scheduler
+   pressure, so a Figure 16-style curve can be drawn for either knob of
+   the unified granularity layer.  Rows also land in --csv under the
+   sections "sweep-grain" and "sweep-block". *)
+
+let sweeps cfg =
+  let n = scaled cfg 2_000_000 in
+  let a = K.Bestcut.generate n in
+  let run_point ~section ~version setup teardown =
+    setup ();
+    Fun.protect ~finally:teardown (fun () ->
+        let m =
+          Measure.time_counters ~repeat:cfg.repeat (fun () ->
+              ignore (K.Bestcut.Delay_version.best_cut a))
+        in
+        let c = m.Measure.counters in
+        let per_s count =
+          if m.Measure.best_s > 0.0 then float_of_int count /. m.Measure.best_s
+          else 0.0
+        in
+        let steals_per_s = per_s c.Telemetry.s_steals in
+        let tasks_per_s = per_s c.Telemetry.s_tasks_spawned in
+        record ~section ~bench:"bestcut-delay" ~version ~procs:cfg.procs
+          ~metric:"time_s" m.Measure.best_s;
+        record ~section ~bench:"bestcut-delay" ~version ~procs:cfg.procs
+          ~metric:"steals_per_s" steals_per_s;
+        record ~section ~bench:"bestcut-delay" ~version ~procs:cfg.procs
+          ~metric:"tasks_per_s" tasks_per_s;
+        [
+          version;
+          Measure.pp_time m.Measure.best_s;
+          Printf.sprintf "%.3e" steals_per_s;
+          Printf.sprintf "%.3e" tasks_per_s;
+        ])
+  in
+  let headers = [ "setting"; "time"; "steals/s"; "tasks/s" ] in
+  Measure.with_domains cfg.procs (fun () ->
+      if cfg.sweep_grain <> [] then begin
+        Printf.eprintf "  sweep: leaf grain...\n%!";
+        let rows =
+          List.map
+            (fun g ->
+              run_point ~section:"sweep-grain"
+                ~version:(Printf.sprintf "grain=%d" g)
+                (fun () -> Grain.set_leaf_grain (Some g))
+                (fun () -> Grain.set_leaf_grain None))
+            cfg.sweep_grain
+        in
+        Tables.print
+          ~title:
+            (Printf.sprintf "Sweep: leaf grain (BDS_GRAIN) on bestcut/delay (n=%d, P=%d)"
+               n cfg.procs)
+          ~headers ~rows
+      end;
+      if cfg.sweep_block <> [] then begin
+        Printf.eprintf "  sweep: block size...\n%!";
+        let rows =
+          List.map
+            (fun bs ->
+              run_point ~section:"sweep-block"
+                ~version:(Printf.sprintf "B=%d" bs)
+                (fun () -> Bds.Block.set_policy (Bds.Block.Fixed bs))
+                (fun () -> Bds.Block.reset_policy ()))
+            cfg.sweep_block
+        in
+        Tables.print
+          ~title:
+            (Printf.sprintf
+               "Sweep: block size (BDS_BLOCK_SIZE) on bestcut/delay (n=%d, P=%d)"
+               n cfg.procs)
+          ~headers ~rows
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test per paper table                  *)
@@ -629,6 +723,7 @@ let run cfg =
     ext cfg
   end;
   if enabled cfg "ablation" then ablation cfg;
+  if cfg.sweep_grain <> [] || cfg.sweep_block <> [] then sweeps cfg;
   if enabled cfg "micro" then micro cfg;
   Option.iter write_csv cfg.csv;
   Printf.printf "\ndone. (sink: %d %.3f)\n" !Registry.sink_int !Registry.sink_float
@@ -670,7 +765,24 @@ let plots_arg =
   Arg.(value & opt (some string) None
        & info [ "plots" ] ~doc:"Also write SVG versions of the plotted figures to this directory.")
 
-let main scale quick procs proc_list repeat sections micro_filter csv plots =
+let sweep_grain_arg =
+  Arg.(value & opt (list int) []
+       & info [ "sweep-grain" ]
+           ~doc:"Leaf-grain values (comma-separated) to sweep the bestcut \
+                 delayed pipeline over via the unified granularity layer \
+                 (equivalent to BDS_GRAIN).  Emits time, steals/s and \
+                 tasks/s per point; rows land in --csv under sweep-grain.")
+
+let sweep_block_arg =
+  Arg.(value & opt (list int) []
+       & info [ "sweep-block" ]
+           ~doc:"Fixed block sizes (comma-separated) to sweep the bestcut \
+                 delayed pipeline over (equivalent to BDS_BLOCK_SIZE).  \
+                 Emits time, steals/s and tasks/s per point; rows land in \
+                 --csv under sweep-block.")
+
+let main scale quick procs proc_list repeat sections micro_filter csv plots
+    sweep_grain sweep_block =
   let cfg =
     {
       scale = (if quick then scale /. 10.0 else scale);
@@ -681,6 +793,8 @@ let main scale quick procs proc_list repeat sections micro_filter csv plots =
       micro_filter;
       csv;
       plots;
+      sweep_grain;
+      sweep_block;
     }
   in
   Option.iter
@@ -694,6 +808,7 @@ let cmd =
     (Cmd.info "bds-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const main $ scale_arg $ quick_arg $ procs_arg $ proc_list_arg $ repeat_arg
-      $ only_arg $ micro_filter_arg $ csv_arg $ plots_arg)
+      $ only_arg $ micro_filter_arg $ csv_arg $ plots_arg $ sweep_grain_arg
+      $ sweep_block_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -6,9 +6,12 @@
    Sub-commands:
      bds_probe             — liveness probe (historical default)
      bds_probe stats       — probe + scheduler-telemetry counters
-     bds_probe trace-check F — validate a BDS_TRACE JSON file *)
+     bds_probe blocks      — report the unified block grid for n=8000
+     bds_probe trace-check F — validate a BDS_TRACE JSON file
+     bds_probe trace-count F NAME — count NAME events in a trace file *)
 
 module Runtime = Bds_runtime.Runtime
+module Grain = Bds_runtime.Grain
 module Chaos = Bds_runtime.Chaos
 module Telemetry = Bds_runtime.Telemetry
 module Trace = Bds_runtime.Trace
@@ -31,6 +34,24 @@ let probe ~stats =
   end;
   Runtime.shutdown ()
 
+(* Report the block grid the unified granularity layer picks for a fixed
+   n, then drive one per-block phase over it (a [Seq.iter]) so a
+   BDS_TRACE capture holds exactly one "block" span per grid block.  The
+   cram tests pin the grid with BDS_BLOCK_SIZE and check both the
+   reported shape and the span count; a malformed override (e.g.
+   BDS_GRAIN=banana) makes the grid request itself raise. *)
+let blocks () =
+  let n = 8_000 in
+  let g = Runtime.block_grid n in
+  let total = Atomic.make 0 in
+  Bds.Seq.iter
+    (fun v -> ignore (Atomic.fetch_and_add total v))
+    (Bds.Seq.of_array (Array.init n (fun i -> i)));
+  Printf.printf "n=%d block_size=%d blocks=%d\n" g.Grain.n g.Grain.block_size
+    g.Grain.num_blocks;
+  Printf.printf "sum=%d\n" (Atomic.get total);
+  Runtime.shutdown ()
+
 let trace_check file =
   match Trace.validate_file file with
   | Ok n ->
@@ -40,11 +61,23 @@ let trace_check file =
     Printf.eprintf "trace invalid: %s\n" e;
     1
 
+let trace_count file name =
+  match Trace.count_events_file file ~name with
+  | Ok n ->
+    Printf.printf "%s: %d\n" name n;
+    0
+  | Error e ->
+    Printf.eprintf "trace invalid: %s\n" e;
+    1
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: [] -> probe ~stats:false
   | _ :: [ "stats" ] -> probe ~stats:true
+  | _ :: [ "blocks" ] -> blocks ()
   | _ :: [ "trace-check"; file ] -> exit (trace_check file)
+  | _ :: [ "trace-count"; file; name ] -> exit (trace_count file name)
   | _ ->
-    prerr_endline "usage: bds_probe [stats | trace-check FILE]";
+    prerr_endline
+      "usage: bds_probe [stats | blocks | trace-check FILE | trace-count FILE NAME]";
     exit 2

@@ -1,46 +1,23 @@
-(* Block-size policy B(n) for BID sequences.
+(* Block-size policy B(n) for BID sequences — thin delegator.
 
-   The paper (§4) leaves the choice open: "it could be set as a constant at
-   compile-time, or could be computed as n/P where P is the number of
-   processors".  We default to a scaled policy — blocks sized so there are
-   roughly [per_worker_blocks] blocks per worker (for load balancing),
-   clamped so blocks are neither too small (scheduling overhead) nor too
-   large (load imbalance).  The policy is process-global and mutable so the
-   benchmark harness can ablate it (Figure 16-style sweeps). *)
+   The policy itself lives in the unified granularity layer
+   (Bds_runtime.Grain): one Atomic policy cell shared by every block-based
+   layer (Parray, Rad, Seq), with BDS_BLOCK_SIZE / BDS_BLOCKS_PER_WORKER
+   environment overrides.  This module keeps the Fixed/Scaled constructors
+   as the public ablation API (Figure 16-style sweeps) and supplies the
+   worker count. *)
 
-type policy =
+module Grain = Bds_runtime.Grain
+
+type policy = Grain.policy =
   | Fixed of int
-      (** Every sequence uses this block size, regardless of length. *)
   | Scaled of { per_worker_blocks : int; min_size : int; max_size : int }
-      (** B(n) = clamp(n / (per_worker_blocks * P), min_size, max_size). *)
 
-let default_policy =
-  Scaled { per_worker_blocks = 8; min_size = 2048; max_size = 65536 }
+let default_policy = Grain.default_policy
+let set_policy = Grain.set_policy
+let get_policy = Grain.get_policy
+let reset_policy = Grain.reset_policy
 
-let current = ref default_policy
+let size n = Grain.block_size ~workers:(Bds_runtime.Runtime.num_workers ()) n
 
-let set_policy p =
-  (match p with
-  | Fixed b when b < 1 -> invalid_arg "Block.set_policy: Fixed size must be >= 1"
-  | Scaled { per_worker_blocks; min_size; max_size } ->
-    if per_worker_blocks < 1 || min_size < 1 || max_size < min_size then
-      invalid_arg "Block.set_policy: invalid Scaled parameters"
-  | Fixed _ -> ());
-  current := p
-
-let get_policy () = !current
-
-let reset_policy () = current := default_policy
-
-let size n =
-  if n <= 0 then 1
-  else
-    match !current with
-    | Fixed b -> b
-    | Scaled { per_worker_blocks; min_size; max_size } ->
-      let p = Bds_runtime.Runtime.num_workers () in
-      let b = n / (per_worker_blocks * p) in
-      max min_size (min max_size (max 1 b))
-
-let num_blocks ~block_size n =
-  if n = 0 then 0 else (n + block_size - 1) / block_size
+let num_blocks = Grain.num_blocks

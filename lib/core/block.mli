@@ -4,9 +4,15 @@
     scaled with the worker count, clamped to a sensible range, and lets
     the policy be changed process-wide for ablation studies (the harness's
     block-size sweeps). A BID records its block size at creation, so
-    changing the policy never corrupts live sequences. *)
+    changing the policy never corrupts live sequences.
 
-type policy =
+    This module is a thin facade over {!Bds_runtime.Grain}, the single
+    granularity layer: the policy state (an [Atomic]), the
+    [BDS_BLOCK_SIZE] / [BDS_BLOCKS_PER_WORKER] environment overrides, and
+    the grid arithmetic all live there and are shared with [Parray],
+    [Rad], and the [Runtime] loop grain. *)
+
+type policy = Bds_runtime.Grain.policy =
   | Fixed of int
       (** Every sequence uses this block size, regardless of length. *)
   | Scaled of { per_worker_blocks : int; min_size : int; max_size : int }

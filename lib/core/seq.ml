@@ -60,6 +60,24 @@ let block_bounds b j =
   let hi = min b.b_len (lo + b.b_size) in
   (lo, hi)
 
+(* Run [body j] once per block of [b] through the runtime's heavy-block
+   primitive: leaf grain pinned to 1 (the element-loop grain policy never
+   re-chunks the block index space), cancellation checked at every split
+   and block entry, and a per-block trace span carrying the block's
+   element bounds. *)
+let apply_bid_blocks b body =
+  Runtime.apply_blocks ~bounds:(block_bounds b) ~nb:(num_blocks_of b) body
+
+let unopt = function Some v -> v | None -> assert false
+
+(* Per-block stream reductions as heavy block bodies.  The option array
+   avoids an allocation witness, so block 0 participates in the parallel
+   phase like every other block. *)
+let block_sums_bid f b =
+  let sums = Array.make (num_blocks_of b) None in
+  apply_bid_blocks b (fun j -> sums.(j) <- Some (Stream.reduce1 f (b.block j)));
+  Array.map unopt sums
+
 (* ------------------------------------------------------------------ *)
 (* Conversions (Figure 9)                                              *)
 
@@ -81,15 +99,13 @@ let bid_of_seq_with bsize = function
 
 let bid_of_seq s = bid_of_seq_with (Block.size (length s)) s
 
-(* applySeq: parallel across blocks, sequential stream within each.  Block
-   bodies can be long (a full block's stream), so each one polls the
-   enclosing scope's cancellation token before driving its stream: a
-   cancelled pipeline stops at the next block boundary. *)
+(* applySeq: parallel across blocks, sequential stream within each.
+   [apply_blocks] checks the enclosing scope's cancellation token at every
+   block entry, so a cancelled pipeline stops at the next block
+   boundary. *)
 let iter f s =
   let b = bid_of_seq s in
-  Runtime.apply (num_blocks_of b) (fun j ->
-      Cancel.poll ();
-      Stream.iter f (b.block j))
+  apply_bid_blocks b (fun j -> Stream.iter f (b.block j))
 
 (* toArray.  For a RAD this is a plain parallel tabulate; for a BID we
    traverse each block's stream, writing at the block's base offset (this
@@ -107,8 +123,7 @@ let to_array_nomemo = function
       let next0 = Stream.start (b.block 0) in
       let first = next0 () in
       let out = Array.make b.b_len first in
-      Runtime.apply nb (fun j ->
-          Cancel.poll ();
+      Runtime.apply_blocks ~bounds:(block_bounds b) ~nb (fun j ->
           if j = 0 then begin
             let len0 = min b.b_size b.b_len in
             for k = 1 to len0 - 1 do
@@ -237,29 +252,19 @@ let reduce f z s =
     else begin
       let bsize = Block.size r_len in
       let nb = Block.num_blocks ~block_size:bsize r_len in
-      let sums =
-        Parray.tabulate nb (fun j ->
-            Cancel.poll ();
-            let lo = j * bsize in
-            let hi = min r_len (lo + bsize) in
-            let acc = ref (get lo) in
-            for i = lo + 1 to hi - 1 do
-              acc := f !acc (get i)
-            done;
-            !acc)
-      in
-      Array.fold_left f z sums
+      let bounds j = (j * bsize, min r_len ((j + 1) * bsize)) in
+      let sums = Array.make nb None in
+      Runtime.apply_blocks ~bounds ~nb (fun j ->
+          let lo, hi = bounds j in
+          let acc = ref (get lo) in
+          for i = lo + 1 to hi - 1 do
+            acc := f !acc (get i)
+          done;
+          sums.(j) <- Some !acc);
+      Array.fold_left f z (Array.map unopt sums)
     end
   | Bid b ->
-    if b.b_len = 0 then z
-    else begin
-      let sums =
-        Parray.tabulate (num_blocks_of b) (fun j ->
-            Cancel.poll ();
-            Stream.reduce1 f (b.block j))
-      in
-      Array.fold_left f z sums
-    end
+    if b.b_len = 0 then z else Array.fold_left f z (block_sums_bid f b)
 
 (* Three-phase scan (Figure 10 lines 33-40): phases 1 and 2 are eager,
    phase 3 is delayed in the output BID.  Note the delayed phase 3
@@ -270,12 +275,7 @@ let scan f z s =
   if n = 0 then (empty, z)
   else begin
     let b = bid_of_seq s in
-    let nb = num_blocks_of b in
-    let sums =
-      Parray.tabulate nb (fun j ->
-          Cancel.poll ();
-          Stream.reduce1 f (b.block j))
-    in
+    let sums = block_sums_bid f b in
     let offsets, total = Parray.scan_seq f z sums in
     let out =
       Bid
@@ -294,12 +294,7 @@ let scan_incl f z s =
   if n = 0 then empty
   else begin
     let b = bid_of_seq s in
-    let nb = num_blocks_of b in
-    let sums =
-      Parray.tabulate nb (fun j ->
-          Cancel.poll ();
-          Stream.reduce1 f (b.block j))
-    in
+    let sums = block_sums_bid f b in
     let offsets, _ = Parray.scan_seq f z sums in
     Bid
       {
@@ -348,12 +343,8 @@ let filter_with pack s =
   if n = 0 then empty
   else begin
     let b = bid_of_seq s in
-    let nb = num_blocks_of b in
-    let packed =
-      Parray.tabulate nb (fun j ->
-          Cancel.poll ();
-          pack (b.block j))
-    in
+    let packed = Array.make (num_blocks_of b) [||] in
+    apply_bid_blocks b (fun j -> packed.(j) <- pack (b.block j));
     let lengths = Array.map Array.length packed in
     let offsets, total = Parray.scan_seq ( + ) 0 lengths in
     if total = 0 then empty
@@ -441,9 +432,7 @@ let drop s n = slice s n (length s - n)
    [f j stream] in parallel over the block index space. *)
 let iter_block_streams f s =
   let b = bid_of_seq s in
-  Runtime.apply (num_blocks_of b) (fun j ->
-      Cancel.poll ();
-      f j (b.block j))
+  apply_bid_blocks b (fun j -> f j (b.block j))
 
 let block_size_of s =
   match s with Rad _ -> Block.size (length s) | Bid b -> b.b_size
@@ -465,8 +454,7 @@ let append s1 s2 =
 
 let iteri f s =
   let b = bid_of_seq s in
-  Runtime.apply (num_blocks_of b) (fun j ->
-      Cancel.poll ();
+  apply_bid_blocks b (fun j ->
       let lo, _ = block_bounds b j in
       Stream.iteri (fun k v -> f (lo + k) v) (b.block j))
 
@@ -507,20 +495,80 @@ let enumerate s = mapi (fun i v -> (i, v)) s
 
 let count p s = reduce ( + ) 0 (map (fun v -> if p v then 1 else 0) s)
 
-let for_all p s = reduce ( && ) true (map p s)
+(* ------------------------------------------------------------------ *)
+(* Early-exit parallel search                                          *)
 
-let exists p s = reduce ( || ) false (map p s)
+exception Found
 
-(* First element satisfying [p], if any: the blockwise filter runs in
-   parallel but keeps index order, so the head of the result is the
-   first match. *)
+(* Short-circuiting existential: the first block to hit a witness raises
+   [Found], which the enclosing cancellation scope records and uses to
+   cancel the token — un-started sibling blocks become no-ops, and
+   in-flight blocks observe the cancellation at their periodic poll and
+   stop mid-stream. *)
+let exists p s =
+  if length s = 0 then false
+  else begin
+    let b = bid_of_seq s in
+    try
+      apply_bid_blocks b (fun j ->
+          let lo, hi = block_bounds b j in
+          let next = Stream.start (b.block j) in
+          for k = 0 to hi - lo - 1 do
+            if k land 63 = 0 then Cancel.poll ();
+            if p (next ()) then raise Found
+          done);
+      false
+    with Found -> true
+  end
+
+let for_all p s = not (exists (fun v -> not (p v)) s)
+
+(* Leftmost-match search: blocks run in parallel, each recording its
+   first local hit and CAS-min-ing the hit's position into [best].  A
+   block is skipped (or abandoned mid-stream) once a strictly earlier
+   position is known, so no later work can hide an earlier match; the
+   winning block's recorded hit is read back after the join.  Worst case
+   (no match) scans everything, like the parallel filter it replaces,
+   but a hit near the front cancels almost all of the work. *)
+let find_mapi_leftmost (f : int -> 'a -> 'b option) s =
+  if length s = 0 then None
+  else begin
+    let b = bid_of_seq s in
+    let best = Atomic.make max_int in
+    let rec cas_min pos =
+      let cur = Atomic.get best in
+      if pos < cur && not (Atomic.compare_and_set best cur pos) then cas_min pos
+    in
+    let results = Array.make (num_blocks_of b) None in
+    apply_bid_blocks b (fun j ->
+        let lo, hi = block_bounds b j in
+        if Atomic.get best > lo then begin
+          let next = Stream.start (b.block j) in
+          try
+            for k = 0 to hi - lo - 1 do
+              if k land 63 = 0 then begin
+                Cancel.poll ();
+                if Atomic.get best <= lo then raise_notrace Exit
+              end;
+              let v = next () in
+              match f (lo + k) v with
+              | Some r ->
+                results.(j) <- Some r;
+                cas_min (lo + k);
+                raise_notrace Exit
+              | None -> ()
+            done
+          with Exit -> ()
+        end);
+    let pos = Atomic.get best in
+    if pos = max_int then None else results.(pos / b.b_size)
+  end
+
 let find_opt p s =
-  let matches = filter p s in
-  if length matches = 0 then None else Some (get matches 0)
+  find_mapi_leftmost (fun _ v -> if p v then Some v else None) s
 
 let find_index p s =
-  let matches = filter_op (fun (i, v) -> if p v then Some i else None) (enumerate s) in
-  if length matches = 0 then None else Some (get matches 0)
+  find_mapi_leftmost (fun i v -> if p v then Some i else None) s
 
 let concat seqs = flatten (of_list seqs)
 

@@ -144,13 +144,22 @@ val enumerate : 'a t -> (int * 'a) t
 (** Number of elements satisfying [p] (fused map + reduce). *)
 val count : ('a -> bool) -> 'a t -> int
 
+(** Short-circuiting: the first counterexample cancels the enclosing
+    scope, so un-started blocks are skipped and in-flight blocks stop at
+    their next poll (every 64 elements). *)
 val for_all : ('a -> bool) -> 'a t -> bool
+
+(** Short-circuiting, like {!for_all}: a witness anywhere stops the
+    whole parallel search early. *)
 val exists : ('a -> bool) -> 'a t -> bool
 
-(** First element satisfying [p] (parallel filter; no early exit). *)
+(** First element satisfying [p].  Parallel across blocks with ordered
+    early exit: once a match is found, blocks at later positions are
+    skipped or abandoned, and only earlier blocks keep searching. *)
 val find_opt : ('a -> bool) -> 'a t -> 'a option
 
-(** Index of the first element satisfying [p]. *)
+(** Index of the first element satisfying [p] (same early-exit strategy
+    as {!find_opt}). *)
 val find_index : ('a -> bool) -> 'a t -> int option
 
 (** Concatenate a list of sequences ({!flatten} of the list). *)

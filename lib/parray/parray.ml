@@ -4,22 +4,14 @@
    parallel implementations described in §2.2. *)
 
 module Runtime = Bds_runtime.Runtime
+module Grain = Bds_runtime.Grain
 
-let num_blocks n =
-  if n = 0 then 0
-  else begin
-    let w = Runtime.num_workers () in
-    let target = 8 * w in
-    (* Blocks of at least 1024 elements, except for tiny inputs. *)
-    let nb = min target (max 1 (n / 1024)) in
-    min n (max 1 nb)
-  end
+(* The block grid for every block-based operation below comes from the
+   unified granularity layer: one policy (Bds_runtime.Grain, surfaced as
+   Bds.Block) decides the grid for Parray, Rad and Seq alike. *)
+let grid n = Runtime.block_grid n
 
-let block_bounds n nb b =
-  let bs = (n + nb - 1) / nb in
-  let lo = b * bs in
-  let hi = min n (lo + bs) in
-  (lo, hi)
+let unopt = function Some v -> v | None -> assert false
 
 let length = Array.length
 
@@ -59,31 +51,38 @@ let scan_seq f z a =
   done;
   (out, !acc)
 
-(* Per-block sum seeded from the block's first element (blocks are never
-   empty), so the caller's seed is combined exactly once in phase 2 and
-   needs no identity property. *)
-let block_sum f a n nb b =
-  let lo, hi = block_bounds n nb b in
-  let acc = ref (Array.unsafe_get a lo) in
-  for i = lo + 1 to hi - 1 do
-    acc := f !acc (Array.unsafe_get a i)
-  done;
-  !acc
+(* Phase 1 of scan/reduce-style operations: per-block sums, seeded from
+   each block's first element (blocks are never empty), so the caller's
+   seed is combined exactly once in phase 2 and needs no identity
+   property.  Runs as one heavy block body per grid block — no witness
+   pre-evaluation, so block 0 participates in the parallel phase too. *)
+let block_sums f a (g : Grain.grid) =
+  let sums = Array.make g.Grain.num_blocks None in
+  Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb:g.Grain.num_blocks
+    (fun b ->
+      let lo, hi = Grain.bounds g b in
+      let acc = ref (Array.unsafe_get a lo) in
+      for i = lo + 1 to hi - 1 do
+        acc := f !acc (Array.unsafe_get a i)
+      done;
+      sums.(b) <- Some !acc);
+  Array.map unopt sums
 
 (* Three-phase block-based exclusive scan (Figure 2). *)
 let scan f z a =
   let n = Array.length a in
   if n = 0 then ([||], z)
   else begin
-    let nb = num_blocks n in
+    let g = grid n in
     (* Phase 1: per-block sums. *)
-    let sums = tabulate nb (block_sum f a n nb) in
+    let sums = block_sums f a g in
     (* Phase 2: scan the block sums (sequential; nb is small). *)
     let offsets, total = scan_seq f z sums in
     (* Phase 3: re-scan each block from its offset. *)
     let out = Array.make n z in
-    Runtime.apply nb (fun b ->
-        let lo, hi = block_bounds n nb b in
+    Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb:g.Grain.num_blocks
+      (fun b ->
+        let lo, hi = Grain.bounds g b in
         let acc = ref offsets.(b) in
         for i = lo to hi - 1 do
           Array.unsafe_set out i !acc;
@@ -97,12 +96,13 @@ let scan_incl f z a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
-    let nb = num_blocks n in
-    let sums = tabulate nb (block_sum f a n nb) in
+    let g = grid n in
+    let sums = block_sums f a g in
     let offsets, _ = scan_seq f z sums in
     let out = Array.make n z in
-    Runtime.apply nb (fun b ->
-        let lo, hi = block_bounds n nb b in
+    Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb:g.Grain.num_blocks
+      (fun b ->
+        let lo, hi = Grain.bounds g b in
         let acc = ref offsets.(b) in
         for i = lo to hi - 1 do
           acc := f !acc (Array.unsafe_get a i);
@@ -121,20 +121,29 @@ let concat_packed (packed : 'a array array) =
     (* Witness element for allocation. *)
     let rec first b = if Array.length packed.(b) > 0 then packed.(b).(0) else first (b + 1) in
     let out = Array.make total (first 0) in
-    Runtime.apply nb (fun b ->
-        Array.blit packed.(b) 0 out offsets.(b) (Array.length packed.(b)));
+    Runtime.apply_blocks
+      ~bounds:(fun b -> (offsets.(b), offsets.(b) + Array.length packed.(b)))
+      ~nb
+      (fun b -> Array.blit packed.(b) 0 out offsets.(b) (Array.length packed.(b)));
     out
   end
+
+(* Block-wise pack shared by filter / filter_op. *)
+let pack_blocks (g : Grain.grid) (pack : int -> int -> 'b array) =
+  let packed = Array.make g.Grain.num_blocks [||] in
+  Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb:g.Grain.num_blocks
+    (fun b ->
+      let lo, hi = Grain.bounds g b in
+      packed.(b) <- pack lo hi);
+  packed
 
 (* Two-phase block-based filter (§2.2): pack within blocks, then flatten. *)
 let filter p a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
-    let nb = num_blocks n in
     let packed =
-      tabulate nb (fun b ->
-          let lo, hi = block_bounds n nb b in
+      pack_blocks (grid n) (fun lo hi ->
           let buf = Bds_stream.Buffer_ext.create () in
           for i = lo to hi - 1 do
             let v = Array.unsafe_get a i in
@@ -149,10 +158,8 @@ let filter_op p a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
-    let nb = num_blocks n in
     let packed =
-      tabulate nb (fun b ->
-          let lo, hi = block_bounds n nb b in
+      pack_blocks (grid n) (fun lo hi ->
           let buf = Bds_stream.Buffer_ext.create () in
           for i = lo to hi - 1 do
             match p (Array.unsafe_get a i) with
@@ -175,7 +182,10 @@ let flatten (aa : 'a array array) =
     else begin
       let rec first j = if Array.length aa.(j) > 0 then aa.(j).(0) else first (j + 1) in
       let out = Array.make total (first 0) in
-      Runtime.apply m (fun j -> Array.blit aa.(j) 0 out offsets.(j) (Array.length aa.(j)));
+      Runtime.apply_blocks
+        ~bounds:(fun j -> (offsets.(j), offsets.(j) + Array.length aa.(j)))
+        ~nb:m
+        (fun j -> Array.blit aa.(j) 0 out offsets.(j) (Array.length aa.(j)));
       out
     end
   end

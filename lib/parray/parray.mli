@@ -3,7 +3,10 @@
 
     Every operation materialises its result array.  [reduce], [scan],
     [filter] and [flatten] use the standard block-based parallel
-    implementations of §2.2 (blocks proportional to the worker count). *)
+    implementations of §2.2.  The block grid comes from the unified
+    granularity layer ({!Bds_runtime.Grain}, surfaced as [Bds.Block]):
+    this module has no block-size heuristic of its own, and each block
+    phase runs through [Runtime.apply_blocks]. *)
 
 val length : 'a array -> int
 
@@ -45,6 +48,3 @@ val flatten : 'a array array -> 'a array
 val rev : 'a array -> 'a array
 val append : 'a array -> 'a array -> 'a array
 val equal : ('a -> 'a -> bool) -> 'a array -> 'a array -> bool
-
-(** Number of blocks this library would use for an input of size [n]. *)
-val num_blocks : int -> int

@@ -8,8 +8,30 @@
    closure. *)
 
 module Runtime = Bds_runtime.Runtime
+module Grain = Bds_runtime.Grain
 
 type 'a t = { len : int; get : int -> 'a }
+
+(* Block grid from the unified granularity layer (shared with Parray and
+   Seq); per-block phases run as heavy block bodies via
+   [Runtime.apply_blocks]. *)
+let grid n = Runtime.block_grid n
+
+let unopt = function Some v -> v | None -> assert false
+
+(* Per-block sums of [s.get] over the grid, seeded from each block's
+   first element (no identity requirement on the caller's seed). *)
+let block_sums f (s : 'a t) (g : Grain.grid) =
+  let sums = Array.make g.Grain.num_blocks None in
+  Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb:g.Grain.num_blocks
+    (fun b ->
+      let lo, hi = Grain.bounds g b in
+      let acc = ref (s.get lo) in
+      for i = lo + 1 to hi - 1 do
+        acc := f !acc (s.get i)
+      done;
+      sums.(b) <- Some !acc);
+  Array.map unopt sums
 
 let length s = s.len
 
@@ -72,21 +94,13 @@ let scan f z s =
   let n = s.len in
   if n = 0 then (empty, z)
   else begin
-    let nb = Bds_parray.Parray.num_blocks n in
-    let bs = (n + nb - 1) / nb in
-    let sums =
-      Bds_parray.Parray.tabulate nb (fun b ->
-          let lo = b * bs and hi = min n ((b + 1) * bs) in
-          let acc = ref (s.get lo) in
-          for i = lo + 1 to hi - 1 do
-            acc := f !acc (s.get i)
-          done;
-          !acc)
-    in
+    let g = grid n in
+    let sums = block_sums f s g in
     let offsets, total = Bds_parray.Parray.scan_seq f z sums in
     let out = Array.make n z in
-    Runtime.apply nb (fun b ->
-        let lo = b * bs and hi = min n ((b + 1) * bs) in
+    Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb:g.Grain.num_blocks
+      (fun b ->
+        let lo, hi = Grain.bounds g b in
         let acc = ref offsets.(b) in
         for i = lo to hi - 1 do
           Array.unsafe_set out i !acc;
@@ -99,21 +113,13 @@ let scan_incl f z s =
   let n = s.len in
   if n = 0 then empty
   else begin
-    let nb = Bds_parray.Parray.num_blocks n in
-    let bs = (n + nb - 1) / nb in
-    let sums =
-      Bds_parray.Parray.tabulate nb (fun b ->
-          let lo = b * bs and hi = min n ((b + 1) * bs) in
-          let acc = ref (s.get lo) in
-          for i = lo + 1 to hi - 1 do
-            acc := f !acc (s.get i)
-          done;
-          !acc)
-    in
+    let g = grid n in
+    let sums = block_sums f s g in
     let offsets, _ = Bds_parray.Parray.scan_seq f z sums in
     let out = Array.make n z in
-    Runtime.apply nb (fun b ->
-        let lo = b * bs and hi = min n ((b + 1) * bs) in
+    Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb:g.Grain.num_blocks
+      (fun b ->
+        let lo, hi = Grain.bounds g b in
         let acc = ref offsets.(b) in
         for i = lo to hi - 1 do
           acc := f !acc (s.get i);
@@ -122,16 +128,22 @@ let scan_incl f z s =
     of_array out
   end
 
+(* Block-wise pack shared by filter / filter_op. *)
+let pack_grid (g : Grain.grid) (pack : int -> int -> 'b array) =
+  let packed = Array.make g.Grain.num_blocks [||] in
+  Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb:g.Grain.num_blocks
+    (fun b ->
+      let lo, hi = Grain.bounds g b in
+      packed.(b) <- pack lo hi);
+  packed
+
 (* filter fuses with its input but packs into an eager array. *)
 let filter p s =
   let n = s.len in
   if n = 0 then empty
   else begin
-    let nb = Bds_parray.Parray.num_blocks n in
-    let bs = (n + nb - 1) / nb in
     let packed =
-      Bds_parray.Parray.tabulate nb (fun b ->
-          let lo = b * bs and hi = min n ((b + 1) * bs) in
+      pack_grid (grid n) (fun lo hi ->
           let buf = Bds_stream.Buffer_ext.create () in
           for i = lo to hi - 1 do
             let v = s.get i in
@@ -146,11 +158,8 @@ let filter_op p s =
   let n = s.len in
   if n = 0 then empty
   else begin
-    let nb = Bds_parray.Parray.num_blocks n in
-    let bs = (n + nb - 1) / nb in
     let packed =
-      Bds_parray.Parray.tabulate nb (fun b ->
-          let lo = b * bs and hi = min n ((b + 1) * bs) in
+      pack_grid (grid n) (fun lo hi ->
           let buf = Bds_stream.Buffer_ext.create () in
           for i = lo to hi - 1 do
             match p (s.get i) with

@@ -1,0 +1,174 @@
+(* The single granularity layer (see grain.mli).
+
+   Everything here is either pure arithmetic over (n, workers) or a read
+   of one of the Atomic policy cells below.  No other module computes a
+   grain or a block grid from n and the worker count — Runtime, Parray,
+   Rad, Seq and Psort all consume this one. *)
+
+type policy =
+  | Fixed of int
+  | Scaled of { per_worker_blocks : int; min_size : int; max_size : int }
+
+let default_policy =
+  Scaled { per_worker_blocks = 8; min_size = 2048; max_size = 65536 }
+
+let chunks_per_worker = 32
+let default_lazy_chunk = 64
+let default_sort_cutoff = 4096
+
+(* All mutable policy state is Atomic: the bench harness (and tests)
+   mutate it between sweep points while worker domains read it.  A plain
+   ref here would be a data race under the OCaml memory model. *)
+let policy_state : policy Atomic.t = Atomic.make default_policy
+let leaf_override : int option Atomic.t = Atomic.make None
+let lazy_chunk_state : int Atomic.t = Atomic.make default_lazy_chunk
+let sort_cutoff_state : int Atomic.t = Atomic.make default_sort_cutoff
+
+(* ------------------------------------------------------------------ *)
+(* Environment overrides, validated at first use *)
+
+let parse_pos_int ~key s =
+  match String.trim s with
+  | "" -> Ok None
+  | t -> (
+    match int_of_string_opt t with
+    | Some v when v >= 1 -> Ok (Some v)
+    | _ ->
+      Error
+        (Printf.sprintf "%s: invalid value %S (expected an integer >= 1)" key
+           s))
+
+let read_env key =
+  match Sys.getenv_opt key with
+  | None -> None
+  | Some s -> (
+    match parse_pos_int ~key s with
+    | Ok v -> v
+    | Error msg -> failwith msg)
+
+(* The policy the environment requests (before any programmatic
+   set_policy), remembered so reset_policy restores it. *)
+let env_policy : policy option Atomic.t = Atomic.make None
+let env_grain : int option Atomic.t = Atomic.make None
+
+let env_done = Atomic.make false
+let env_lock = Mutex.create ()
+
+(* Validation is retried until it succeeds: a malformed variable raises
+   on the first call that consults the environment and on every call
+   after that, instead of being silently dropped. *)
+let ensure_env () =
+  if not (Atomic.get env_done) then begin
+    Mutex.lock env_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock env_lock)
+      (fun () ->
+        if not (Atomic.get env_done) then begin
+          let g = read_env "BDS_GRAIN" in
+          let p =
+            match read_env "BDS_BLOCK_SIZE" with
+            | Some b -> Some (Fixed b)
+            | None -> (
+              match read_env "BDS_BLOCKS_PER_WORKER" with
+              | Some k ->
+                Some
+                  (Scaled
+                     { per_worker_blocks = k; min_size = 1; max_size = max_int })
+              | None -> None)
+          in
+          Atomic.set env_grain g;
+          Atomic.set env_policy p;
+          (match g with Some _ -> Atomic.set leaf_override g | None -> ());
+          (match p with Some p -> Atomic.set policy_state p | None -> ());
+          Atomic.set env_done true
+        end)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Policy *)
+
+let validate_policy = function
+  | Fixed b when b < 1 ->
+    invalid_arg "Grain.set_policy: Fixed size must be >= 1"
+  | Scaled { per_worker_blocks; min_size; max_size }
+    when per_worker_blocks < 1 || min_size < 1 || max_size < min_size ->
+    invalid_arg "Grain.set_policy: invalid Scaled parameters"
+  | Fixed _ | Scaled _ -> ()
+
+let set_policy p =
+  ensure_env ();
+  validate_policy p;
+  Atomic.set policy_state p
+
+let get_policy () =
+  ensure_env ();
+  Atomic.get policy_state
+
+let reset_policy () =
+  ensure_env ();
+  Atomic.set policy_state
+    (match Atomic.get env_policy with Some p -> p | None -> default_policy)
+
+(* ------------------------------------------------------------------ *)
+(* Block grids *)
+
+let block_size ~workers n =
+  if n <= 0 then 1
+  else
+    match get_policy () with
+    | Fixed b -> b
+    | Scaled { per_worker_blocks; min_size; max_size } ->
+      let p = max 1 workers in
+      let b = n / (per_worker_blocks * p) in
+      max min_size (min max_size (max 1 b))
+
+let num_blocks ~block_size n =
+  if n = 0 then 0 else (n + block_size - 1) / block_size
+
+let block_bounds ~block_size ~n j =
+  let lo = j * block_size in
+  (lo, min n (lo + block_size))
+
+type grid = { n : int; block_size : int; num_blocks : int }
+
+let grid ~workers n =
+  let bs = block_size ~workers n in
+  { n; block_size = bs; num_blocks = num_blocks ~block_size:bs n }
+
+let bounds g j = block_bounds ~block_size:g.block_size ~n:g.n j
+
+(* ------------------------------------------------------------------ *)
+(* Leaf grain *)
+
+let leaf_grain ~workers n =
+  ensure_env ();
+  match Atomic.get leaf_override with
+  | Some g -> g
+  | None -> max 1 (n / (chunks_per_worker * max 1 workers))
+
+let set_leaf_grain o =
+  ensure_env ();
+  (match o with
+  | Some g when g < 1 -> invalid_arg "Grain.set_leaf_grain: grain must be >= 1"
+  | _ -> ());
+  Atomic.set leaf_override
+    (match o with Some _ -> o | None -> Atomic.get env_grain)
+
+let leaf_grain_override () =
+  ensure_env ();
+  Atomic.get leaf_override
+
+(* ------------------------------------------------------------------ *)
+(* Other knobs *)
+
+let lazy_chunk () = Atomic.get lazy_chunk_state
+
+let set_lazy_chunk c =
+  if c < 1 then invalid_arg "Grain.set_lazy_chunk: chunk must be >= 1";
+  Atomic.set lazy_chunk_state c
+
+let sort_cutoff () = Atomic.get sort_cutoff_state
+
+let set_sort_cutoff c =
+  if c < 1 then invalid_arg "Grain.set_sort_cutoff: cutoff must be >= 1";
+  Atomic.set sort_cutoff_state c

@@ -1,0 +1,110 @@
+(** The single granularity layer: every mapping from [(n, workers)] to a
+    leaf grain, a block grid, or a sequential cutoff lives here.
+
+    The paper (§4) leaves the block-size policy B(n) open and ablates it
+    (Figure 16).  Historically this reproduction grew three independent
+    policies with conflicting constants (Runtime's grain, Parray's private
+    block heuristic, Block's B(n)); this module is now the only place that
+    computes granularity, and every layer (Runtime loops, Parray, Rad,
+    Seq, Psort) consumes it.  [Block] in [lib/core] remains the public
+    ablation API and delegates here.
+
+    {2 Environment overrides}
+
+    Read and validated at first use (a malformed value raises [Failure]
+    naming the variable, on the first call that needs it — and on every
+    call after that, since validation is retried until it succeeds):
+
+    - [BDS_GRAIN=<int>=1..] — fixed leaf grain for parallel loops
+      (overrides the [chunks_per_worker] heuristic);
+    - [BDS_BLOCK_SIZE=<int>=1..] — fixed block size: initial policy
+      becomes [Fixed];
+    - [BDS_BLOCKS_PER_WORKER=<int>=1..] — initial policy becomes [Scaled]
+      with that many blocks per worker (ignored when [BDS_BLOCK_SIZE] is
+      also set, which takes precedence).
+
+    An empty (or unset) variable means "use the default".  Programmatic
+    setters ({!set_policy}, {!set_leaf_grain}) override the environment.
+
+    All policy state is {!Atomic}: the bench harness mutates it between
+    sweep points while worker domains read it. *)
+
+(** The block-size policy B(n) (re-exported by [Bds.Block]). *)
+type policy =
+  | Fixed of int
+      (** Every sequence uses this block size, regardless of length. *)
+  | Scaled of { per_worker_blocks : int; min_size : int; max_size : int }
+      (** B(n) = clamp(n / (per_worker_blocks * P), min_size, max_size),
+          with P the worker count. *)
+
+(** [Scaled { per_worker_blocks = 8; min_size = 2048; max_size = 65536 }]. *)
+val default_policy : policy
+
+(** Raises [Invalid_argument] on non-positive sizes. *)
+val set_policy : policy -> unit
+
+val get_policy : unit -> policy
+
+(** Restore {!default_policy} (and the [BDS_BLOCK_SIZE] /
+    [BDS_BLOCKS_PER_WORKER] override, if one is set). *)
+val reset_policy : unit -> unit
+
+(** {2 Block grids} *)
+
+(** Block size for a sequence of length [n] under the current policy
+    (always >= 1). *)
+val block_size : workers:int -> int -> int
+
+(** [num_blocks ~block_size n] = ⌈n / block_size⌉ (0 for empty). *)
+val num_blocks : block_size:int -> int -> int
+
+(** [block_bounds ~block_size ~n j] = the element range [\[lo, hi)] of
+    block [j] in an [n]-element grid. *)
+val block_bounds : block_size:int -> n:int -> int -> int * int
+
+(** A concrete grid: [n] elements cut into [num_blocks] blocks of
+    [block_size] (the last one possibly short). *)
+type grid = { n : int; block_size : int; num_blocks : int }
+
+val grid : workers:int -> int -> grid
+
+(** [bounds g j]: element range [\[lo, hi)] of block [j] of [g]. *)
+val bounds : grid -> int -> int * int
+
+(** {2 Leaf grain for parallel loops} *)
+
+(** Target leaf chunks per worker for auto-grained loops (32): the
+    rationale is in docs/RUNTIME.md "Granularity policy". *)
+val chunks_per_worker : int
+
+(** The sequential-chunk size for an [n]-iteration loop:
+    the [BDS_GRAIN] / {!set_leaf_grain} override if set, else
+    [max 1 (n / (chunks_per_worker * workers))]. *)
+val leaf_grain : workers:int -> int -> int
+
+(** Programmatic equivalent of [BDS_GRAIN]; [None] restores the
+    heuristic (and the environment override, if any). *)
+val set_leaf_grain : int option -> unit
+
+val leaf_grain_override : unit -> int option
+
+(** {2 Other granularity knobs} *)
+
+(** Chunk size processed between split checks by
+    [Runtime.parallel_for_lazy] (default 64). *)
+val lazy_chunk : unit -> int
+
+val set_lazy_chunk : int -> unit
+
+(** Sequential cutoff for the sorting substrate [Psort] (default 4096). *)
+val sort_cutoff : unit -> int
+
+val set_sort_cutoff : int -> unit
+
+(** {2 Environment parsing} *)
+
+(** [parse_pos_int ~key s]: [Ok None] for a blank string (use the
+    default), [Ok (Some v)] for an integer [v >= 1], [Error msg]
+    otherwise.  Exposed so tests can pin the grammar the [BDS_GRAIN] /
+    [BDS_BLOCK_SIZE] / [BDS_BLOCKS_PER_WORKER] validation uses. *)
+val parse_pos_int : key:string -> string -> (int option, string) result

@@ -11,8 +11,6 @@
    The scope root re-raises the recorded first exception, preserving the
    sequential program's observable failure. *)
 
-let default_grain = 1
-
 (* Poll the cancellation token every 64 iterations of a sequential chunk:
    cheap enough to be invisible on fine-grained bodies, frequent enough
    that a cancelled scope wastes at most ~64 iterations per in-flight
@@ -135,19 +133,16 @@ let par f g =
               let b = Pool.await pool pg in
               (a, b))))
 
-(* Sequential base-case threshold: split until chunks of
-   [n / (32 * workers)] iterations (or [grain], whichever is larger) —
-   i.e. about 32 leaf chunks per worker.  The often-quoted 8 chunks per
-   worker is the bare minimum for thieves to find work at all; the
-   telemetry counters show why the extra headroom is kept: on the
-   harness's triangular-load ablation, steals keep succeeding late into
-   the loop only when spare chunks remain (32/worker), while
-   chunks_executed stays small enough that per-chunk scheduling overhead
-   is far below 1%.  The full policy discussion lives in docs/RUNTIME.md
-   "Grain policy". *)
-let auto_grain n =
-  let w = num_workers () in
-  max default_grain (n / (32 * w))
+(* Sequential base-case threshold: delegated to the unified granularity
+   layer (Grain.leaf_grain — about 32 leaf chunks per worker, or the
+   BDS_GRAIN override).  The policy rationale lives in docs/RUNTIME.md
+   "Granularity policy". *)
+let auto_grain n = Grain.leaf_grain ~workers:(num_workers ()) n
+
+(* The block grid the block-based layers (Parray, Rad, Seq) use for an
+   [n]-element input: the worker count is supplied here so Grain stays a
+   pure policy module. *)
+let block_grid n = Grain.grid ~workers:(num_workers ()) n
 
 let parallel_for ?grain lo hi (body : int -> unit) =
   let n = hi - lo in
@@ -173,17 +168,66 @@ let parallel_for ?grain lo hi (body : int -> unit) =
 (* The paper's [apply : int -> (int -> unit) -> unit]. *)
 let apply n f = parallel_for 0 n f
 
+(* Heavy-body primitive for loops whose iterations are whole block
+   bodies (Seq / Parray / Rad per-block phases).  Unlike [apply], the
+   grain is pinned to 1 — a block body is already a coarse unit of work,
+   and re-chunking block indices with the element-loop grain policy
+   would batch heavy bodies and starve thieves.  Each block runs as its
+   own cancellation-polled leaf, with a per-block "block" trace span
+   (category "chunk") whose lo/hi arguments are the block's element
+   range when [bounds] is given (block indices otherwise). *)
+let apply_blocks ?bounds ~nb (body : int -> unit) =
+  if nb <= 0 then ()
+  else begin
+    let pool = get_pool () in
+    let tok = scope_token () in
+    let leaf j =
+      Telemetry.incr_chunks_executed ();
+      let chunk () =
+        Cancel.with_ambient tok (fun () ->
+            try body j
+            with
+            | Cancel.Cancelled as e -> raise e
+            | e ->
+              let bt = Printexc.get_raw_backtrace () in
+              record tok e bt;
+              Printexc.raise_with_backtrace e bt)
+      in
+      if Trace.enabled () then begin
+        let lo, hi =
+          match bounds with Some f -> f j | None -> (j, j + 1)
+        in
+        Trace.with_span ~cat:"chunk" ~lo ~hi "block" chunk
+      end
+      else chunk ()
+    in
+    let rec go lo hi =
+      Cancel.check tok;
+      if hi - lo <= 1 then leaf lo
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        let p = Pool.async pool (fun () -> go mid hi) in
+        go lo mid;
+        Pool.await pool p
+      end
+    in
+    Trace.with_span ~lo:0 ~hi:nb "apply_blocks" (fun () ->
+        Pool.run pool (fun () -> scoped tok (fun () -> go 0 nb)))
+  end
+
 (* Lazy binary splitting (Tzannes, Caragea, Barua & Vishkin, PPoPP 2010):
    instead of eagerly splitting to a fixed grain, process a small chunk
    at a time and split off the remainder only when the local deque is
    empty — i.e. only when a thief could actually take it.  Adapts
    automatically to imbalanced iteration costs (see the harness's grain
    ablation). *)
-let parallel_for_lazy ?(chunk = 64) lo hi (body : int -> unit) =
+let parallel_for_lazy ?chunk lo hi (body : int -> unit) =
   let n = hi - lo in
   if n <= 0 then ()
   else begin
-    let chunk_size = max 1 chunk in
+    let chunk_size =
+      match chunk with Some c -> max 1 c | None -> Grain.lazy_chunk ()
+    in
     let pool = get_pool () in
     let tok = scope_token () in
     let rec go lo hi =

@@ -32,11 +32,16 @@ val num_workers : unit -> int
 val run : (unit -> 'a) -> 'a
 
 (** The default sequential-chunk size for an [n]-iteration loop:
-    [max 1 (n / (32 * num_workers ()))], i.e. ~32 leaf chunks per worker
-    so thieves keep finding work on imbalanced bodies (policy rationale
-    in docs/RUNTIME.md "Grain policy").  Exposed so harnesses and tests
-    can reason about the chunking a loop will get. *)
+    {!Grain.leaf_grain} with the current worker count — ~32 leaf chunks
+    per worker, or the [BDS_GRAIN] override (policy rationale in
+    docs/RUNTIME.md "Granularity policy").  Exposed so harnesses and
+    tests can reason about the chunking a loop will get. *)
 val auto_grain : int -> int
+
+(** The {!Grain} block grid for an [n]-element input under the current
+    policy and worker count — the single grid every block-based layer
+    (Parray, Rad, Seq) uses. *)
+val block_grid : int -> Grain.grid
 
 (** Binary fork-join: evaluate both closures, potentially in parallel. *)
 val par : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
@@ -49,10 +54,20 @@ val parallel_for : ?grain:int -> int -> int -> (int -> unit) -> unit
 (** The paper's [apply n f]: run [f i] in parallel for [0 <= i < n]. *)
 val apply : int -> (int -> unit) -> unit
 
+(** [apply_blocks ?bounds ~nb body] runs [body j] for [0 <= j < nb],
+    where each iteration is a whole {e block body} (a per-block phase of
+    scan/filter/reduce/to_array).  The grain is pinned to 1 — block
+    bodies are already coarse, so they are never re-chunked by the
+    element-loop grain policy — and every block is a cancellation-polled
+    leaf recording one ["block"] trace span (category ["chunk"]).
+    [bounds j] supplies the block's element range for the span's [lo]/
+    [hi] arguments (defaults to the block index range [(j, j+1)]). *)
+val apply_blocks : ?bounds:(int -> int * int) -> nb:int -> (int -> unit) -> unit
+
 (** Lazy-binary-splitting parallel for: processes [chunk] iterations at a
-    time (default 64) and splits off the remaining range only when the
-    local deque is empty. Adapts to imbalanced per-iteration costs
-    without tuning a grain. *)
+    time (default {!Grain.lazy_chunk}, 64) and splits off the remaining
+    range only when the local deque is empty. Adapts to imbalanced
+    per-iteration costs without tuning a grain. *)
 val parallel_for_lazy : ?chunk:int -> int -> int -> (int -> unit) -> unit
 
 (** Parallel for with a sequential accumulator per chunk and an associative

@@ -381,6 +381,30 @@ let validate_file path =
   | exception Sys_error e -> Error e
   | s -> validate_string s
 
+let count_events_string s ~name =
+  match Json.parse s with
+  | exception Json.Bad e -> Error ("not valid JSON: " ^ e)
+  | Json.Obj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Json.Arr events) ->
+      Ok
+        (List.fold_left
+           (fun n ev ->
+             match ev with
+             | Json.Obj fields
+               when List.assoc_opt "name" fields = Some (Json.Str name) ->
+               n + 1
+             | _ -> n)
+           0 events)
+    | Some _ -> Error "\"traceEvents\" is not an array"
+    | None -> Error "missing \"traceEvents\" key")
+  | _ -> Error "top level is not an object"
+
+let count_events_file path ~name =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | s -> count_events_string s ~name
+
 (* ------------------------------------------------------------------ *)
 (* Test backdoors *)
 

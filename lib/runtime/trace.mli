@@ -44,6 +44,15 @@ val validate_file : string -> (int, string) result
 (** Like {!validate_file}, on an in-memory string. *)
 val validate_string : string -> (int, string) result
 
+(** [count_events_file path ~name] counts the events in a trace file
+    whose ["name"] field equals [name] (e.g. ["block"] for the per-block
+    spans of [Runtime.apply_blocks]).  Backs [bds_probe trace-count] and
+    the granularity cram test. *)
+val count_events_file : string -> name:string -> (int, string) result
+
+(** Like {!count_events_file}, on an in-memory string. *)
+val count_events_string : string -> name:string -> (int, string) result
+
 (** Test backdoors — not part of the public contract. *)
 module For_testing : sig
   (** [(name, cat)] of every buffered event, across all domains. *)

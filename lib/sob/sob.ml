@@ -11,7 +11,13 @@
    filter is supported (blocks become variable-length, so the total
    length is unknown until the stream is driven); flatten is not — as the
    paper notes, there is no way to block the output index space without
-   first driving the whole stream. *)
+   first driving the whole stream.
+
+   Granularity audit: Sob deliberately does NOT consult the unified
+   granularity layer (Bds_runtime.Grain).  Its [~block_size] argument is
+   the independent variable of the Figure 16 comparison, so callers pin
+   it explicitly; within-block parallel loops still inherit their leaf
+   grain from the runtime as usual. *)
 
 module Parray = Bds_parray.Parray
 module Runtime = Bds_runtime.Runtime

@@ -10,9 +10,12 @@
    applications (inverted index); the paper's own kernels do not sort. *)
 
 module Runtime = Bds_runtime.Runtime
+module Grain = Bds_runtime.Grain
 
-let default_grain = 4096
-let merge_grain = 4096
+(* Sequential cutoff for both the sort recursion and the merge, from the
+   unified granularity layer (ablatable via [Grain.set_sort_cutoff]); an
+   explicit [?grain] argument still overrides it per call. *)
+let default_grain () = Grain.sort_cutoff ()
 
 (* First index in [lo, hi) of [a] whose element is >= pivot (lower bound)
    or > pivot (upper bound), under [cmp]. *)
@@ -46,9 +49,9 @@ let seq_merge cmp src alo ahi blo bhi dst dlo =
 
 (* Merge the sorted runs src[alo,ahi) and src[blo,bhi) into dst at dlo,
    in parallel by divide-and-conquer on the larger run. *)
-let rec par_merge cmp src alo ahi blo bhi dst dlo =
+let rec par_merge cmp grain src alo ahi blo bhi dst dlo =
   let la = ahi - alo and lb = bhi - blo in
-  if la + lb <= merge_grain then seq_merge cmp src alo ahi blo bhi dst dlo
+  if la + lb <= grain then seq_merge cmp src alo ahi blo bhi dst dlo
   else if la >= lb then begin
     let amid = (alo + ahi) / 2 in
     let pivot = src.(amid) in
@@ -57,8 +60,8 @@ let rec par_merge cmp src alo ahi blo bhi dst dlo =
     let dmid = dlo + (amid - alo) + (bmid - blo) in
     let (), () =
       Runtime.par
-        (fun () -> par_merge cmp src alo amid blo bmid dst dlo)
-        (fun () -> par_merge cmp src amid ahi bmid bhi dst dmid)
+        (fun () -> par_merge cmp grain src alo amid blo bmid dst dlo)
+        (fun () -> par_merge cmp grain src amid ahi bmid bhi dst dmid)
     in
     ()
   end
@@ -70,8 +73,8 @@ let rec par_merge cmp src alo ahi blo bhi dst dlo =
     let dmid = dlo + (amid - alo) + (bmid - blo) in
     let (), () =
       Runtime.par
-        (fun () -> par_merge cmp src alo amid blo bmid dst dlo)
-        (fun () -> par_merge cmp src amid ahi bmid bhi dst dmid)
+        (fun () -> par_merge cmp grain src alo amid blo bmid dst dlo)
+        (fun () -> par_merge cmp grain src amid ahi bmid bhi dst dmid)
     in
     ()
   end
@@ -94,14 +97,17 @@ let rec sort_range cmp grain src dst lo hi into_dst =
     in
     (* Halves are sorted in the *other* buffer; merge them into ours. *)
     let from, into = if into_dst then (src, dst) else (dst, src) in
-    par_merge cmp from lo mid mid hi into lo
+    par_merge cmp grain from lo mid mid hi into lo
   end
 
-let sort_in_place ?(grain = default_grain) cmp a =
+let sort_in_place ?grain cmp a =
   let n = Array.length a in
   if n > 1 then begin
+    let grain =
+      max 16 (match grain with Some g -> g | None -> default_grain ())
+    in
     let scratch = Array.copy a in
-    Runtime.run (fun () -> sort_range cmp (max 16 grain) a scratch 0 n false)
+    Runtime.run (fun () -> sort_range cmp grain a scratch 0 n false)
   end
 
 let sort ?grain cmp a =
@@ -117,7 +123,8 @@ let merge cmp a b =
   else begin
     let src = Array.append a b in
     let dst = Array.make (la + lb) a.(0) in
-    Runtime.run (fun () -> par_merge cmp src 0 la la (la + lb) dst 0);
+    let grain = max 16 (default_grain ()) in
+    Runtime.run (fun () -> par_merge cmp grain src 0 la la (la + lb) dst 0);
     dst
   end
 

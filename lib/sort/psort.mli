@@ -5,7 +5,9 @@
     split the larger run at its median and binary-search the smaller. *)
 
 (** [sort cmp a] returns a new, stably sorted array. [grain] is the
-    sequential base-case size (default 4096). *)
+    sequential base-case size (defaults to the unified granularity
+    layer's sort cutoff, {!Bds_runtime.Grain.sort_cutoff}, itself 4096
+    unless ablated via [set_sort_cutoff]). *)
 val sort : ?grain:int -> ('a -> 'a -> int) -> 'a array -> 'a array
 
 (** In-place variant (uses an internal scratch buffer of equal size). *)

@@ -1,0 +1,42 @@
+The unified granularity layer (docs/RUNTIME.md "Granularity policy").
+
+`bds_probe blocks` asks the granularity layer for the block grid of an
+8000-element sequence and then drives one per-block phase (a Seq.iter)
+over it.  BDS_BLOCK_SIZE pins the grid, making the output exact:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_BLOCK_SIZE=1000 bds_probe blocks
+  n=8000 block_size=1000 blocks=8
+  sum=31996000
+
+BDS_BLOCKS_PER_WORKER scales the grid with the worker count instead
+(2 workers x 4 blocks each -> 1000-element blocks):
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_BLOCKS_PER_WORKER=4 bds_probe blocks
+  n=8000 block_size=1000 blocks=8
+  sum=31996000
+
+Every per-block phase runs through Runtime.apply_blocks, which records
+one "block" span per grid block when tracing is on — so a trace of the
+run above holds exactly 8 of them:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE=grain-trace.json BDS_BLOCK_SIZE=1000 bds_probe blocks
+  n=8000 block_size=1000 blocks=8
+  sum=31996000
+  $ bds_probe trace-count grain-trace.json block
+  block: 8
+
+Malformed overrides are rejected at first use, naming the variable:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_GRAIN=banana bds_probe blocks
+  Fatal error: exception Failure("BDS_GRAIN: invalid value \"banana\" (expected an integer >= 1)")
+  [2]
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_BLOCK_SIZE=0 bds_probe blocks
+  Fatal error: exception Failure("BDS_BLOCK_SIZE: invalid value \"0\" (expected an integer >= 1)")
+  [2]
+
+An empty override means "use the default" rather than an error:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_GRAIN= BDS_BLOCK_SIZE=1000 bds_probe blocks
+  n=8000 block_size=1000 blocks=8
+  sum=31996000

@@ -39,5 +39,5 @@ The validator rejects files that are not Chrome traces:
 Unknown sub-commands fail with usage:
 
   $ bds_probe frobnicate
-  usage: bds_probe [stats | trace-check FILE]
+  usage: bds_probe [stats | blocks | trace-check FILE | trace-count FILE NAME]
   [2]

@@ -22,11 +22,13 @@ let test_scaled_clamps () =
       Alcotest.(check int) "in range" 500 (Block.size mid))
 
 let test_invalid_policies () =
+  (* The policy now lives in the unified granularity layer, so the
+     messages name Grain. *)
   Alcotest.check_raises "fixed 0"
-    (Invalid_argument "Block.set_policy: Fixed size must be >= 1") (fun () ->
+    (Invalid_argument "Grain.set_policy: Fixed size must be >= 1") (fun () ->
       Block.set_policy (Block.Fixed 0));
   Alcotest.check_raises "bad scaled"
-    (Invalid_argument "Block.set_policy: invalid Scaled parameters") (fun () ->
+    (Invalid_argument "Grain.set_policy: invalid Scaled parameters") (fun () ->
       Block.set_policy
         (Block.Scaled { per_worker_blocks = 1; min_size = 10; max_size = 5 }))
 

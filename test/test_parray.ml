@@ -87,8 +87,12 @@ let test_misc () =
   Alcotest.(check int_array) "append empty" a (P.append [||] a);
   Alcotest.(check bool) "equal" true (P.equal ( = ) a (Array.copy a));
   Alcotest.(check bool) "not equal" false (P.equal ( = ) a (P.rev a));
-  Alcotest.(check bool) "num_blocks small" true (P.num_blocks 10 >= 1);
-  Alcotest.(check int) "num_blocks zero" 0 (P.num_blocks 0)
+  (* The block grid now comes from the unified granularity layer. *)
+  let g = Bds_runtime.Runtime.block_grid 10 in
+  Alcotest.(check bool) "grid small" true (g.Bds_runtime.Grain.num_blocks >= 1);
+  Alcotest.(check int) "grid zero"
+    0
+    (Bds_runtime.Runtime.block_grid 0).Bds_runtime.Grain.num_blocks
 
 let qcheck_tests =
   let open QCheck2 in

@@ -353,6 +353,69 @@ let test_filter_op () =
       in
       Alcotest.(check int_list) "filter_op" expect got)
 
+(* Short-circuiting searches.  Eval-count assertions run on a 1-domain
+   pool, where the scan order is deterministic (the runner executes the
+   leftmost block inline first and cancellation kills every queued
+   sibling): a front-of-sequence hit must touch at most one block, and a
+   miss must touch every element exactly once.  On the shared
+   oversubscribed pool the counts are timing-dependent (a descheduled
+   runner lets thieves scan ahead before the hit lands), so there we
+   check results only. *)
+let test_early_exit_counts () =
+  Bds_runtime.Runtime.set_num_domains 1;
+  Fun.protect
+    ~finally:(fun () -> Bds_runtime.Runtime.set_num_domains domains)
+    (fun () ->
+      with_policy (Bds.Block.Fixed 100) (fun () ->
+          let n = 100_000 in
+          let s = S.iota n in
+          let evals = Atomic.make 0 in
+          let counted p x =
+            ignore (Atomic.fetch_and_add evals 1);
+            p x
+          in
+          Alcotest.(check bool) "exists hit" true
+            (S.exists (counted (( = ) 0)) s);
+          Alcotest.(check bool) "exists short-circuits" true
+            (Atomic.get evals <= 100);
+          Atomic.set evals 0;
+          Alcotest.(check bool) "exists miss" false
+            (S.exists (counted (fun x -> x < 0)) s);
+          Alcotest.(check int) "miss scans everything once" n
+            (Atomic.get evals);
+          Atomic.set evals 0;
+          Alcotest.(check (option int)) "find_opt early" (Some 5)
+            (S.find_opt (counted (fun x -> x >= 5)) s);
+          Alcotest.(check bool) "find short-circuits" true
+            (Atomic.get evals <= 100);
+          Atomic.set evals 0;
+          Alcotest.(check bool) "for_all counterexample" false
+            (S.for_all (counted (fun x -> x < 50)) s);
+          Alcotest.(check bool) "for_all short-circuits" true
+            (Atomic.get evals <= 100)))
+
+let test_early_exit_parallel () =
+  with_policy (Bds.Block.Fixed 100) (fun () ->
+      let n = 100_000 in
+      let s = S.iota n in
+      Alcotest.(check bool) "exists hit" true (S.exists (( = ) 0) s);
+      Alcotest.(check bool) "exists miss" false (S.exists (fun x -> x < 0) s);
+      Alcotest.(check bool) "for_all holds" true (S.for_all (fun x -> x >= 0) s);
+      Alcotest.(check bool) "for_all counterexample" false
+        (S.for_all (fun x -> x < 50) s);
+      Alcotest.(check (option int)) "find_opt" (Some 5)
+        (S.find_opt (fun x -> x >= 5) s);
+      Alcotest.(check (option int)) "find_opt none" None
+        (S.find_opt (fun x -> x > n) s);
+      Alcotest.(check (option int)) "find_index" (Some 77)
+        (S.find_index (( = ) 77) s);
+      (* Leftmost semantics on a BID input with later decoys: the match
+         at 21 must win over any later candidate a parallel block finds
+         first. *)
+      let b = S.filter (fun x -> x mod 2 = 1) s in
+      Alcotest.(check (option int)) "find on BID leftmost" (Some 21)
+        (S.find_opt (fun x -> x > 19) b))
+
 let () =
   Alcotest.run "seq"
     [
@@ -373,5 +436,7 @@ let () =
           Alcotest.test_case "extended combinators" `Quick test_extended_combinators;
           Alcotest.test_case "blockwise api" `Quick test_blockwise_api;
           Alcotest.test_case "filter_op" `Quick test_filter_op;
+          Alcotest.test_case "early-exit counts" `Quick test_early_exit_counts;
+          Alcotest.test_case "early-exit parallel" `Quick test_early_exit_parallel;
         ] );
     ]

@@ -127,6 +127,47 @@ let prop_roundtrip (a, bsize) =
 
 let with_bsize g = QCheck2.Gen.(pair g (int_range 1 40))
 
+(* Policy invariance: the observable result of a pipeline must not
+   depend on the granularity knobs — block-size policy or leaf-grain
+   override.  This is the contract of the unified granularity layer:
+   knobs move work between blocks and chunks, never change answers. *)
+let grid_points =
+  List.concat_map
+    (fun p -> List.map (fun g -> (p, g)) [ None; Some 1; Some 7 ])
+    [
+      Bds.Block.Fixed 1;
+      Bds.Block.Fixed 3;
+      Bds.Block.Fixed 17;
+      Bds.Block.default_policy;
+    ]
+
+let prop_policy_invariance (a, steps) =
+  let eval () =
+    let s = List.fold_left (fun s st -> apply_seq st s) (S.of_array a) steps in
+    (S.to_list s, S.reduce ( + ) 0 s)
+  in
+  let baseline = eval () in
+  List.for_all
+    (fun (p, g) -> with_policy p (fun () -> with_grain g eval) = baseline)
+    grid_points
+
+let prop_search_invariance (a, bsize) =
+  with_policy (Bds.Block.Fixed bsize) (fun () ->
+      let s = S.of_array a in
+      let l = Array.to_list a in
+      let p x = x land 3 = 0 in
+      let model_index =
+        let rec go i = function
+          | [] -> None
+          | x :: tl -> if p x then Some i else go (i + 1) tl
+        in
+        go 0 l
+      in
+      S.exists p s = List.exists p l
+      && S.for_all p s = List.for_all p l
+      && S.find_opt p s = List.find_opt p l
+      && S.find_index p s = model_index)
+
 let tests =
   let open QCheck2 in
   [
@@ -141,6 +182,11 @@ let tests =
     Test.make ~name:"filter/map commute" ~count:300 (with_bsize small_int_array)
       prop_filter_map_commute;
     Test.make ~name:"roundtrips" ~count:300 (with_bsize small_int_array) prop_roundtrip;
+    Test.make ~name:"policy invariance" ~count:60
+      Gen.(pair small_int_array (list_size (int_bound 4) step_gen))
+      prop_policy_invariance;
+    Test.make ~name:"search = list model" ~count:300 (with_bsize small_int_array)
+      prop_search_invariance;
   ]
 
 let () =
