@@ -624,6 +624,65 @@ let sweeps cfg =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Stream execution: fused push fold vs trickle pull (--only
+   stream-overhead).  One 3-stage combinator chain
+   (tabulate |> map |> scan_incl), consumed two ways over the same
+   stream value: "pull" drives the resumable trickle function exactly
+   the way every linear consumer did before the push path existed (one
+   indirect call + cursor bump per stage per element), "push" drives
+   [Stream.reduce], i.e. the fused fold.  Sequential by construction —
+   this is the *within-block* loop the Seq layer runs on every block —
+   so the ratio is the per-element dispatch overhead the fold
+   eliminates. *)
+
+let stream_overhead cfg =
+  let m = scaled cfg 2_000_000 in
+  Printf.eprintf "  stream-overhead (n=%d)...\n%!" m;
+  let mk () =
+    Bds_stream.Stream.(
+      scan_incl ( + ) 0
+        (map (fun x -> (x * 2) + 1) (tabulate m (fun i -> i land 1023))))
+  in
+  (* Exactly the pre-push consumer loop: the step function arrives as a
+     closure (as it does in [reduce f z s]), not inlined into the loop. *)
+  let pull_reduce f z s =
+    let next = Bds_stream.Stream.start s in
+    let acc = ref z in
+    for _ = 1 to Bds_stream.Stream.length s do
+      acc := f !acc (next ())
+    done;
+    !acc
+  in
+  let pull () = pull_reduce ( + ) 0 (mk ()) in
+  let push () = Bds_stream.Stream.reduce ( + ) 0 (mk ()) in
+  assert (pull () = push ());
+  Measure.with_domains cfg.procs (fun () ->
+      let t_pull = Measure.time ~repeat:cfg.repeat (fun () -> ignore (pull ())) in
+      let t_push = Measure.time ~repeat:cfg.repeat (fun () -> ignore (push ())) in
+      let per_elem t = t /. float_of_int m *. 1e9 in
+      List.iter
+        (fun (version, t) ->
+          record ~section:"stream-overhead" ~bench:"chain3" ~version
+            ~procs:cfg.procs ~metric:"time_s" t;
+          record ~section:"stream-overhead" ~bench:"chain3" ~version
+            ~procs:cfg.procs ~metric:"ns_per_elem" (per_elem t))
+        [ ("pull", t_pull); ("push", t_push) ];
+      Tables.print
+        ~title:
+          (Printf.sprintf
+             "Stream execution: trickle pull vs fused push on map|scan_incl|reduce (n=%d, sequential)"
+             m)
+        ~headers:[ "driver"; "time"; "ns/elem"; "speedup" ]
+        ~rows:
+          [
+            [ "pull (trickle)"; Measure.pp_time t_pull;
+              Printf.sprintf "%.2f" (per_elem t_pull); "1.00x" ];
+            [ "push (fused fold)"; Measure.pp_time t_push;
+              Printf.sprintf "%.2f" (per_elem t_push);
+              Tables.ratio t_pull t_push ];
+          ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test per paper table                  *)
 
 let micro cfg =
@@ -723,6 +782,7 @@ let run cfg =
     ext cfg
   end;
   if enabled cfg "ablation" then ablation cfg;
+  if enabled cfg "stream-overhead" then stream_overhead cfg;
   if cfg.sweep_grain <> [] || cfg.sweep_block <> [] then sweeps cfg;
   if enabled cfg "micro" then micro cfg;
   Option.iter write_csv cfg.csv;
@@ -750,7 +810,7 @@ let repeat_arg =
 
 let only_arg =
   Arg.(value & opt (list string) []
-       & info [ "only" ] ~doc:"Sections to run: fig5, fig13, fig14, fig15, fig16, ext, ablation, micro. Default: all.")
+       & info [ "only" ] ~doc:"Sections to run: fig5, fig13, fig14, fig15, fig16, ext, ablation, stream-overhead, micro. Default: all.")
 
 let micro_filter_arg =
   Arg.(value & opt (some string) None

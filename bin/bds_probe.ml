@@ -7,6 +7,7 @@
      bds_probe             — liveness probe (historical default)
      bds_probe stats       — probe + scheduler-telemetry counters
      bds_probe blocks      — report the unified block grid for n=8000
+     bds_probe streams     — stream execution-path counters per pipeline
      bds_probe trace-check F — validate a BDS_TRACE JSON file
      bds_probe trace-count F NAME — count NAME events in a trace file *)
 
@@ -52,6 +53,37 @@ let blocks () =
   Printf.printf "sum=%d\n" (Atomic.get total);
   Runtime.shutdown ()
 
+(* Drive two fixed Seq pipelines and report, for each, the stream
+   execution-path counters its blocks bumped (docs/STREAMS.md).  With
+   BDS_BLOCK_SIZE pinned the counts are exact: every Stream consumer
+   bumps fused_folds when its fold bottoms out in a native push loop and
+   trickle_fallbacks when the fold was derived from a trickle function
+   (get_region blocks, i.e. post-filter/flatten sequences).  The cram
+   test asserts that a plain map-reduce pipeline reports zero trickle
+   fallbacks. *)
+let streams () =
+  let n = 8_000 in
+  let report label before sum =
+    let d = Telemetry.diff ~before ~after:(Telemetry.snapshot ()) in
+    Printf.printf "%s: sum=%d fused_folds=%d trickle_fallbacks=%d\n" label sum
+      d.Telemetry.s_fused_folds d.Telemetry.s_trickle_fallbacks
+  in
+  let input = Bds.Seq.iota n in
+  (* BID map-reduce: scan_incl's phase 1 folds each input block, then
+     reduce folds each (map . scan_incl) block — all push-fused. *)
+  let b0 = Telemetry.snapshot () in
+  let scanned = Bds.Seq.scan_incl ( + ) 0 input in
+  let sum = Bds.Seq.reduce ( + ) 0 (Bds.Seq.map (fun x -> 2 * x) scanned) in
+  report "map-reduce" b0 sum;
+  (* Filtered reduce: packing each input block is push-fused, but the
+     filtered sequence's blocks are get_region streams (they straddle
+     packed subsequences), so reducing them falls back to the trickle. *)
+  let b1 = Telemetry.snapshot () in
+  let kept = Bds.Seq.filter (fun x -> x land 1 = 0) input in
+  let sum2 = Bds.Seq.reduce ( + ) 0 kept in
+  report "filter-reduce" b1 sum2;
+  Runtime.shutdown ()
+
 let trace_check file =
   match Trace.validate_file file with
   | Ok n ->
@@ -75,9 +107,10 @@ let () =
   | _ :: [] -> probe ~stats:false
   | _ :: [ "stats" ] -> probe ~stats:true
   | _ :: [ "blocks" ] -> blocks ()
+  | _ :: [ "streams" ] -> streams ()
   | _ :: [ "trace-check"; file ] -> exit (trace_check file)
   | _ :: [ "trace-count"; file; name ] -> exit (trace_count file name)
   | _ ->
     prerr_endline
-      "usage: bds_probe [stats | blocks | trace-check FILE | trace-count FILE NAME]";
+      "usage: bds_probe [stats | blocks | streams | trace-check FILE | trace-count FILE NAME]";
     exit 2

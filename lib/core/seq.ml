@@ -72,11 +72,32 @@ let unopt = function Some v -> v | None -> assert false
 
 (* Per-block stream reductions as heavy block bodies.  The option array
    avoids an allocation witness, so block 0 participates in the parallel
-   phase like every other block. *)
+   phase like every other block; each per-block sum is seeded from the
+   block's first pushed element ([Stream.reduce1]), so no witness is
+   needed inside a block either.  Callers fold/scan the option array
+   directly — no intermediate unwrapped copy. *)
 let block_sums_bid f b =
   let sums = Array.make (num_blocks_of b) None in
   apply_bid_blocks b (fun j -> sums.(j) <- Some (Stream.reduce1 f (b.block j)));
-  Array.map unopt sums
+  sums
+
+(* Sequential fold of an option array of per-block sums, [z] on the left. *)
+let fold_sums f z sums =
+  Array.fold_left (fun acc o -> f acc (unopt o)) z sums
+
+(* Sequential exclusive scan of an option array of per-block sums:
+   [offsets.(j)] combines [z] with sums 0..j-1 (so [offsets.(0) = z],
+   which also serves as the output array's witness), plus the grand
+   total.  The option-array counterpart of [Parray.scan_seq]. *)
+let scan_sums f z sums =
+  let nb = Array.length sums in
+  let offsets = Array.make nb z in
+  let acc = ref z in
+  for j = 0 to nb - 1 do
+    offsets.(j) <- !acc;
+    acc := f !acc (unopt sums.(j))
+  done;
+  (offsets, !acc)
 
 (* ------------------------------------------------------------------ *)
 (* Conversions (Figure 9)                                              *)
@@ -261,10 +282,10 @@ let reduce f z s =
             acc := f !acc (get i)
           done;
           sums.(j) <- Some !acc);
-      Array.fold_left f z (Array.map unopt sums)
+      fold_sums f z sums
     end
   | Bid b ->
-    if b.b_len = 0 then z else Array.fold_left f z (block_sums_bid f b)
+    if b.b_len = 0 then z else fold_sums f z (block_sums_bid f b)
 
 (* Three-phase scan (Figure 10 lines 33-40): phases 1 and 2 are eager,
    phase 3 is delayed in the output BID.  Note the delayed phase 3
@@ -276,7 +297,7 @@ let scan f z s =
   else begin
     let b = bid_of_seq s in
     let sums = block_sums_bid f b in
-    let offsets, total = Parray.scan_seq f z sums in
+    let offsets, total = scan_sums f z sums in
     let out =
       Bid
         {
@@ -295,7 +316,7 @@ let scan_incl f z s =
   else begin
     let b = bid_of_seq s in
     let sums = block_sums_bid f b in
-    let offsets, _ = Parray.scan_seq f z sums in
+    let offsets, _ = scan_sums f z sums in
     Bid
       {
         b_len = n;

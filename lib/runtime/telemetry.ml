@@ -24,8 +24,10 @@ type counters = {
   mutable cancel_polls : int;
   mutable cancel_trips : int;
   mutable chaos_injections : int;
-  (* Padding out to two cache lines (the 8 counters above are 64 bytes
-     of payload plus the header): adjacent domains' records can never
+  mutable fused_folds : int;
+  mutable trickle_fallbacks : int;
+  (* Padding out to two cache lines (the 10 counters above plus these
+     pads are 128 bytes of payload): adjacent domains' records can never
      share a line even when the allocator places them back to back. *)
   mutable pad0 : int;
   mutable pad1 : int;
@@ -33,8 +35,6 @@ type counters = {
   mutable pad3 : int;
   mutable pad4 : int;
   mutable pad5 : int;
-  mutable pad6 : int;
-  mutable pad7 : int;
 }
 
 type snapshot = {
@@ -46,6 +46,8 @@ type snapshot = {
   s_cancel_polls : int;
   s_cancel_trips : int;
   s_chaos_injections : int;
+  s_fused_folds : int;
+  s_trickle_fallbacks : int;
 }
 
 let registry_mutex = Mutex.create ()
@@ -62,14 +64,14 @@ let fresh_counters () =
     cancel_polls = 0;
     cancel_trips = 0;
     chaos_injections = 0;
+    fused_folds = 0;
+    trickle_fallbacks = 0;
     pad0 = 0;
     pad1 = 0;
     pad2 = 0;
     pad3 = 0;
     pad4 = 0;
     pad5 = 0;
-    pad6 = 0;
-    pad7 = 0;
   }
 
 let key : counters Domain.DLS.key =
@@ -114,6 +116,14 @@ let[@inline] incr_chaos_injections () =
   let c = local () in
   c.chaos_injections <- c.chaos_injections + 1
 
+let[@inline] incr_fused_folds () =
+  let c = local () in
+  c.fused_folds <- c.fused_folds + 1
+
+let[@inline] incr_trickle_fallbacks () =
+  let c = local () in
+  c.trickle_fallbacks <- c.trickle_fallbacks + 1
+
 let zero =
   {
     s_tasks_spawned = 0;
@@ -124,6 +134,8 @@ let zero =
     s_cancel_polls = 0;
     s_cancel_trips = 0;
     s_chaos_injections = 0;
+    s_fused_folds = 0;
+    s_trickle_fallbacks = 0;
   }
 
 let snapshot () =
@@ -141,6 +153,8 @@ let snapshot () =
         s_cancel_polls = acc.s_cancel_polls + c.cancel_polls;
         s_cancel_trips = acc.s_cancel_trips + c.cancel_trips;
         s_chaos_injections = acc.s_chaos_injections + c.chaos_injections;
+        s_fused_folds = acc.s_fused_folds + c.fused_folds;
+        s_trickle_fallbacks = acc.s_trickle_fallbacks + c.trickle_fallbacks;
       })
     zero records
 
@@ -158,6 +172,8 @@ let diff ~before ~after =
     s_cancel_polls = d after.s_cancel_polls before.s_cancel_polls;
     s_cancel_trips = d after.s_cancel_trips before.s_cancel_trips;
     s_chaos_injections = d after.s_chaos_injections before.s_chaos_injections;
+    s_fused_folds = d after.s_fused_folds before.s_fused_folds;
+    s_trickle_fallbacks = d after.s_trickle_fallbacks before.s_trickle_fallbacks;
   }
 
 let to_assoc s =
@@ -170,6 +186,8 @@ let to_assoc s =
     ("cancel_polls", s.s_cancel_polls);
     ("cancel_trips", s.s_cancel_trips);
     ("chaos_injections", s.s_chaos_injections);
+    ("fused_folds", s.s_fused_folds);
+    ("trickle_fallbacks", s.s_trickle_fallbacks);
   ]
 
 let pp s =

@@ -22,6 +22,10 @@ type snapshot = {
   s_cancel_polls : int;  (** cancellation-token checks *)
   s_cancel_trips : int;  (** checks that observed a cancelled token *)
   s_chaos_injections : int;  (** faults injected by {!Chaos} *)
+  s_fused_folds : int;
+      (** stream consumers that drove a native push fold (Stream) *)
+  s_trickle_fallbacks : int;
+      (** stream consumers that drove a trickle-derived fold (Stream) *)
 }
 
 (** Sum of every domain's counters (racy lower bound; monotone). *)
@@ -47,3 +51,10 @@ val incr_chunks_executed : unit -> unit
 val incr_cancel_polls : unit -> unit
 val incr_cancel_trips : unit -> unit
 val incr_chaos_injections : unit -> unit
+
+(** Bumped by [Stream]'s linear consumers: which execution path
+    (fused push fold vs trickle-derived fallback) a block actually
+    took.  See docs/STREAMS.md. *)
+
+val incr_fused_folds : unit -> unit
+val incr_trickle_fallbacks : unit -> unit

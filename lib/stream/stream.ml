@@ -1,23 +1,102 @@
-(* Sequential delayed streams — the paper's ML encoding (§4.4):
-   a stream is a function [unit -> unit -> 'a].  Applying the first [unit]
-   allocates the mutable cursor state and returns a stateful "trickle"
-   function; each call to the trickle function produces the next element.
+(* Sequential delayed streams — the paper's ML encoding (§4.4), with a
+   dual execution representation:
 
-   Constructors ([tabulate], [map], [zip], [scan], ...) cost O(1): they
-   compose closures without touching elements.  Only [reduce], [iter] and
-   [pack_to_array] (and friends) do linear work.  Fusion happens because a
-   pipeline of constructors collapses into one trickle function that is
-   driven once per element by the final consumer. *)
+   - [start] is the resumable "trickle" function of the paper
+     (`unit -> unit -> 'a`): applying the first [unit] allocates the
+     mutable cursor state and returns a stateful function producing one
+     element per call.  It supports partial consumption and resumption,
+     which [Seq.to_array]'s block-0 allocation witness, [get_region]'s
+     mid-subsequence starts and the early-exit searches all need.
+   - [fold] is a fused *push* driver: the stream owns the element loop
+     and pushes each element into a consumer-supplied step function.
+     Sources ([tabulate], [of_array_slice]) run a direct [for] loop
+     (with [unsafe_get] on arrays); stateless stages compose into the
+     source's index function at construction time (see [ixfn]), scans
+     over such sources run their own native loop, and the remaining
+     combinators wrap the upstream fold once at drive time — so a whole
+     [map |> scan |> reduce] pipeline runs as a single loop per block
+     instead of re-entering a chain of trickle closures (one indirect
+     call + cursor bump per stage) for every element.
 
-type 'a t = { length : int; start : unit -> unit -> 'a }
+   Constructors ([tabulate], [map], [zip], [scan], ...) still cost O(1):
+   they compose closures without touching elements.  Only the linear
+   consumers ([reduce], [iter], [pack_to_array], [to_array], ...) do
+   linear work, and all of them drive the push path.  [fused] records
+   whether the fold bottoms out in a native push loop ([true] for every
+   stream built from the constructors here) or was derived from a
+   trickle function handed to [make] ([false]; e.g. [Seq.get_region]'s
+   multi-subsequence blocks) — consumers report the distinction through
+   the [fused_folds] / [trickle_fallbacks] telemetry counters.
+
+   Cancellation: the push loops poll the ambient cancellation token once
+   per 64-element chunk (sources and the [make] fallback own the loop,
+   so the cadence holds for any pipeline over them), matching the
+   per-block poll cadence of the Seq layer's drivers — a poisoned scope
+   stops a long fold mid-block, within one chunk of the cancel. *)
+
+module Cancel = Bds_runtime.Cancel
+module Telemetry = Bds_runtime.Telemetry
+
+type 'a t = {
+  length : int;
+  start : unit -> unit -> 'a;
+  fold : 'acc. stop:int -> ('acc -> 'a -> 'acc) -> 'acc -> 'acc;
+      (** Push [min stop length] elements, left to right, through the
+          step function.  Consumers always pass [~stop:length]; [take]
+          relies on every fold honouring a smaller [stop]. *)
+  fused : bool;
+  ixfn : (int -> 'a) option;
+      (** [Some f] when the stream is semantically [tabulate length f]
+          with [f] pure per position (sources, and stateless combinator
+          chains over them).  Lets [map]/[mapi]/[zip_with] fuse by
+          *composing element functions at construction time* instead of
+          stacking a fold wrapper per stage: without cross-module
+          inlining (no flambda), each wrapper level costs one extra
+          2-argument closure call per element, which is exactly the
+          dispatch this representation exists to avoid.  Stateful stages
+          ([scan], [scan_incl]) and [make] break the chain ([None]). *)
+}
+
+(* Elements between cancellation polls in a push loop.  Matches the
+   [k land 63] cadence of the Seq layer's trickle-driven searches. *)
+let poll_chunk = 64
 
 let length s = s.length
 
 let start s = s.start ()
 
+let fold s ~stop f z = s.fold ~stop f z
+
+let is_fused s = s.fused
+
+(* Derive a push fold from a trickle-function factory: the fallback for
+   streams built by [make] (no native push loop).  Chunked so the
+   cancellation cadence is preserved even though elements arrive one
+   trickle call at a time. *)
+let fold_of_start (start : unit -> unit -> 'a) =
+  fun ~stop g z ->
+  let next = start () in
+  let acc = ref z in
+  let i = ref 0 in
+  while !i < stop do
+    Cancel.poll ();
+    let hi = min stop (!i + poll_chunk) in
+    for _ = !i to hi - 1 do
+      acc := g !acc (next ())
+    done;
+    i := hi
+  done;
+  !acc
+
 let make ~length ~start =
   if length < 0 then invalid_arg "Stream.make";
-  { length; start }
+  {
+    length;
+    start;
+    fold = (fun ~stop g z -> fold_of_start start ~stop g z);
+    fused = false;
+    ixfn = None;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* O(1) constructors                                                   *)
@@ -25,6 +104,7 @@ let make ~length ~start =
 let tabulate n f =
   {
     length = n;
+    ixfn = Some f;
     start =
       (fun () ->
         let i = ref 0 in
@@ -32,25 +112,76 @@ let tabulate n f =
           let v = f !i in
           incr i;
           v);
+    fold =
+      (fun ~stop g z ->
+        let acc = ref z in
+        let i = ref 0 in
+        while !i < stop do
+          Cancel.poll ();
+          let hi = min stop (!i + poll_chunk) in
+          for k = !i to hi - 1 do
+            acc := g !acc (f k)
+          done;
+          i := hi
+        done;
+        !acc);
+    fused = true;
   }
 
 let of_array_slice a off len =
   if off < 0 || len < 0 || off + len > Array.length a then
     invalid_arg "Stream.of_array_slice";
-  tabulate len (fun i -> Array.unsafe_get a (off + i))
+  {
+    length = len;
+    ixfn = Some (fun k -> Array.unsafe_get a (off + k));
+    start =
+      (fun () ->
+        let i = ref off in
+        fun () ->
+          let v = Array.unsafe_get a !i in
+          incr i;
+          v);
+    fold =
+      (fun ~stop g z ->
+        let acc = ref z in
+        let i = ref 0 in
+        while !i < stop do
+          Cancel.poll ();
+          let hi = min stop (!i + poll_chunk) in
+          for k = !i to hi - 1 do
+            acc := g !acc (Array.unsafe_get a (off + k))
+          done;
+          i := hi
+        done;
+        !acc);
+    fused = true;
+  }
 
 let of_array a = of_array_slice a 0 (Array.length a)
 
+(* Stateless stages over a pure index function fuse at construction
+   time: [map g (tabulate f)] *is* [tabulate (g . f)], so the whole
+   stage chain collapses into the source's native loop (and into a
+   single-stage trickle) instead of adding a dispatch level. *)
 let map g s =
-  {
-    length = s.length;
-    start =
-      (fun () ->
-        let next = s.start () in
-        fun () -> g (next ()));
-  }
+  match s.ixfn with
+  | Some f -> tabulate s.length (fun i -> g (f i))
+  | None ->
+    {
+      length = s.length;
+      start =
+        (fun () ->
+          let next = s.start () in
+          fun () -> g (next ()));
+      fold = (fun ~stop h z -> s.fold ~stop (fun acc v -> h acc (g v)) z);
+      fused = s.fused;
+      ixfn = None;
+    }
 
 let mapi g s =
+  match s.ixfn with
+  | Some f -> tabulate s.length (fun i -> g i (f i))
+  | None ->
   {
     length = s.length;
     start =
@@ -61,24 +192,28 @@ let mapi g s =
           let v = g !i (next ()) in
           incr i;
           v);
+    fold =
+      (fun ~stop h z ->
+        let i = ref 0 in
+        s.fold ~stop
+          (fun acc v ->
+            let k = !i in
+            i := k + 1;
+            h acc (g k v))
+          z);
+    fused = s.fused;
+    ixfn = None;
   }
 
-let zip s1 s2 =
-  if s1.length <> s2.length then invalid_arg "Stream.zip: length mismatch";
-  {
-    length = s1.length;
-    start =
-      (fun () ->
-        let n1 = s1.start () in
-        let n2 = s2.start () in
-        fun () ->
-          let a = n1 () in
-          let b = n2 () in
-          (a, b));
-  }
-
+(* Zipping in push mode drives the left stream's fold and pulls the
+   right stream's trickle inside the same loop: a push driver owns its
+   element loop, so only one side can push.  Still one loop per block;
+   [fused] therefore reports the driving (left) side. *)
 let zip_with f s1 s2 =
   if s1.length <> s2.length then invalid_arg "Stream.zip_with: length mismatch";
+  match (s1.ixfn, s2.ixfn) with
+  | Some f1, Some f2 -> tabulate s1.length (fun i -> f (f1 i) (f2 i))
+  | _ ->
   {
     length = s1.length;
     start =
@@ -89,119 +224,213 @@ let zip_with f s1 s2 =
           let a = n1 () in
           let b = n2 () in
           f a b);
+    fold =
+      (fun ~stop h z ->
+        let n2 = s2.start () in
+        s1.fold ~stop (fun acc a -> h acc (f a (n2 ()))) z);
+    fused = s1.fused;
+    ixfn = None;
   }
+
+let zip s1 s2 =
+  if s1.length <> s2.length then invalid_arg "Stream.zip: length mismatch";
+  zip_with (fun a b -> (a, b)) s1 s2
 
 (* Exclusive running fold: element [i] of the output is
    [f (... (f z x0) ...) x(i-1)]; the input is consumed one element per
    output element, so block lengths are preserved. *)
 let scan f z s =
-  {
-    length = s.length;
-    start =
-      (fun () ->
-        let next = s.start () in
-        let acc = ref z in
-        fun () ->
-          let v = !acc in
-          acc := f !acc (next ());
-          v);
-  }
+  let start () =
+    let next = s.start () in
+    let acc = ref z in
+    fun () ->
+      let v = !acc in
+      acc := f !acc (next ());
+      v
+  in
+  match s.ixfn with
+  | Some fi ->
+    (* Native loop over the pure index function: the running state and
+       the consumer accumulator advance in the same chunked [for] body,
+       with no per-element wrapper call in between. *)
+    {
+      length = s.length;
+      start;
+      fold =
+        (fun ~stop h z0 ->
+          let st = ref z in
+          let acc = ref z0 in
+          let i = ref 0 in
+          while !i < stop do
+            Cancel.poll ();
+            let hi = min stop (!i + poll_chunk) in
+            for k = !i to hi - 1 do
+              let cur = !st in
+              st := f cur (fi k);
+              acc := h !acc cur
+            done;
+            i := hi
+          done;
+          !acc);
+      fused = true;
+      ixfn = None;
+    }
+  | None ->
+    {
+      length = s.length;
+      start;
+      fold =
+        (fun ~stop h z0 ->
+          let st = ref z in
+          s.fold ~stop
+            (fun acc v ->
+              let cur = !st in
+              st := f cur v;
+              h acc cur)
+            z0);
+      fused = s.fused;
+      ixfn = None;
+    }
 
 (* Inclusive variant: element [i] is [f (... (f z x0) ...) xi]. *)
 let scan_incl f z s =
-  {
-    length = s.length;
-    start =
-      (fun () ->
-        let next = s.start () in
-        let acc = ref z in
-        fun () ->
-          acc := f !acc (next ());
+  let start () =
+    let next = s.start () in
+    let acc = ref z in
+    fun () ->
+      acc := f !acc (next ());
+      !acc
+  in
+  match s.ixfn with
+  | Some fi ->
+    {
+      length = s.length;
+      start;
+      fold =
+        (fun ~stop h z0 ->
+          let st = ref z in
+          let acc = ref z0 in
+          let i = ref 0 in
+          while !i < stop do
+            Cancel.poll ();
+            let hi = min stop (!i + poll_chunk) in
+            for k = !i to hi - 1 do
+              let nxt = f !st (fi k) in
+              st := nxt;
+              acc := h !acc nxt
+            done;
+            i := hi
+          done;
           !acc);
-  }
+      fused = true;
+      ixfn = None;
+    }
+  | None ->
+    {
+      length = s.length;
+      start;
+      fold =
+        (fun ~stop h z0 ->
+          let st = ref z in
+          s.fold ~stop
+            (fun acc v ->
+              let nxt = f !st v in
+              st := nxt;
+              h acc nxt)
+            z0);
+      fused = s.fused;
+      ixfn = None;
+    }
 
-(* [take n s]: the first [min n (length s)] elements; O(1). *)
+(* [take n s]: the first [min n (length s)] elements; O(1).  The copied
+   fold is driven with the smaller [stop], which every fold honours. *)
 let take n s =
   if n < 0 then invalid_arg "Stream.take";
   { s with length = min n s.length }
 
 (* ------------------------------------------------------------------ *)
-(* Linear consumers                                                    *)
+(* Linear consumers — all push-driven                                  *)
+
+let[@inline] count_path s =
+  if s.fused then Telemetry.incr_fused_folds ()
+  else Telemetry.incr_trickle_fallbacks ()
 
 let reduce f z s =
-  let next = s.start () in
-  let acc = ref z in
-  for _ = 1 to s.length do
-    acc := f !acc (next ())
-  done;
-  !acc
+  count_path s;
+  s.fold ~stop:s.length f z
 
 (* Fold of a non-empty stream seeded from its first element; lets parallel
-   callers combine a seed exactly once across blocks. *)
+   callers combine a seed exactly once across blocks.  The accumulator
+   cell is allocated when the first element arrives (no ['a option]
+   witness per element: later steps mutate the one cell in place). *)
 let reduce1 f s =
   if s.length = 0 then invalid_arg "Stream.reduce1: empty stream";
-  let next = s.start () in
-  let acc = ref (next ()) in
-  for _ = 2 to s.length do
-    acc := f !acc (next ())
-  done;
-  !acc
+  count_path s;
+  let cell =
+    s.fold ~stop:s.length
+      (fun acc v ->
+        match acc with
+        | None -> Some (ref v)
+        | Some r ->
+          r := f !r v;
+          acc)
+      None
+  in
+  match cell with Some r -> !r | None -> assert false
 
 let iter f s =
-  let next = s.start () in
-  for _ = 1 to s.length do
-    f (next ())
-  done
+  count_path s;
+  s.fold ~stop:s.length (fun () v -> f v) ()
 
 let iteri f s =
-  let next = s.start () in
-  for i = 0 to s.length - 1 do
-    f i (next ())
-  done
+  count_path s;
+  let _ : int = s.fold ~stop:s.length (fun i v -> f i v; i + 1) 0 in
+  ()
 
 let pack_to_array p s =
+  count_path s;
   let buf = Buffer_ext.create () in
-  let next = s.start () in
-  for _ = 1 to s.length do
-    let v = next () in
-    if p v then Buffer_ext.push buf v
-  done;
+  s.fold ~stop:s.length (fun () v -> if p v then Buffer_ext.push buf v) ();
   Buffer_ext.to_array buf
 
 (* filterOp / mapPartial: keep [Some] images. *)
 let pack_op_to_array p s =
+  count_path s;
   let buf = Buffer_ext.create () in
-  let next = s.start () in
-  for _ = 1 to s.length do
-    match next () with
-    | v -> ( match p v with Some w -> Buffer_ext.push buf w | None -> ())
-  done;
+  s.fold ~stop:s.length
+    (fun () v -> match p v with Some w -> Buffer_ext.push buf w | None -> ())
+    ();
   Buffer_ext.to_array buf
 
 let to_array s =
   if s.length = 0 then [||]
   else begin
-    let next = s.start () in
-    let first = next () in
-    let a = Array.make s.length first in
-    for i = 1 to s.length - 1 do
-      a.(i) <- next ()
-    done;
-    a
+    count_path s;
+    let out = ref [||] in
+    let n = s.length in
+    let _ : int =
+      s.fold ~stop:n
+        (fun i v ->
+          if i = 0 then out := Array.make n v;
+          Array.unsafe_set !out i v;
+          i + 1)
+        0
+    in
+    !out
   end
 
 let to_list s =
-  (* Pull elements with an explicit left-to-right loop: trickle streams
-     are stateful, and [List.init]'s evaluation order is unspecified, so
-     handing it an effectful [next] could permute (or, for scans,
-     corrupt) the result. *)
-  let next = s.start () in
-  let rec go i acc = if i = 0 then List.rev acc else go (i - 1) (next () :: acc) in
-  go s.length []
+  (* The push driver delivers elements strictly left-to-right (streams
+     are stateful, so no other order is sound); accumulate reversed and
+     flip once. *)
+  count_path s;
+  List.rev (s.fold ~stop:s.length (fun acc v -> v :: acc) [])
 
 let equal eq s1 s2 =
   s1.length = s2.length
   &&
+  (* Trickle path on purpose: equality wants lockstep consumption of two
+     streams with the possibility of stopping at the first mismatch. *)
   let n1 = s1.start () in
   let n2 = s2.start () in
   let rec go i = i >= s1.length || (eq (n1 ()) (n2 ()) && go (i + 1)) in

@@ -4,7 +4,18 @@
     {!tabulate}, {!map}, {!zip}, {!scan} etc. costs O(1); elements are only
     produced when a linear consumer ({!reduce}, {!iter},
     {!pack_to_array}, ...) drives the stream.  Streams are the per-block
-    representation inside BID sequences. *)
+    representation inside BID sequences.
+
+    Every stream carries two execution representations (see
+    docs/STREAMS.md):
+
+    - the resumable {e trickle} function returned by {!start}, which
+      supports partial consumption and resumption (needed by
+      [Seq.to_array]'s block-0 allocation witness, [get_region]'s
+      mid-subsequence starts and the early-exit searches); and
+    - the fused {e push} driver {!fold}, where the stream owns the
+      element loop and a whole combinator pipeline runs as one loop per
+      block.  All linear consumers below drive this path. *)
 
 type 'a t
 
@@ -14,8 +25,28 @@ val length : 'a t -> int
     successive elements. Calling it more than [length] times is undefined. *)
 val start : 'a t -> unit -> 'a
 
+(** [fold s ~stop f z] pushes the first [min stop (length s)] elements
+    through [f], left to right.  This is the fused execution path:
+    sources run a direct [for] loop ([unsafe_get] on arrays), stateless
+    stages ({!map}/{!mapi}/{!zip_with}) are composed into the source's
+    element function at construction time, scans over such sources run
+    a native loop, and remaining combinators wrap the upstream fold once
+    per drive — no per-element closure chain is re-entered.  The loop
+    polls the ambient cancellation token ({!Bds_runtime.Cancel.poll})
+    once per 64-element chunk.  See docs/STREAMS.md. *)
+val fold : 'a t -> stop:int -> ('acc -> 'a -> 'acc) -> 'acc -> 'acc
+
+(** Whether {!fold} bottoms out in a native push loop ([true] for all
+    streams built from the constructors below) rather than in the
+    trickle-derived fallback that {!make} installs ([false]).  Combinators
+    propagate the flag of the stream whose loop does the driving. *)
+val is_fused : 'a t -> bool
+
 (** Low-level constructor from a trickle-function factory: [start ()] must
-    return a function that yields the [length] elements in order. *)
+    return a function that yields the [length] elements in order.  The
+    stream's {!fold} is derived from the trickle function (it still
+    honours [stop] and the cancellation-poll cadence), so consumers of
+    such streams count as [trickle_fallbacks] in the runtime telemetry. *)
 val make : length:int -> start:(unit -> unit -> 'a) -> 'a t
 
 (** {1 O(1) constructors} *)
@@ -42,12 +73,17 @@ val scan_incl : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a t
 (** [take n s]: the first [min n (length s)] elements; O(1). *)
 val take : int -> 'a t -> 'a t
 
-(** {1 Linear consumers} *)
+(** {1 Linear consumers}
+
+    All of these drive the push path ({!fold}) and bump the
+    [fused_folds] / [trickle_fallbacks] telemetry counter matching
+    {!is_fused}. *)
 
 val reduce : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a
 
-(** Fold of a non-empty stream seeded from its first element.
-    Raises [Invalid_argument] on an empty stream. *)
+(** Fold of a non-empty stream seeded from its first element (no option
+    witness: the accumulator cell is allocated when the first element is
+    pushed).  Raises [Invalid_argument] on an empty stream. *)
 val reduce1 : ('a -> 'a -> 'a) -> 'a t -> 'a
 
 (** The paper's [s.applyStream]. *)

@@ -1,0 +1,21 @@
+Stream execution-path counters (docs/STREAMS.md).
+
+`bds_probe streams` drives two fixed Seq pipelines and reports, per
+pipeline, how many Stream consumers took the fused push path vs the
+trickle fallback.  With the block grid pinned (n=8000, block size 1000
+-> 8 blocks) the counts are exact: counter diffs are taken after the
+parallel scope joins, so every per-block increment is published.
+
+A plain map-reduce pipeline (iota |> scan_incl |> map |> reduce) must
+report ZERO trickle fallbacks: scan_incl's phase 1 folds the 8 input
+blocks and the final reduce folds the 8 mapped blocks, all bottoming
+out in the native push loops of tabulate/of_array_slice.
+
+A filtered reduce is the honest counter-case: packing the 8 input
+blocks is push-fused, but the filtered sequence's 4000 survivors are
+exposed through get_region streams (blocks straddle the packed
+subsequences), so reducing its 4 blocks falls back to the trickle:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_BLOCK_SIZE=1000 bds_probe streams
+  map-reduce: sum=170666664000 fused_folds=16 trickle_fallbacks=0
+  filter-reduce: sum=15996000 fused_folds=8 trickle_fallbacks=4

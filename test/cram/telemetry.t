@@ -20,6 +20,8 @@ the chaos_injections counter stays meaningful:
     cancel_polls=N
     cancel_trips=N
     chaos_injections=N
+    fused_folds=N
+    trickle_fallbacks=N
 
 With BDS_TRACE set, the probe writes a Chrome-trace JSON at pool
 teardown; `bds_probe trace-check` validates it (the same shape Perfetto
@@ -39,5 +41,5 @@ The validator rejects files that are not Chrome traces:
 Unknown sub-commands fail with usage:
 
   $ bds_probe frobnicate
-  usage: bds_probe [stats | blocks | trace-check FILE | trace-count FILE NAME]
+  usage: bds_probe [stats | blocks | streams | trace-check FILE | trace-count FILE NAME]
   [2]

@@ -115,6 +115,43 @@ let test_cancellation_in_scan_phase1 () =
             true
             (touches <= 2000)))
 
+let test_cancellation_mid_block_push () =
+  (* The push folds poll the ambient token once per 64-element chunk, so
+     a fault stops a long fold *mid-block* — within one chunk of the
+     poisoned element — even when the whole sequence is a single block
+     (where block-boundary polling alone would run all 100k elements
+     before noticing).  One worker + one fixed block keeps the element
+     order deterministic. *)
+  Fun.protect
+    ~finally:(fun () -> Runtime.set_num_domains Bds_test_util.domains)
+    (fun () ->
+      Runtime.set_num_domains 1;
+      with_policy (Bds.Block.Fixed 100_000) (fun () ->
+          let n = 100_000 in
+          let bid, _ = S.scan ( + ) 0 (S.iota n) in
+          let touches = ref 0 in
+          let poison i v =
+            incr touches;
+            if i = 1234 then (
+              match Bds_runtime.Cancel.ambient () with
+              | Some tok ->
+                Bds_runtime.Cancel.cancel_with tok (Kernel_bug 9)
+                  (Printexc.get_callstack 0)
+              | None -> Alcotest.fail "no ambient token in push fold");
+            v
+          in
+          Alcotest.check_raises "recorded failure propagates" (Kernel_bug 9)
+            (fun () -> ignore (S.reduce ( + ) 0 (S.mapi poison bid)));
+          let touches = !touches in
+          Alcotest.(check bool)
+            (Printf.sprintf "reached the cancel point (%d touches)" touches)
+            true (touches > 1234);
+          Alcotest.(check bool)
+            (Printf.sprintf "stops within one poll chunk (%d touches <= 1300)"
+               touches)
+            true
+            (touches <= 1300)))
+
 (* ------------------------------------------------------------------ *)
 (* Chaos injection                                                     *)
 
@@ -326,6 +363,8 @@ let () =
             test_cancellation_in_fused_pipeline;
           Alcotest.test_case "cancellation latency in scan phase 1" `Quick
             test_cancellation_in_scan_phase1;
+          Alcotest.test_case "push fold stops mid-block" `Quick
+            test_cancellation_mid_block_push;
         ] );
       ( "chaos injection",
         [

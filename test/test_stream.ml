@@ -2,6 +2,7 @@
 
 module Stream = Bds_stream.Stream
 module Buffer_ext = Bds_stream.Buffer_ext
+module Cancel = Bds_runtime.Cancel
 open Bds_test_util
 
 let check_ilist = Alcotest.(check (list int))
@@ -140,6 +141,84 @@ let test_equal () =
   Alcotest.(check bool) "length differs" false
     (Stream.equal ( = ) (mk ()) (Stream.tabulate 4 Fun.id))
 
+let test_fold_stop () =
+  let s () = Stream.tabulate 100 Fun.id in
+  Alcotest.(check int) "stop 10" 45 (Stream.fold (s ()) ~stop:10 ( + ) 0);
+  Alcotest.(check int) "stop 0" 0 (Stream.fold (s ()) ~stop:0 ( + ) 0);
+  Alcotest.(check int) "stop = length" 4950 (Stream.fold (s ()) ~stop:100 ( + ) 0);
+  (* stop truncates the whole pipeline: upstream elements past it are
+     never produced, even through scan state. *)
+  let calls = ref 0 in
+  let piped =
+    Stream.scan_incl ( + ) 0
+      (Stream.map
+         (fun x ->
+           incr calls;
+           x)
+         (Stream.tabulate 1000 Fun.id))
+  in
+  let got = Stream.fold piped ~stop:5 (fun acc v -> v :: acc) [] in
+  check_ilist "prefix of scan" [ 10; 6; 3; 1; 0 ] got;
+  Alcotest.(check int) "only prefix pushed" 5 !calls;
+  let sl = Stream.of_array_slice [| 9; 1; 2; 3; 4 |] 1 4 in
+  Alcotest.(check int) "slice stop 2" 3 (Stream.fold sl ~stop:2 ( + ) 0)
+
+let mk_trickle n =
+  Stream.make ~length:n ~start:(fun () ->
+      let i = ref (-1) in
+      fun () ->
+        incr i;
+        !i)
+
+let test_is_fused () =
+  let base = Stream.tabulate 8 Fun.id in
+  Alcotest.(check bool) "tabulate" true (Stream.is_fused base);
+  Alcotest.(check bool) "of_array_slice" true
+    (Stream.is_fused (Stream.of_array_slice [| 1; 2; 3 |] 0 3));
+  Alcotest.(check bool) "combinators keep fused" true
+    (Stream.is_fused (Stream.take 3 (Stream.scan ( + ) 0 (Stream.map succ base))));
+  let trickle = mk_trickle 8 in
+  Alcotest.(check bool) "make is a trickle fallback" false (Stream.is_fused trickle);
+  Alcotest.(check bool) "map keeps trickle" false
+    (Stream.is_fused (Stream.map succ (mk_trickle 8)));
+  (* zip_with reports the driving (left) side. *)
+  Alcotest.(check bool) "zip: fused left drives" true
+    (Stream.is_fused (Stream.zip_with ( + ) base (mk_trickle 8)));
+  Alcotest.(check bool) "zip: trickle left drives" false
+    (Stream.is_fused (Stream.zip_with ( + ) (mk_trickle 8) base));
+  (* The trickle-derived fold still computes the right answer. *)
+  Alcotest.(check int) "trickle fold result" 28
+    (Stream.reduce ( + ) 0 (mk_trickle 8));
+  check_ilist "trickle zip result" [ 0; 2; 4 ]
+    (Stream.to_list (Stream.zip_with ( + ) (mk_trickle 3) (Stream.tabulate 3 Fun.id)))
+
+(* A push fold polls the ambient cancellation token once per 64-element
+   chunk: a token cancelled mid-stream (here by the map body itself at
+   element 1000) stops the fold at the next chunk boundary instead of
+   running the remaining 99k elements.  Exercised for both the native
+   push loop and the trickle-derived fallback. *)
+let poll_cadence_of drive =
+  let tok = Cancel.create () in
+  let touched = ref 0 in
+  Alcotest.check_raises "fold trips mid-stream" Cancel.Cancelled (fun () ->
+      Cancel.with_ambient tok (fun () ->
+          drive (fun (x : int) ->
+              incr touched;
+              if x = 1000 then Cancel.cancel tok;
+              x)));
+  Alcotest.(check bool) "saw the poisoning element" true (!touched >= 1001);
+  Alcotest.(check bool)
+    (Printf.sprintf "stopped within one poll chunk (touched %d)" !touched)
+    true
+    (!touched <= 1001 + 64)
+
+let test_fold_poll_cadence () =
+  poll_cadence_of (fun poison ->
+      ignore
+        (Stream.reduce ( + ) 0 (Stream.map poison (Stream.tabulate 100_000 Fun.id))));
+  poll_cadence_of (fun poison ->
+      ignore (Stream.reduce ( + ) 0 (Stream.map poison (mk_trickle 100_000))))
+
 let test_buffer () =
   let b = Buffer_ext.create () in
   Alcotest.(check int) "empty len" 0 (Buffer_ext.length b);
@@ -177,6 +256,77 @@ let qcheck_tests =
           |> List.map (fun x -> x - 1)
           |> List.filter (fun x -> x > 0)
           |> Array.of_list));
+  ]
+
+(* QCheck: push/pull equivalence.  Arbitrary combinator chains over both
+   source kinds must produce the same elements through the fused push
+   fold (what every linear consumer drives) as through the resumable
+   trickle function (the reference semantics [start] still exposes). *)
+type chain_op = OMap of int | OMapi | OZip | OScan of int | OScanIncl of int | OTake of int
+
+let apply_op s = function
+  | OMap k -> Stream.map (fun x -> (2 * x) + k) s
+  | OMapi -> Stream.mapi (fun i v -> i + v) s
+  | OZip ->
+    Stream.zip_with ( + ) s (Stream.tabulate (Stream.length s) (fun i -> 3 * i))
+  | OScan k -> Stream.scan ( + ) k s
+  | OScanIncl k -> Stream.scan_incl ( + ) k s
+  | OTake k -> Stream.take (k mod (Stream.length s + 1)) s
+
+(* Streams are single-use once driven, so the property builds a fresh
+   chain per consumer. *)
+let mk_chain (a, use_slice, ops) () =
+  let base =
+    if use_slice && Array.length a >= 2 then
+      Stream.of_array_slice a 1 (Array.length a - 2)
+    else Stream.of_array a
+  in
+  List.fold_left apply_op base ops
+
+let trickle_to_list s =
+  let next = Stream.start s in
+  let n = Stream.length s in
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (next () :: acc) in
+  go 0 []
+
+let push_pull_tests =
+  let open QCheck2 in
+  let gen_op =
+    Gen.(
+      oneof
+        [
+          map (fun k -> OMap k) (int_range (-3) 3);
+          return OMapi;
+          return OZip;
+          map (fun k -> OScan k) (int_range (-3) 3);
+          map (fun k -> OScanIncl k) (int_range (-3) 3);
+          map (fun k -> OTake k) (int_range 0 30);
+        ])
+  in
+  let gen_chain =
+    Gen.(
+      map3
+        (fun a b ops -> (a, b, ops))
+        small_int_array bool
+        (list_size (int_range 0 5) gen_op))
+  in
+  [
+    Test.make ~name:"push consumers = trickle reference" ~count:500 gen_chain
+      (fun c ->
+        let mk = mk_chain c in
+        let reference = trickle_to_list (mk ()) in
+        Stream.to_list (mk ()) = reference
+        && Stream.reduce ( + ) 0 (mk ()) = List.fold_left ( + ) 0 reference
+        && Array.to_list (Stream.to_array (mk ())) = reference
+        && Array.to_list (Stream.pack_to_array (fun x -> x land 1 = 0) (mk ()))
+           = List.filter (fun x -> x land 1 = 0) reference);
+    Test.make ~name:"fold ~stop = trickle prefix" ~count:500
+      QCheck2.Gen.(pair gen_chain (int_range 0 40))
+      (fun (c, stop) ->
+        let mk = mk_chain c in
+        let stop = min stop (Stream.length (mk ())) in
+        let prefix = List.filteri (fun i _ -> i < stop) (trickle_to_list (mk ())) in
+        List.rev (Stream.fold (mk ()) ~stop (fun acc v -> v :: acc) []) = prefix);
   ]
 
 (* The alternative pure state-passing encoding must agree with the
@@ -237,9 +387,14 @@ let () =
           Alcotest.test_case "laziness" `Quick test_laziness;
           Alcotest.test_case "iter/iteri" `Quick test_iter_iteri;
           Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "fold with stop" `Quick test_fold_stop;
+          Alcotest.test_case "is_fused flag" `Quick test_is_fused;
+          Alcotest.test_case "fold poll cadence" `Quick test_fold_poll_cadence;
           Alcotest.test_case "buffer_ext" `Quick test_buffer;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+      ( "push/pull",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) push_pull_tests );
       ( "pure encoding",
         Alcotest.test_case "operations" `Quick test_pure_encoding
         :: List.map (QCheck_alcotest.to_alcotest ~long:false) pure_equiv_tests );

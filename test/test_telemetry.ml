@@ -56,6 +56,7 @@ let test_assoc_order () =
     [
       "tasks_spawned"; "steal_attempts"; "steals"; "overflow_pushes";
       "chunks_executed"; "cancel_polls"; "cancel_trips"; "chaos_injections";
+      "fused_folds"; "trickle_fallbacks";
     ]
     keys;
   let s = Telemetry.pp (snap ()) in
