@@ -1,6 +1,6 @@
 # Convenience targets (cf. the paper artifact's makefiles).
 
-.PHONY: all build test stress trace-smoke bench bench-quick examples clean
+.PHONY: all build test stress trace-smoke profile-smoke bench bench-quick bench-compare examples clean
 
 # Fixed-seed chaos specification used by `make stress` (see
 # docs/RUNTIME.md for the BDS_CHAOS format).  delay+starve perturb
@@ -23,8 +23,9 @@ test:
 	dune runtest --force
 
 # Chaos stress: the dedicated @stress alias, then the full suite under
-# fault injection across 1, 2 and 4 domains, then a trace round-trip.
-stress: trace-smoke
+# fault injection across 1, 2 and 4 domains, after the trace and
+# profiler round-trips.
+stress: trace-smoke profile-smoke
 	dune build @stress --force
 	for d in $(STRESS_DOMAINS); do \
 	  echo "== stress: BDS_NUM_DOMAINS=$$d BDS_CHAOS=$(CHAOS_SPEC) =="; \
@@ -38,13 +39,27 @@ TRACE_SMOKE_FILE ?= /tmp/bds-trace-smoke.json
 trace-smoke:
 	dune build bin/bds_probe.exe
 	BDS_TRACE=$(TRACE_SMOKE_FILE) BDS_NUM_DOMAINS=4 dune exec bin/bds_probe.exe -- stats
-	dune exec bin/bds_probe.exe -- trace-check $(TRACE_SMOKE_FILE)
+	dune exec bin/bds_probe.exe -- trace-check --strict $(TRACE_SMOKE_FILE)
+
+# Profiler round-trip: run the report pipeline under the work/span
+# profiler on a multi-domain pool, in both human and JSON form (the
+# JSON pass re-parses nothing here, but exercises the render path CI
+# artifacts use; see docs/OBSERVABILITY.md "Profiling").
+profile-smoke:
+	dune build bin/bds_probe.exe
+	BDS_NUM_DOMAINS=4 dune exec bin/bds_probe.exe -- report
+	BDS_NUM_DOMAINS=4 dune exec bin/bds_probe.exe -- report --json > /dev/null
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# Perf-regression gate: stream-overhead bench vs BENCH_4.json (ratio
+# metrics only; see scripts/bench_compare for knobs).
+bench-compare:
+	scripts/bench_compare
 
 examples:
 	dune exec examples/quickstart.exe

@@ -14,6 +14,7 @@ module Tables = Bds_harness.Tables
 module Runtime = Bds_runtime.Runtime
 module Grain = Bds_runtime.Grain
 module Telemetry = Bds_runtime.Telemetry
+module Profile = Bds_runtime.Profile
 module S = Bds.Seq
 module K = Bds_kernels
 
@@ -31,6 +32,9 @@ type config = {
       (** leaf-grain values to sweep the bestcut pipeline over (--sweep-grain) *)
   sweep_block : int list;
       (** fixed block sizes to sweep the bestcut pipeline over (--sweep-block) *)
+  profile : bool;
+      (** run everything under the work/span profiler and append per-op
+          rows to the CSV (--profile) *)
 }
 
 (* Raw results accumulated for --csv: section, bench, version, procs,
@@ -123,10 +127,21 @@ let run_bench cfg (b : Registry.bench) =
       record ~section ~bench:b.name ~version:vname ~procs:cfg.procs
         ~metric:"steals" (float_of_int c.Telemetry.s_steals);
       record ~section ~bench:b.name ~version:vname ~procs:cfg.procs
+        ~metric:"steals_per_s"
+        (if m.Measure.best_s > 0.0 then
+           float_of_int c.Telemetry.s_steals /. m.Measure.best_s
+         else 0.0);
+      record ~section ~bench:b.name ~version:vname ~procs:cfg.procs
         ~metric:"tasks_per_s"
         (if m.Measure.best_s > 0.0 then
            float_of_int c.Telemetry.s_tasks_spawned /. m.Measure.best_s
-         else 0.0))
+         else 0.0);
+      (* Both rates above divide one coherent snapshot pair (the timed
+         record's delta, taken around the best run) by that same run's
+         time; flag the rare clamped delta so downstream tooling can
+         discard the point instead of trusting a skewed rate. *)
+      record ~section ~bench:b.name ~version:vname ~procs:cfg.procs
+        ~metric:"counters_clamped" (if m.Measure.clamped then 1.0 else 0.0))
     sched_pn;
   let allocs =
     List.map
@@ -578,6 +593,8 @@ let sweeps cfg =
           ~metric:"steals_per_s" steals_per_s;
         record ~section ~bench:"bestcut-delay" ~version ~procs:cfg.procs
           ~metric:"tasks_per_s" tasks_per_s;
+        record ~section ~bench:"bestcut-delay" ~version ~procs:cfg.procs
+          ~metric:"counters_clamped" (if m.Measure.clamped then 1.0 else 0.0);
         [
           version;
           Measure.pp_time m.Measure.best_s;
@@ -751,9 +768,40 @@ let micro cfg =
     results
 
 (* ------------------------------------------------------------------ *)
+(* --profile: per-op work/span rows for the whole run                  *)
+
+(* Everything the harness ran this process accumulated into the op
+   registry (profiling was enabled before the first section); emit one
+   CSV row per op metric under section "profile" and print the human
+   report.  [procs] is the nominal P=max — sections run at several
+   worker counts, so utilization here is indicative, not exact. *)
+let profile_report cfg =
+  let rows = Profile.rows () in
+  List.iter
+    (fun (r : Profile.row) ->
+      let p metric v =
+        record ~section:"profile" ~bench:r.Profile.r_name ~version:"all"
+          ~procs:cfg.procs ~metric v
+      in
+      p "calls" (float_of_int r.Profile.r_calls);
+      p "chunks" (float_of_int r.Profile.r_chunks);
+      p "wall_ns" (float_of_int r.Profile.r_wall_ns);
+      p "work_ns" (float_of_int r.Profile.r_work_ns);
+      p "span_ns" (float_of_int r.Profile.r_span_ns);
+      p "p50_ns" (float_of_int r.Profile.r_p50_ns);
+      p "p99_ns" (float_of_int r.Profile.r_p99_ns);
+      p "max_chunk_ns" (float_of_int r.Profile.r_max_chunk_ns);
+      p "parallelism" r.Profile.r_parallelism;
+      p "tiny_fraction" r.Profile.r_tiny_fraction)
+    rows;
+  print_newline ();
+  print_string (Profile.render ~workers:cfg.procs rows)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let run cfg =
+  if cfg.profile then Profile.set_enabled true;
   Printf.printf
     "Parallel block-delayed sequences: benchmark harness\n\
      host workers: %d requested for P=max; scale %.2fx; repeat %d\n"
@@ -785,6 +833,7 @@ let run cfg =
   if enabled cfg "stream-overhead" then stream_overhead cfg;
   if cfg.sweep_grain <> [] || cfg.sweep_block <> [] then sweeps cfg;
   if enabled cfg "micro" then micro cfg;
+  if cfg.profile then profile_report cfg;
   Option.iter write_csv cfg.csv;
   Printf.printf "\ndone. (sink: %d %.3f)\n" !Registry.sink_int !Registry.sink_float
 
@@ -841,8 +890,15 @@ let sweep_block_arg =
                  Emits time, steals/s and tasks/s per point; rows land in \
                  --csv under sweep-block.")
 
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Run everything under the work/span profiler: print the \
+                 per-op report at the end and append per-op rows (section \
+                 \"profile\") to --csv output.")
+
 let main scale quick procs proc_list repeat sections micro_filter csv plots
-    sweep_grain sweep_block =
+    sweep_grain sweep_block profile =
   let cfg =
     {
       scale = (if quick then scale /. 10.0 else scale);
@@ -855,6 +911,7 @@ let main scale quick procs proc_list repeat sections micro_filter csv plots
       plots;
       sweep_grain;
       sweep_block;
+      profile;
     }
   in
   Option.iter
@@ -869,6 +926,6 @@ let cmd =
     Term.(
       const main $ scale_arg $ quick_arg $ procs_arg $ proc_list_arg $ repeat_arg
       $ only_arg $ micro_filter_arg $ csv_arg $ plots_arg $ sweep_grain_arg
-      $ sweep_block_arg)
+      $ sweep_block_arg $ profile_arg)
 
 let () = exit (Cmd.eval cmd)

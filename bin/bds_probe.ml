@@ -5,10 +5,14 @@
 
    Sub-commands:
      bds_probe             — liveness probe (historical default)
-     bds_probe stats       — probe + scheduler-telemetry counters
+     bds_probe stats [--json] — probe + scheduler-telemetry counters
      bds_probe blocks      — report the unified block grid for n=8000
      bds_probe streams     — stream execution-path counters per pipeline
-     bds_probe trace-check F — validate a BDS_TRACE JSON file
+     bds_probe report [--json] [--large] — run a map|scan|reduce pipeline
+                             under the profiler and print the per-op
+                             work/span report
+     bds_probe trace-check [--strict] F — validate a BDS_TRACE JSON file
+                             (--strict: non-zero exit on dropped events)
      bds_probe trace-count F NAME — count NAME events in a trace file *)
 
 module Runtime = Bds_runtime.Runtime
@@ -16,22 +20,35 @@ module Grain = Bds_runtime.Grain
 module Chaos = Bds_runtime.Chaos
 module Telemetry = Bds_runtime.Telemetry
 module Trace = Bds_runtime.Trace
+module Profile = Bds_runtime.Profile
 
-let probe ~stats =
-  Printf.printf "workers=%d\n" (Runtime.num_workers ());
-  print_endline (Chaos.describe ());
+let probe ~stats ~json =
+  if not json then begin
+    Printf.printf "workers=%d\n" (Runtime.num_workers ());
+    print_endline (Chaos.describe ())
+  end;
   let before = Telemetry.snapshot () in
   let n = 100_000 in
   let sum =
     Runtime.parallel_for_reduce 0 n ~combine:( + ) ~init:0 (fun i -> i)
   in
-  Printf.printf "sum(0..%d)=%d\n" (n - 1) sum;
+  if not json then Printf.printf "sum(0..%d)=%d\n" (n - 1) sum;
   if stats then begin
     let after = Telemetry.snapshot () in
-    print_endline "telemetry:";
-    List.iter
-      (fun (k, v) -> Printf.printf "  %s=%d\n" k v)
-      (Telemetry.to_assoc (Telemetry.diff ~before ~after))
+    let counters = Telemetry.to_assoc (Telemetry.diff ~before ~after) in
+    if json then begin
+      (* Same shape family as `report --json`: one top-level object,
+         workers first, so CI artifacts and bench_compare share one
+         machine-readable format. *)
+      Printf.printf "{\"workers\":%d,\"counters\":{%s}}\n"
+        (Runtime.num_workers ())
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) counters))
+    end
+    else begin
+      print_endline "telemetry:";
+      List.iter (fun (k, v) -> Printf.printf "  %s=%d\n" k v) counters
+    end
   end;
   Runtime.shutdown ()
 
@@ -84,11 +101,41 @@ let streams () =
   report "filter-reduce" b1 sum2;
   Runtime.shutdown ()
 
-let trace_check file =
+(* Run the acceptance pipeline (iota |> map |> scan |> reduce, plus a
+   filter |> to_array tail) under the profiler and print the per-op
+   report.  Profiling is force-enabled — the whole point of the command
+   is the report — so `bds_probe report` works without BDS_PROFILE=1. *)
+let report ~json ~large =
+  Profile.set_enabled true;
+  let n = if large then 2_000_000 else 200_000 in
+  let input = Bds.Seq.iota n in
+  let mapped = Bds.Seq.map (fun x -> (x * 7) land 1023) input in
+  let scanned = Bds.Seq.scan_incl ( + ) 0 mapped in
+  let total = Bds.Seq.reduce ( + ) 0 scanned in
+  let packed = Bds.Seq.to_array (Bds.Seq.filter (fun x -> x land 1 = 0) scanned) in
+  ignore (Sys.opaque_identity total);
+  ignore (Sys.opaque_identity packed);
+  let workers = Runtime.num_workers () in
+  Runtime.shutdown ();
+  let rows = Profile.rows () in
+  if json then print_endline (Profile.render_json ~workers rows)
+  else print_string (Profile.render ~workers rows)
+
+let trace_check ~strict file =
   match Trace.validate_file file with
-  | Ok n ->
+  | Ok n -> (
     Printf.printf "trace ok: %d events\n" n;
-    0
+    match Trace.dropped_of_file file with
+    | Ok 0 -> 0
+    | Ok d ->
+      Printf.printf
+        "warning: %d event%s dropped (ring wrap-around); trace is incomplete\n"
+        d
+        (if d = 1 then "" else "s");
+      if strict then 1 else 0
+    | Error e ->
+      Printf.eprintf "trace invalid: %s\n" e;
+      1)
   | Error e ->
     Printf.eprintf "trace invalid: %s\n" e;
     1
@@ -103,14 +150,21 @@ let trace_count file name =
     1
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] -> probe ~stats:false
-  | _ :: [ "stats" ] -> probe ~stats:true
-  | _ :: [ "blocks" ] -> blocks ()
-  | _ :: [ "streams" ] -> streams ()
-  | _ :: [ "trace-check"; file ] -> exit (trace_check file)
-  | _ :: [ "trace-count"; file; name ] -> exit (trace_count file name)
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, pos =
+    List.partition (fun a -> String.length a >= 2 && a.[0] = '-' && a.[1] = '-') args
+  in
+  let flag f = List.mem f flags in
+  match pos with
+  | [] when flags = [] -> probe ~stats:false ~json:false
+  | [ "stats" ] -> probe ~stats:true ~json:(flag "--json")
+  | [ "blocks" ] when flags = [] -> blocks ()
+  | [ "streams" ] when flags = [] -> streams ()
+  | [ "report" ] -> report ~json:(flag "--json") ~large:(flag "--large")
+  | [ "trace-check"; file ] -> exit (trace_check ~strict:(flag "--strict") file)
+  | [ "trace-count"; file; name ] when flags = [] -> exit (trace_count file name)
   | _ ->
     prerr_endline
-      "usage: bds_probe [stats | blocks | streams | trace-check FILE | trace-count FILE NAME]";
+      "usage: bds_probe [stats [--json] | blocks | streams | report [--json] \
+       [--large] | trace-check [--strict] FILE | trace-count FILE NAME]";
     exit 2

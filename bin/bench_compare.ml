@@ -1,0 +1,214 @@
+(* Perf-regression gate: compare a fresh benchmark CSV (bench/main.exe
+   --csv) against the committed baseline snapshot (BENCH_4.json).
+
+   The host is a shared container whose absolute wall-clock drifts by
+   tens of percent between runs, so the gate judges *within-run ratios*
+   by default — currently the push-vs-pull speedup of the
+   stream-overhead chain, which divides two times measured seconds apart
+   on the same machine and is stable (see BENCH_4.json's host_note).
+   Absolute times are compared only under --absolute, for quiet hosts.
+
+   Exit status: 0 when every checked metric is within --max-regress
+   percent of the baseline, 1 on any regression, 2 on usage/parse
+   errors.  The report prints one line per metric either way, so the CI
+   artifact shows the margins even when the gate passes. *)
+
+module J = Bds_runtime.Tiny_json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* CSV rows: section,bench,version,procs,metric,value *)
+
+type row = {
+  section : string;
+  bench : string;
+  version : string;
+  metric : string;
+  value : float;
+}
+
+let parse_csv text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty CSV"
+  | header :: rest ->
+    if String.trim header <> "section,bench,version,procs,metric,value" then
+      Error (Printf.sprintf "unexpected CSV header: %s" header)
+    else
+      let parse_line i l =
+        match String.split_on_char ',' l with
+        | [ section; bench; version; _procs; metric; value ] -> (
+          match float_of_string_opt value with
+          | Some value -> Ok { section; bench; version; metric; value }
+          | None -> Error (Printf.sprintf "line %d: bad value %S" (i + 2) value))
+        | _ -> Error (Printf.sprintf "line %d: expected 6 fields" (i + 2))
+      in
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | l :: rest -> (
+          match parse_line i l with
+          | Ok r -> go (i + 1) (r :: acc) rest
+          | Error _ as e -> e)
+      in
+      go 0 [] rest
+
+(* Last matching row wins, mirroring how the harness appends rows. *)
+let find rows ~section ~bench ~version ~metric =
+  List.fold_left
+    (fun acc r ->
+      if
+        r.section = section && r.bench = bench && r.version = version
+        && r.metric = metric
+      then Some r.value
+      else acc)
+    None rows
+
+(* ------------------------------------------------------------------ *)
+(* Checks *)
+
+type direction = Higher_better | Lower_better
+
+type check = {
+  name : string;
+  dir : direction;
+  baseline : float;
+  current : float;
+}
+
+let verdict ~tolerance c =
+  let margin = tolerance /. 100.0 in
+  match c.dir with
+  | Higher_better -> c.current >= c.baseline *. (1.0 -. margin)
+  | Lower_better -> c.current <= c.baseline *. (1.0 +. margin)
+
+let change_pct c =
+  if c.baseline = 0.0 then 0.0
+  else (c.current -. c.baseline) /. c.baseline *. 100.0
+
+let baseline_float json path_ =
+  match Option.bind (J.path path_ json) J.to_float with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "baseline: missing %s" (String.concat "." path_))
+
+let build_checks ~absolute json rows =
+  let ( let* ) = Result.bind in
+  let chain = [ "results"; "stream-overhead/chain3" ] in
+  let* base_speedup = baseline_float json (chain @ [ "speedup_push_vs_pull" ]) in
+  let csv_time version =
+    match
+      find rows ~section:"stream-overhead" ~bench:"chain3" ~version
+        ~metric:"time_s"
+    with
+    | Some v when v > 0.0 -> Ok v
+    | Some _ -> Error (Printf.sprintf "csv: non-positive time for %s" version)
+    | None -> Error (Printf.sprintf "csv: no stream-overhead time for %s" version)
+  in
+  let* t_pull = csv_time "pull" in
+  let* t_push = csv_time "push" in
+  let ratio_checks =
+    [
+      {
+        name = "stream-overhead push-vs-pull speedup";
+        dir = Higher_better;
+        baseline = base_speedup;
+        current = t_pull /. t_push;
+      };
+    ]
+  in
+  if not absolute then Ok ratio_checks
+  else
+    let* base_pull = baseline_float json (chain @ [ "pull_trickle"; "time_s" ]) in
+    let* base_push = baseline_float json (chain @ [ "push_fused"; "time_s" ]) in
+    Ok
+      (ratio_checks
+      @ [
+          {
+            name = "stream-overhead pull time_s (absolute)";
+            dir = Lower_better;
+            baseline = base_pull;
+            current = t_pull;
+          };
+          {
+            name = "stream-overhead push time_s (absolute)";
+            dir = Lower_better;
+            baseline = base_push;
+            current = t_push;
+          };
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let () =
+  let baseline = ref "BENCH_4.json" in
+  let csv = ref "" in
+  let tolerance = ref 15.0 in
+  let absolute = ref false in
+  let usage = "bench_compare --csv FILE [--baseline FILE] [--max-regress PCT] [--absolute]" in
+  Arg.parse
+    [
+      ("--baseline", Arg.Set_string baseline, "FILE Baseline snapshot JSON (default BENCH_4.json)");
+      ("--csv", Arg.Set_string csv, "FILE Fresh bench CSV (bench/main.exe --csv)");
+      ("--max-regress", Arg.Set_float tolerance, "PCT Allowed regression percent (default 15)");
+      ("--absolute", Arg.Set absolute, " Also gate absolute times (noisy hosts: leave off)");
+    ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    usage;
+  if !csv = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let fail msg =
+    Printf.eprintf "bench_compare: %s\n" msg;
+    exit 2
+  in
+  let json =
+    match J.parse_result (read_file !baseline) with
+    | Ok j -> j
+    | Error e -> fail (Printf.sprintf "%s: %s" !baseline e)
+    | exception Sys_error e -> fail e
+  in
+  let rows =
+    match parse_csv (read_file !csv) with
+    | Ok r -> r
+    | Error e -> fail (Printf.sprintf "%s: %s" !csv e)
+    | exception Sys_error e -> fail e
+  in
+  let checks =
+    match build_checks ~absolute:!absolute json rows with
+    | Ok c -> c
+    | Error e -> fail e
+  in
+  let snap =
+    match Option.bind (J.member "snapshot" json) J.to_float with
+    | Some f -> string_of_int (int_of_float f)
+    | None -> "?"
+  in
+  Printf.printf "bench_compare: baseline snapshot %s (%s), tolerance %g%%\n" snap
+    !baseline !tolerance;
+  let ok =
+    List.fold_left
+      (fun ok c ->
+        let pass = verdict ~tolerance:!tolerance c in
+        Printf.printf "  %-42s baseline %8.4f  current %8.4f  %+6.1f%%  %s\n"
+          c.name c.baseline c.current (change_pct c)
+          (if pass then "ok" else "REGRESSION");
+        ok && pass)
+      true checks
+  in
+  if ok then begin
+    print_endline "result: PASS";
+    exit 0
+  end
+  else begin
+    print_endline "result: FAIL";
+    exit 1
+  end

@@ -17,6 +17,7 @@ module Stream = Bds_stream.Stream
 module Parray = Bds_parray.Parray
 module Runtime = Bds_runtime.Runtime
 module Cancel = Bds_runtime.Cancel
+module Profile = Bds_runtime.Profile
 
 type 'a bid = {
   b_len : int;
@@ -43,7 +44,7 @@ let empty = Rad { r_len = 0; get = (fun _ -> invalid_arg "Seq.empty") }
 
 let tabulate n f =
   if n < 0 then invalid_arg "Seq.tabulate";
-  Rad { r_len = n; get = f }
+  Profile.with_op "tabulate" (fun () -> Rad { r_len = n; get = f })
 
 let singleton v = Rad { r_len = 1; get = (fun _ -> v) }
 
@@ -123,10 +124,18 @@ let bid_of_seq s = bid_of_seq_with (Block.size (length s)) s
 (* applySeq: parallel across blocks, sequential stream within each.
    [apply_blocks] checks the enclosing scope's cancellation token at every
    block entry, so a cancelled pipeline stops at the next block
-   boundary. *)
+   boundary.
+
+   The [Profile.with_op] wrappers below follow the delayed-evaluation
+   cost model: a delayed constructor (map, zip, take...) reports ~zero
+   wall and work under its own name, and the deferred element functions
+   are accounted to whichever eager op (reduce, scan, to_array...)
+   finally drives them — the same attribution the paper's cost semantics
+   (Figure 11) gives them.  Nested ops fold into the outermost one. *)
 let iter f s =
-  let b = bid_of_seq s in
-  apply_bid_blocks b (fun j -> Stream.iter f (b.block j))
+  Profile.with_op "iter" (fun () ->
+      let b = bid_of_seq s in
+      apply_bid_blocks b (fun j -> Stream.iter f (b.block j)))
 
 (* toArray.  For a RAD this is a plain parallel tabulate; for a BID we
    traverse each block's stream, writing at the block's base offset (this
@@ -159,6 +168,7 @@ let to_array_nomemo = function
     end
 
 let to_array s =
+  Profile.with_op "to_array" (fun () ->
   match s with
   | Rad _ -> to_array_nomemo s
   | Bid b -> (
@@ -173,7 +183,7 @@ let to_array s =
            and concurrent forcers would each keep their own copy, so
            repeated [get]s on a shared BID could disagree on identity. *)
         if Atomic.compare_and_set b.memo None (Some a) then a
-        else (match Atomic.get b.memo with Some a' -> a' | None -> a))
+        else (match Atomic.get b.memo with Some a' -> a' | None -> a)))
 
 (* RADfromSeq / force *)
 let rad_of_seq = function
@@ -208,32 +218,36 @@ let refresh_bid b =
           Stream.of_array_slice a lo (min b.b_size (b.b_len - lo)));
     }
 
-let map g = function
-  | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g (get i)) }
-  | Bid b ->
-    let b = refresh_bid b in
-    Bid
-      {
-        b_len = b.b_len;
-        b_size = b.b_size;
-        block = (fun j -> Stream.map g (b.block j));
-        memo = Atomic.make None;
-      }
+let map g s =
+  Profile.with_op "map" (fun () ->
+      match s with
+      | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g (get i)) }
+      | Bid b ->
+        let b = refresh_bid b in
+        Bid
+          {
+            b_len = b.b_len;
+            b_size = b.b_size;
+            block = (fun j -> Stream.map g (b.block j));
+            memo = Atomic.make None;
+          })
 
-let mapi g = function
-  | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g i (get i)) }
-  | Bid b ->
-    let b = refresh_bid b in
-    Bid
-      {
-        b_len = b.b_len;
-        b_size = b.b_size;
-        block =
-          (fun j ->
-            let lo = j * b.b_size in
-            Stream.mapi (fun k v -> g (lo + k) v) (b.block j));
-        memo = Atomic.make None;
-      }
+let mapi g s =
+  Profile.with_op "map" (fun () ->
+      match s with
+      | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g i (get i)) }
+      | Bid b ->
+        let b = refresh_bid b in
+        Bid
+          {
+            b_len = b.b_len;
+            b_size = b.b_size;
+            block =
+              (fun j ->
+                let lo = j * b.b_size in
+                Stream.mapi (fun k v -> g (lo + k) v) (b.block j));
+            memo = Atomic.make None;
+          })
 
 let zip_with f s1 s2 =
   if length s1 <> length s2 then invalid_arg "Seq.zip: length mismatch";
@@ -267,64 +281,67 @@ let zip s1 s2 = zip_with (fun a b -> (a, b)) s1 s2
    requirement). The RAD case reads straight through the index function
    (identical cost, less closure overhead). *)
 let reduce f z s =
-  match s with
-  | Rad { r_len; get } ->
-    if r_len = 0 then z
-    else begin
-      let bsize = Block.size r_len in
-      let nb = Block.num_blocks ~block_size:bsize r_len in
-      let bounds j = (j * bsize, min r_len ((j + 1) * bsize)) in
-      let sums = Array.make nb None in
-      Runtime.apply_blocks ~bounds ~nb (fun j ->
-          let lo, hi = bounds j in
-          let acc = ref (get lo) in
-          for i = lo + 1 to hi - 1 do
-            acc := f !acc (get i)
-          done;
-          sums.(j) <- Some !acc);
-      fold_sums f z sums
-    end
-  | Bid b ->
-    if b.b_len = 0 then z else fold_sums f z (block_sums_bid f b)
+  Profile.with_op "reduce" (fun () ->
+      match s with
+      | Rad { r_len; get } ->
+        if r_len = 0 then z
+        else begin
+          let bsize = Block.size r_len in
+          let nb = Block.num_blocks ~block_size:bsize r_len in
+          let bounds j = (j * bsize, min r_len ((j + 1) * bsize)) in
+          let sums = Array.make nb None in
+          Runtime.apply_blocks ~bounds ~nb (fun j ->
+              let lo, hi = bounds j in
+              let acc = ref (get lo) in
+              for i = lo + 1 to hi - 1 do
+                acc := f !acc (get i)
+              done;
+              sums.(j) <- Some !acc);
+          fold_sums f z sums
+        end
+      | Bid b ->
+        if b.b_len = 0 then z else fold_sums f z (block_sums_bid f b))
 
 (* Three-phase scan (Figure 10 lines 33-40): phases 1 and 2 are eager,
    phase 3 is delayed in the output BID.  Note the delayed phase 3
    re-drives the input blocks; this is the "evaluated twice" cost that the
    cost semantics (Figure 11) exposes. *)
 let scan f z s =
-  let n = length s in
-  if n = 0 then (empty, z)
-  else begin
-    let b = bid_of_seq s in
-    let sums = block_sums_bid f b in
-    let offsets, total = scan_sums f z sums in
-    let out =
-      Bid
-        {
-          b_len = n;
-          b_size = b.b_size;
-          block = (fun j -> Stream.scan f offsets.(j) (b.block j));
-          memo = Atomic.make None;
-        }
-    in
-    (out, total)
-  end
+  Profile.with_op "scan" (fun () ->
+      let n = length s in
+      if n = 0 then (empty, z)
+      else begin
+        let b = bid_of_seq s in
+        let sums = block_sums_bid f b in
+        let offsets, total = scan_sums f z sums in
+        let out =
+          Bid
+            {
+              b_len = n;
+              b_size = b.b_size;
+              block = (fun j -> Stream.scan f offsets.(j) (b.block j));
+              memo = Atomic.make None;
+            }
+        in
+        (out, total)
+      end)
 
 let scan_incl f z s =
-  let n = length s in
-  if n = 0 then empty
-  else begin
-    let b = bid_of_seq s in
-    let sums = block_sums_bid f b in
-    let offsets, _ = scan_sums f z sums in
-    Bid
-      {
-        b_len = n;
-        b_size = b.b_size;
-        block = (fun j -> Stream.scan_incl f offsets.(j) (b.block j));
-        memo = Atomic.make None;
-      }
-  end
+  Profile.with_op "scan" (fun () ->
+      let n = length s in
+      if n = 0 then empty
+      else begin
+        let b = bid_of_seq s in
+        let sums = block_sums_bid f b in
+        let offsets, _ = scan_sums f z sums in
+        Bid
+          {
+            b_len = n;
+            b_size = b.b_size;
+            block = (fun j -> Stream.scan_incl f offsets.(j) (b.block j));
+            memo = Atomic.make None;
+          }
+      end)
 
 (* getRegion (Figure 10 lines 41-43): the block of the output starting at
    position [pos] walks left-to-right across adjacent subsequences.  The
@@ -360,29 +377,30 @@ let get_region ~offsets ~lengths ~elem ~total ~bsize i =
    getRegion — the surviving elements are never copied into one contiguous
    output array. *)
 let filter_with pack s =
-  let n = length s in
-  if n = 0 then empty
-  else begin
-    let b = bid_of_seq s in
-    let packed = Array.make (num_blocks_of b) [||] in
-    apply_bid_blocks b (fun j -> packed.(j) <- pack (b.block j));
-    let lengths = Array.map Array.length packed in
-    let offsets, total = Parray.scan_seq ( + ) 0 lengths in
-    if total = 0 then empty
-    else begin
-      let bsize = Block.size total in
-      Bid
-        {
-          b_len = total;
-          b_size = bsize;
-          block =
-            get_region ~offsets ~lengths
-              ~elem:(fun j k -> packed.(j).(k))
-              ~total ~bsize;
-          memo = Atomic.make None;
-        }
-    end
-  end
+  Profile.with_op "filter" (fun () ->
+      let n = length s in
+      if n = 0 then empty
+      else begin
+        let b = bid_of_seq s in
+        let packed = Array.make (num_blocks_of b) [||] in
+        apply_bid_blocks b (fun j -> packed.(j) <- pack (b.block j));
+        let lengths = Array.map Array.length packed in
+        let offsets, total = Parray.scan_seq ( + ) 0 lengths in
+        if total = 0 then empty
+        else begin
+          let bsize = Block.size total in
+          Bid
+            {
+              b_len = total;
+              b_size = bsize;
+              block =
+                get_region ~offsets ~lengths
+                  ~elem:(fun j k -> packed.(j).(k))
+                  ~total ~bsize;
+              memo = Atomic.make None;
+            }
+        end
+      end)
 
 let filter p s = filter_with (Stream.pack_to_array p) s
 
@@ -392,26 +410,27 @@ let filter_op p s = filter_with (Stream.pack_op_to_array p) s
    output block walks across adjacent inner sequences (Figure 3).  Inner
    sequences must be random access, so BID inners are forced (line 45). *)
 let flatten (s : 'a t t) =
-  let outer = to_array s in
-  let inners = Parray.map rad_of_seq outer in
-  let lengths = Parray.map length inners in
-  let offsets, total = Parray.scan ( + ) 0 lengths in
-  if total = 0 then empty
-  else begin
-    let bsize = Block.size total in
-    let elem j k =
-      match inners.(j) with
-      | Rad { get; _ } -> get k
-      | Bid _ -> assert false
-    in
-    Bid
-      {
-        b_len = total;
-        b_size = bsize;
-        block = get_region ~offsets ~lengths ~elem ~total ~bsize;
-        memo = Atomic.make None;
-      }
-  end
+  Profile.with_op "flatten" (fun () ->
+      let outer = to_array s in
+      let inners = Parray.map rad_of_seq outer in
+      let lengths = Parray.map length inners in
+      let offsets, total = Parray.scan ( + ) 0 lengths in
+      if total = 0 then empty
+      else begin
+        let bsize = Block.size total in
+        let elem j k =
+          match inners.(j) with
+          | Rad { get; _ } -> get k
+          | Bid _ -> assert false
+        in
+        Bid
+          {
+            b_len = total;
+            b_size = bsize;
+            block = get_region ~offsets ~lengths ~elem ~total ~bsize;
+            memo = Atomic.make None;
+          }
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Derived operations                                                  *)
@@ -474,10 +493,11 @@ let append s1 s2 =
   | _ -> assert false
 
 let iteri f s =
-  let b = bid_of_seq s in
-  apply_bid_blocks b (fun j ->
-      let lo, _ = block_bounds b j in
-      Stream.iteri (fun k v -> f (lo + k) v) (b.block j))
+  Profile.with_op "iter" (fun () ->
+      let b = bid_of_seq s in
+      apply_bid_blocks b (fun j ->
+          let lo, _ = block_bounds b j in
+          Stream.iteri (fun k v -> f (lo + k) v) (b.block j)))
 
 let to_list s = Array.to_list (to_array s)
 
@@ -493,11 +513,12 @@ let float_sum s = reduce ( +. ) 0.0 s
 
 let max_by cmp s =
   if length s = 0 then invalid_arg "Seq.max_by: empty";
-  let a = to_array s in
-  Runtime.parallel_for_reduce 1 (Array.length a)
-    ~combine:(fun x y -> if cmp x y >= 0 then x else y)
-    ~init:a.(0)
-    (fun i -> a.(i))
+  Profile.with_op "reduce" (fun () ->
+      let a = to_array s in
+      Runtime.parallel_for_reduce 1 (Array.length a)
+        ~combine:(fun x y -> if cmp x y >= 0 then x else y)
+        ~init:a.(0)
+        (fun i -> a.(i)))
 
 let min_by cmp s = max_by (fun a b -> cmp b a) s
 

@@ -29,30 +29,41 @@ let time ?(warmup = 1) ?(repeat = 3) f =
   done;
   !best
 
-type timed = { best_s : float; counters : Bds_runtime.Telemetry.snapshot }
+type timed = {
+  best_s : float;
+  counters : Bds_runtime.Telemetry.snapshot;
+  clamped : bool;
+}
 
 (* Like [time], but also report the scheduler-telemetry delta of the
    *best* run (the run whose time we report), so counter rows line up
    with timing rows.  Counters are process-global, so the delta also
    includes whatever the benchmark body spawns internally — which is the
-   point: it is the scheduler pressure of one run. *)
+   point: it is the scheduler pressure of one run.  [clamped] records
+   whether any counter in the reported delta hit the racy-snapshot clamp
+   (a late-registered domain row can make [after] read lower than
+   [before]); derived rates from a clamped delta are suspect. *)
 let time_counters ?(warmup = 1) ?(repeat = 3) f =
   let module T = Bds_runtime.Telemetry in
   for _ = 1 to warmup do
     ignore (Sys.opaque_identity (f ()))
   done;
   let best = ref infinity in
-  let best_counters = ref (T.diff ~before:(T.snapshot ()) ~after:(T.snapshot ())) in
+  let empty, _ = T.diff_checked ~before:(T.snapshot ()) ~after:(T.snapshot ()) in
+  let best_counters = ref empty in
+  let best_clamped = ref false in
   for _ = 1 to repeat do
     let before = T.snapshot () in
     let t = time_once f in
     let after = T.snapshot () in
     if t < !best then begin
       best := t;
-      best_counters := T.diff ~before ~after
+      let d, clamped = T.diff_checked ~before ~after in
+      best_counters := d;
+      best_clamped := clamped
     end
   done;
-  { best_s = !best; counters = !best_counters }
+  { best_s = !best; counters = !best_counters; clamped = !best_clamped }
 
 (* Space of one run of [f], measured on a 1-worker pool. Restores the
    previous worker count.

@@ -8,11 +8,16 @@ val time_once : (unit -> 'a) -> float
 (** Minimum wall-clock over [repeat] runs after [warmup] runs. *)
 val time : ?warmup:int -> ?repeat:int -> (unit -> 'a) -> float
 
-type timed = { best_s : float; counters : Bds_runtime.Telemetry.snapshot }
+type timed = {
+  best_s : float;
+  counters : Bds_runtime.Telemetry.snapshot;
+  clamped : bool;  (** the reported delta hit the racy-snapshot clamp *)
+}
 
 (** Like {!time}, but additionally returns the scheduler-telemetry delta
-    ({!Bds_runtime.Telemetry.diff}) observed during the best (reported)
-    run, so benchmark tables can show steals / tasks alongside times. *)
+    ({!Bds_runtime.Telemetry.diff_checked}) observed during the best
+    (reported) run, so benchmark tables can show steals / tasks alongside
+    times — plus whether that delta was clamped (and hence suspect). *)
 val time_counters : ?warmup:int -> ?repeat:int -> (unit -> 'a) -> timed
 
 (** Major-heap bytes allocated by one run of [f], measured on a

@@ -1,0 +1,67 @@
+(** Per-domain, cache-line-padded log2-bucket latency histograms.
+
+    The recording side follows {!Telemetry}'s always-cheap discipline:
+    {!record} is one DLS read plus plain stores into a row private to
+    the calling domain — lock-free and contention-free.  Aggregation
+    ({!snapshot}) reads the rows racily; snapshots are monotone lower
+    bounds, the same contract as {!Telemetry.snapshot}.
+
+    Durations are nanoseconds in 64 buckets: bucket [k] spans
+    [2^k, 2^(k+1)) ns (bucket 0 also absorbs 0; 63-bit ints mean the
+    top slots are unreachable headroom), so percentiles are exact to a
+    factor of 2 and additionally clamped to the true maximum seen. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> ns:int -> unit
+(** Record one duration (negative values are clamped to 0).  Safe to
+    call concurrently from any domain. *)
+
+(** {2 Aggregation} *)
+
+type snapshot = {
+  s_counts : int array;  (** samples per bucket (length {!buckets}) *)
+  s_ns : int array;  (** summed duration per bucket *)
+  s_max_ns : int;  (** largest single duration recorded *)
+}
+
+val buckets : int
+(** Number of buckets (64). *)
+
+val empty : snapshot
+
+val snapshot : t -> snapshot
+(** Racy-monotone sum over every domain's row. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Element-wise sum, max of maxima.  Associative and commutative with
+    {!empty} as identity. *)
+
+val total_count : snapshot -> int
+
+val total_ns : snapshot -> int
+
+val percentile : snapshot -> float -> int
+(** [percentile s p] for [p] in [0, 100] (clamped): the inclusive upper
+    bound of the bucket holding the ceil(p%·n)-th sample, clamped to
+    [s.s_max_ns].  0 when the snapshot is empty. *)
+
+val p50 : snapshot -> int
+val p90 : snapshot -> int
+val p99 : snapshot -> int
+val max_ns : snapshot -> int
+
+val time_below : snapshot -> threshold_ns:int -> int
+(** Summed duration of buckets entirely below [threshold_ns] — the
+    profiler's "time spent in tiny chunks" diagnostic.  Bucket
+    granularity makes it an under-approximation by at most one
+    bucket. *)
+
+val bucket_of_ns : int -> int
+(** Bucket index a duration lands in (exposed for tests). *)
+
+val bucket_upper_ns : int -> int
+(** Inclusive upper bound of a bucket; [max_int] for the last
+    (exposed for tests). *)

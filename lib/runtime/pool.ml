@@ -214,10 +214,16 @@ let push_task pool task =
    hosting domain happens to be running.  The domain's own ambient value
    is restored around both the suspension and the whole task, so a fiber
    can never leak its scope's token into the worker loop (where a stale
-   cancelled token would make an unrelated healthy scope raise). *)
+   cancelled token would make an unrelated healthy scope raise).
+
+   The profiler's ambient op context (Profile.ambient) follows the exact
+   same discipline: snapshotted at suspension, reinstalled at resumption,
+   restored around the whole task — so a migrated fiber keeps attributing
+   time to its own op, and a worker domain never inherits a stale one. *)
 let execute pool (task : task) =
   Atomic.incr pool.executed;
   let saved = Cancel.ambient () in
+  let saved_prof = Profile.ambient () in
   match
     Effect.Deep.try_with task ()
       {
@@ -228,23 +234,30 @@ let execute pool (task : task) =
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   let amb = Cancel.ambient () in
+                  let amb_prof = Profile.ambient () in
                   Cancel.set_ambient None;
+                  Profile.set_ambient Profile.no_ambient;
                   let resume () =
                     push_task pool (fun () ->
                         Cancel.set_ambient amb;
+                        Profile.set_ambient amb_prof;
                         Effect.Deep.continue k ())
                   in
                   if not (register resume) then begin
                     (* Already resolved: resume immediately, same domain. *)
                     Cancel.set_ambient amb;
+                    Profile.set_ambient amb_prof;
                     Effect.Deep.continue k ()
                   end)
             | _ -> None);
       }
   with
-  | () -> Cancel.set_ambient saved
+  | () ->
+    Cancel.set_ambient saved;
+    Profile.set_ambient saved_prof
   | exception e ->
     Cancel.set_ambient saved;
+    Profile.set_ambient saved_prof;
     raise e
 
 (* [execute] with scheduler-crash containment, for task loops that must

@@ -103,12 +103,17 @@ let seq_chunk_body tok body lo hi =
         record tok e bt;
         Printexc.raise_with_backtrace e bt)
 
-let seq_chunk tok body lo hi =
+(* [prof] is the enclosing primitive's profile region (free when
+   profiling is off or no op is open): each chunk is one profiled leaf,
+   so leaf latency lands in the op's histogram and the region's
+   longest-leaf span estimate. *)
+let seq_chunk prof tok body lo hi =
   Telemetry.incr_chunks_executed ();
-  if Trace.enabled () then
-    Trace.with_span ~cat:"chunk" ~lo ~hi "chunk" (fun () ->
-        seq_chunk_body tok body lo hi)
-  else seq_chunk_body tok body lo hi
+  Profile.leaf prof (fun () ->
+      if Trace.enabled () then
+        Trace.with_span ~cat:"chunk" ~lo ~hi "chunk" (fun () ->
+            seq_chunk_body tok body lo hi)
+      else seq_chunk_body tok body lo hi)
 
 let par f g =
   let pool = get_pool () in
@@ -151,18 +156,19 @@ let parallel_for ?grain lo hi (body : int -> unit) =
     let pool = get_pool () in
     let tok = scope_token () in
     let grain = match grain with Some g -> max 1 g | None -> max 1 (auto_grain n) in
-    let rec go lo hi =
-      Cancel.check tok;
-      if hi - lo <= grain then seq_chunk tok body lo hi
-      else begin
-        let mid = lo + ((hi - lo) / 2) in
-        let p = Pool.async pool (fun () -> go mid hi) in
-        go lo mid;
-        Pool.await pool p
-      end
-    in
-    Trace.with_span ~lo ~hi "parallel_for" (fun () ->
-        Pool.run pool (fun () -> scoped tok (fun () -> go lo hi)))
+    Profile.with_region (fun prof ->
+        let rec go lo hi =
+          Cancel.check tok;
+          if hi - lo <= grain then seq_chunk prof tok body lo hi
+          else begin
+            let mid = lo + ((hi - lo) / 2) in
+            let p = Pool.async pool (fun () -> go mid hi) in
+            go lo mid;
+            Pool.await pool p
+          end
+        in
+        Trace.with_span ~lo ~hi "parallel_for" (fun () ->
+            Pool.run pool (fun () -> scoped tok (fun () -> go lo hi))))
   end
 
 (* The paper's [apply : int -> (int -> unit) -> unit]. *)
@@ -181,38 +187,42 @@ let apply_blocks ?bounds ~nb (body : int -> unit) =
   else begin
     let pool = get_pool () in
     let tok = scope_token () in
-    let leaf j =
-      Telemetry.incr_chunks_executed ();
-      let chunk () =
-        Cancel.with_ambient tok (fun () ->
-            try body j
-            with
-            | Cancel.Cancelled as e -> raise e
-            | e ->
-              let bt = Printexc.get_raw_backtrace () in
-              record tok e bt;
-              Printexc.raise_with_backtrace e bt)
-      in
-      if Trace.enabled () then begin
-        let lo, hi =
-          match bounds with Some f -> f j | None -> (j, j + 1)
+    Profile.with_region (fun prof ->
+        let leaf j =
+          Telemetry.incr_chunks_executed ();
+          let chunk () =
+            Cancel.with_ambient tok (fun () ->
+                try body j
+                with
+                | Cancel.Cancelled as e -> raise e
+                | e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  record tok e bt;
+                  Printexc.raise_with_backtrace e bt)
+          in
+          let traced () =
+            if Trace.enabled () then begin
+              let lo, hi =
+                match bounds with Some f -> f j | None -> (j, j + 1)
+              in
+              Trace.with_span ~cat:"chunk" ~lo ~hi "block" chunk
+            end
+            else chunk ()
+          in
+          Profile.leaf prof traced
         in
-        Trace.with_span ~cat:"chunk" ~lo ~hi "block" chunk
-      end
-      else chunk ()
-    in
-    let rec go lo hi =
-      Cancel.check tok;
-      if hi - lo <= 1 then leaf lo
-      else begin
-        let mid = lo + ((hi - lo) / 2) in
-        let p = Pool.async pool (fun () -> go mid hi) in
-        go lo mid;
-        Pool.await pool p
-      end
-    in
-    Trace.with_span ~lo:0 ~hi:nb "apply_blocks" (fun () ->
-        Pool.run pool (fun () -> scoped tok (fun () -> go 0 nb)))
+        let rec go lo hi =
+          Cancel.check tok;
+          if hi - lo <= 1 then leaf lo
+          else begin
+            let mid = lo + ((hi - lo) / 2) in
+            let p = Pool.async pool (fun () -> go mid hi) in
+            go lo mid;
+            Pool.await pool p
+          end
+        in
+        Trace.with_span ~lo:0 ~hi:nb "apply_blocks" (fun () ->
+            Pool.run pool (fun () -> scoped tok (fun () -> go 0 nb))))
   end
 
 (* Lazy binary splitting (Tzannes, Caragea, Barua & Vishkin, PPoPP 2010):
@@ -230,23 +240,24 @@ let parallel_for_lazy ?chunk lo hi (body : int -> unit) =
     in
     let pool = get_pool () in
     let tok = scope_token () in
-    let rec go lo hi =
-      Cancel.check tok;
-      if hi - lo <= chunk_size then seq_chunk tok body lo hi
-      else if Pool.local_deque_empty pool then begin
-        let mid = lo + ((hi - lo) / 2) in
-        let p = Pool.async pool (fun () -> go mid hi) in
-        go lo mid;
-        Pool.await pool p
-      end
-      else begin
-        let stop = min hi (lo + chunk_size) in
-        seq_chunk tok body lo stop;
-        go stop hi
-      end
-    in
-    Trace.with_span ~lo ~hi "parallel_for_lazy" (fun () ->
-        Pool.run pool (fun () -> scoped tok (fun () -> go lo hi)))
+    Profile.with_region (fun prof ->
+        let rec go lo hi =
+          Cancel.check tok;
+          if hi - lo <= chunk_size then seq_chunk prof tok body lo hi
+          else if Pool.local_deque_empty pool then begin
+            let mid = lo + ((hi - lo) / 2) in
+            let p = Pool.async pool (fun () -> go mid hi) in
+            go lo mid;
+            Pool.await pool p
+          end
+          else begin
+            let stop = min hi (lo + chunk_size) in
+            seq_chunk prof tok body lo stop;
+            go stop hi
+          end
+        in
+        Trace.with_span ~lo ~hi "parallel_for_lazy" (fun () ->
+            Pool.run pool (fun () -> scoped tok (fun () -> go lo hi))))
   end
 
 let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
@@ -259,38 +270,44 @@ let parallel_for_reduce ?grain lo hi ~combine ~init (body : int -> 'a) =
     (* [go lo hi] folds the non-empty range seeded from its first element,
        so [init] is combined exactly once at the top: correct for any
        associative [combine], with no identity requirement on [init]. *)
-    let leaf lo hi =
-      Telemetry.incr_chunks_executed ();
-      let chunk () =
-        Cancel.with_ambient tok (fun () ->
-            try
-              let acc = ref (body lo) in
-              for i = lo + 1 to hi - 1 do
-                if (i - lo) land poll_mask = 0 then Cancel.check tok;
-                acc := combine !acc (body i)
-              done;
-              !acc
-            with
-            | Cancel.Cancelled as e -> raise e
-            | e ->
-              let bt = Printexc.get_raw_backtrace () in
-              record tok e bt;
-              Printexc.raise_with_backtrace e bt)
-      in
-      if Trace.enabled () then Trace.with_span ~cat:"chunk" ~lo ~hi "chunk" chunk
-      else chunk ()
-    in
-    let rec go lo hi =
-      Cancel.check tok;
-      if hi - lo <= grain then leaf lo hi
-      else begin
-        let mid = lo + ((hi - lo) / 2) in
-        let p = Pool.async pool (fun () -> go mid hi) in
-        let a = go lo mid in
-        let b = Pool.await pool p in
-        combine a b
-      end
-    in
-    Trace.with_span ~lo ~hi "parallel_for_reduce" (fun () ->
-        Pool.run pool (fun () -> scoped tok (fun () -> combine init (go lo hi))))
+    Profile.with_region (fun prof ->
+        let leaf lo hi =
+          Telemetry.incr_chunks_executed ();
+          let chunk () =
+            Cancel.with_ambient tok (fun () ->
+                try
+                  let acc = ref (body lo) in
+                  for i = lo + 1 to hi - 1 do
+                    if (i - lo) land poll_mask = 0 then Cancel.check tok;
+                    acc := combine !acc (body i)
+                  done;
+                  !acc
+                with
+                | Cancel.Cancelled as e -> raise e
+                | e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  record tok e bt;
+                  Printexc.raise_with_backtrace e bt)
+          in
+          let traced () =
+            if Trace.enabled () then
+              Trace.with_span ~cat:"chunk" ~lo ~hi "chunk" chunk
+            else chunk ()
+          in
+          Profile.leaf prof traced
+        in
+        let rec go lo hi =
+          Cancel.check tok;
+          if hi - lo <= grain then leaf lo hi
+          else begin
+            let mid = lo + ((hi - lo) / 2) in
+            let p = Pool.async pool (fun () -> go mid hi) in
+            let a = go lo mid in
+            let b = Pool.await pool p in
+            combine a b
+          end
+        in
+        Trace.with_span ~lo ~hi "parallel_for_reduce" (fun () ->
+            Pool.run pool (fun () ->
+                scoped tok (fun () -> combine init (go lo hi)))))
   end

@@ -160,21 +160,35 @@ let snapshot () =
 
 (* Clamped at 0 per field: the racy reads in [snapshot] can lag a domain
    that was mid-burst at [before] time, so tiny negative deltas are
-   measurement noise, not meaningful. *)
-let diff ~before ~after =
-  let d a b = max 0 (a - b) in
-  {
-    s_tasks_spawned = d after.s_tasks_spawned before.s_tasks_spawned;
-    s_steal_attempts = d after.s_steal_attempts before.s_steal_attempts;
-    s_steals = d after.s_steals before.s_steals;
-    s_overflow_pushes = d after.s_overflow_pushes before.s_overflow_pushes;
-    s_chunks_executed = d after.s_chunks_executed before.s_chunks_executed;
-    s_cancel_polls = d after.s_cancel_polls before.s_cancel_polls;
-    s_cancel_trips = d after.s_cancel_trips before.s_cancel_trips;
-    s_chaos_injections = d after.s_chaos_injections before.s_chaos_injections;
-    s_fused_folds = d after.s_fused_folds before.s_fused_folds;
-    s_trickle_fallbacks = d after.s_trickle_fallbacks before.s_trickle_fallbacks;
-  }
+   measurement noise, not meaningful.  [diff_checked] additionally says
+   whether any field was clamped, so measurement harnesses can flag a
+   snapshot pair as incoherent instead of silently reporting a zero. *)
+let diff_checked ~before ~after =
+  let clamped = ref false in
+  let d a b =
+    if a < b then begin
+      clamped := true;
+      0
+    end
+    else a - b
+  in
+  let s =
+    {
+      s_tasks_spawned = d after.s_tasks_spawned before.s_tasks_spawned;
+      s_steal_attempts = d after.s_steal_attempts before.s_steal_attempts;
+      s_steals = d after.s_steals before.s_steals;
+      s_overflow_pushes = d after.s_overflow_pushes before.s_overflow_pushes;
+      s_chunks_executed = d after.s_chunks_executed before.s_chunks_executed;
+      s_cancel_polls = d after.s_cancel_polls before.s_cancel_polls;
+      s_cancel_trips = d after.s_cancel_trips before.s_cancel_trips;
+      s_chaos_injections = d after.s_chaos_injections before.s_chaos_injections;
+      s_fused_folds = d after.s_fused_folds before.s_fused_folds;
+      s_trickle_fallbacks = d after.s_trickle_fallbacks before.s_trickle_fallbacks;
+    }
+  in
+  (s, !clamped)
+
+let diff ~before ~after = fst (diff_checked ~before ~after)
 
 let to_assoc s =
   [

@@ -34,6 +34,13 @@ val snapshot : unit -> snapshot
 (** Per-field [after - before], clamped at 0 (racy reads can lag). *)
 val diff : before:snapshot -> after:snapshot -> snapshot
 
+(** Like {!diff}, also reporting whether any field had to be clamped —
+    i.e. the snapshot pair was incoherent (taken around a region that
+    raced other measurement, or in the wrong order).  Measurement
+    harnesses use this to flag suspect [steals_per_s]-style rates
+    instead of silently reporting 0. *)
+val diff_checked : before:snapshot -> after:snapshot -> snapshot * bool
+
 (** Fixed-order [(name, value)] list, the format surfaced by
     [bds_probe stats]. *)
 val to_assoc : snapshot -> (string * int) list

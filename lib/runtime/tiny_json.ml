@@ -1,0 +1,174 @@
+(* Minimal recursive-descent JSON parser (see tiny_json.mli).
+
+   Grew inside [Trace] for `bds_probe trace-check`; now a module of its
+   own because the profiler surfaces ([bds_probe report --json],
+   [bench_compare]'s baseline diffing) need the same dependency-free
+   parsing.  Scope is deliberately small: parse into a tree, a few
+   accessors — no serialisation (writers hand-format their JSON, as
+   [Trace.flush] always has). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos >= String.length st.src then '\255' else st.src.[st.pos]
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | ' ' | '\t' | '\n' | '\r' ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  if peek st = c then advance st
+  else raise (Bad (Printf.sprintf "expected %c at offset %d" c st.pos))
+
+let literal st word v =
+  String.iter (fun c -> expect st c) word;
+  v
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | '\255' -> raise (Bad "unterminated string")
+    | '"' -> advance st
+    | '\\' ->
+      advance st;
+      (match peek st with
+      | '"' | '\\' | '/' ->
+        Buffer.add_char b (peek st);
+        advance st
+      | 'n' -> Buffer.add_char b '\n'; advance st
+      | 't' -> Buffer.add_char b '\t'; advance st
+      | 'r' -> Buffer.add_char b '\r'; advance st
+      | 'b' -> Buffer.add_char b '\b'; advance st
+      | 'f' -> Buffer.add_char b '\012'; advance st
+      | 'u' ->
+        advance st;
+        for _ = 1 to 4 do
+          (match peek st with
+          | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance st
+          | _ -> raise (Bad "bad unicode escape"))
+        done;
+        Buffer.add_char b '?'
+      | _ -> raise (Bad "bad escape"));
+      go ()
+    | c ->
+      Buffer.add_char b c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let consume () = advance st in
+  if peek st = '-' then consume ();
+  while (match peek st with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false) do
+    consume ()
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> raise (Bad (Printf.sprintf "bad number %S" s))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | '{' -> parse_obj st
+  | '[' -> parse_arr st
+  | '"' -> Str (parse_string st)
+  | 't' -> literal st "true" (Bool true)
+  | 'f' -> literal st "false" (Bool false)
+  | 'n' -> literal st "null" Null
+  | '-' | '0' .. '9' -> Num (parse_number st)
+  | c -> raise (Bad (Printf.sprintf "unexpected %C at offset %d" c st.pos))
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let rec fields acc =
+      skip_ws st;
+      let k = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | ',' ->
+        advance st;
+        fields ((k, v) :: acc)
+      | '}' ->
+        advance st;
+        Obj (List.rev ((k, v) :: acc))
+      | _ -> raise (Bad "expected , or } in object")
+    in
+    fields []
+  end
+
+and parse_arr st =
+  expect st '[';
+  skip_ws st;
+  if peek st = ']' then begin
+    advance st;
+    Arr []
+  end
+  else begin
+    let rec elems acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | ',' ->
+        advance st;
+        elems (v :: acc)
+      | ']' ->
+        advance st;
+        Arr (List.rev (v :: acc))
+      | _ -> raise (Bad "expected , or ] in array")
+    in
+    elems []
+  end
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then raise (Bad "trailing garbage");
+  v
+
+let parse_result s = match parse s with v -> Ok v | exception Bad e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let rec path ks v =
+  match ks with
+  | [] -> Some v
+  | k :: tl -> ( match member k v with Some v' -> path tl v' | None -> None)
+
+let to_float = function Num f -> Some f | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+
+let to_list = function Arr l -> Some l | _ -> None

@@ -1,0 +1,37 @@
+(** Minimal dependency-free JSON parser shared by the observability
+    tooling: [Trace]'s flush validator, [bds_probe]'s trace/report
+    subcommands, and [bench_compare]'s baseline diffing.
+
+    Parsing only — writers hand-format their output. Unicode escapes
+    are accepted but decoded as ['?'] (the tooling never inspects
+    escaped text). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+(** Raised by {!parse} with a short description and byte offset. *)
+
+val parse : string -> t
+(** Parse a complete JSON document. Raises {!Bad} on malformed input,
+    including trailing garbage. *)
+
+val parse_result : string -> (t, string) result
+(** Like {!parse} but capturing the error message. *)
+
+val member : string -> t -> t option
+(** [member k v] is the field [k] of object [v], if any. *)
+
+val path : string list -> t -> t option
+(** [path ["a"; "b"] v] follows nested object fields. *)
+
+val to_float : t -> float option
+
+val to_string : t -> string option
+
+val to_list : t -> t list option

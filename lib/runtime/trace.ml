@@ -150,9 +150,11 @@ let write_events oc =
       fmt
   in
   let total = ref 0 in
+  let total_dropped = ref 0 in
   List.iter
     (fun r ->
       let dropped = max 0 (r.count - capacity) in
+      total_dropped := !total_dropped + dropped;
       let label =
         if dropped = 0 then Printf.sprintf "domain %d" r.dom
         else Printf.sprintf "domain %d (%d events dropped)" r.dom dropped
@@ -160,6 +162,12 @@ let write_events oc =
       emit
         {|{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}|}
         pid r.dom (escape label);
+      (* Machine-readable per-domain drop count: the thread_name label
+         above is for humans in the trace viewer, this metadata event is
+         what [dropped_of_file] and `bds_probe trace-check` read. *)
+      emit
+        {|{"name":"bds_dropped_events","ph":"M","pid":%d,"tid":%d,"args":{"dropped_events":%d}}|}
+        pid r.dom dropped;
       let stored = min r.count capacity in
       for i = 0 to stored - 1 do
         incr total;
@@ -171,7 +179,7 @@ let write_events oc =
           (escape r.names.(i)) (escape r.cats.(i)) r.ts.(i) r.dur.(i) pid r.dom args
       done)
     rings;
-  !total
+  (!total, !total_dropped)
 
 let flush () =
   match Atomic.get output with
@@ -179,10 +187,10 @@ let flush () =
   | Some path ->
     let oc = open_out path in
     output_string oc "{\"traceEvents\":[\n";
-    let n = write_events oc in
-    output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n";
-    close_out oc;
-    ignore n
+    let _n, dropped = write_events oc in
+    Printf.fprintf oc "\n],\"bdsDroppedEvents\":%d,\"displayTimeUnit\":\"ms\"}\n"
+      dropped;
+    close_out oc
 
 (* Programs that exit without tearing the pool down still get their
    trace.  Registered only when BDS_TRACE was set at startup; tests that
@@ -191,167 +199,17 @@ let () = if enabled () then at_exit flush
 
 (* ------------------------------------------------------------------ *)
 (* Trace-JSON validation (used by `bds_probe trace-check` and the unit
-   tests; no external JSON library is assumed by this repo) *)
-
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  type state = { src : string; mutable pos : int }
-
-  let peek st = if st.pos >= String.length st.src then '\255' else st.src.[st.pos]
-
-  let advance st = st.pos <- st.pos + 1
-
-  let rec skip_ws st =
-    match peek st with
-    | ' ' | '\t' | '\n' | '\r' ->
-      advance st;
-      skip_ws st
-    | _ -> ()
-
-  let expect st c =
-    if peek st = c then advance st
-    else raise (Bad (Printf.sprintf "expected %c at offset %d" c st.pos))
-
-  let literal st word v =
-    String.iter (fun c -> expect st c) word;
-    v
-
-  let parse_string st =
-    expect st '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek st with
-      | '\255' -> raise (Bad "unterminated string")
-      | '"' -> advance st
-      | '\\' ->
-        advance st;
-        (match peek st with
-        | '"' | '\\' | '/' ->
-          Buffer.add_char b (peek st);
-          advance st
-        | 'n' -> Buffer.add_char b '\n'; advance st
-        | 't' -> Buffer.add_char b '\t'; advance st
-        | 'r' -> Buffer.add_char b '\r'; advance st
-        | 'b' -> Buffer.add_char b '\b'; advance st
-        | 'f' -> Buffer.add_char b '\012'; advance st
-        | 'u' ->
-          advance st;
-          for _ = 1 to 4 do
-            (match peek st with
-            | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance st
-            | _ -> raise (Bad "bad unicode escape"))
-          done;
-          Buffer.add_char b '?'
-        | _ -> raise (Bad "bad escape"));
-        go ()
-      | c ->
-        Buffer.add_char b c;
-        advance st;
-        go ()
-    in
-    go ();
-    Buffer.contents b
-
-  let parse_number st =
-    let start = st.pos in
-    let consume () = advance st in
-    if peek st = '-' then consume ();
-    while (match peek st with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false) do
-      consume ()
-    done;
-    let s = String.sub st.src start (st.pos - start) in
-    match float_of_string_opt s with
-    | Some f -> f
-    | None -> raise (Bad (Printf.sprintf "bad number %S" s))
-
-  let rec parse_value st =
-    skip_ws st;
-    match peek st with
-    | '{' -> parse_obj st
-    | '[' -> parse_arr st
-    | '"' -> Str (parse_string st)
-    | 't' -> literal st "true" (Bool true)
-    | 'f' -> literal st "false" (Bool false)
-    | 'n' -> literal st "null" Null
-    | '-' | '0' .. '9' -> Num (parse_number st)
-    | c -> raise (Bad (Printf.sprintf "unexpected %C at offset %d" c st.pos))
-
-  and parse_obj st =
-    expect st '{';
-    skip_ws st;
-    if peek st = '}' then begin
-      advance st;
-      Obj []
-    end
-    else begin
-      let rec fields acc =
-        skip_ws st;
-        let k = parse_string st in
-        skip_ws st;
-        expect st ':';
-        let v = parse_value st in
-        skip_ws st;
-        match peek st with
-        | ',' ->
-          advance st;
-          fields ((k, v) :: acc)
-        | '}' ->
-          advance st;
-          Obj (List.rev ((k, v) :: acc))
-        | _ -> raise (Bad "expected , or } in object")
-      in
-      fields []
-    end
-
-  and parse_arr st =
-    expect st '[';
-    skip_ws st;
-    if peek st = ']' then begin
-      advance st;
-      Arr []
-    end
-    else begin
-      let rec elems acc =
-        let v = parse_value st in
-        skip_ws st;
-        match peek st with
-        | ',' ->
-          advance st;
-          elems (v :: acc)
-        | ']' ->
-          advance st;
-          Arr (List.rev (v :: acc))
-        | _ -> raise (Bad "expected , or ] in array")
-      in
-      elems []
-    end
-
-  let parse s =
-    let st = { src = s; pos = 0 } in
-    let v = parse_value st in
-    skip_ws st;
-    if st.pos <> String.length s then raise (Bad "trailing garbage");
-    v
-end
+   tests), on the shared dependency-free parser [Tiny_json]. *)
 
 let validate_string s =
-  match Json.parse s with
-  | exception Json.Bad e -> Error ("not valid JSON: " ^ e)
-  | Json.Obj fields -> (
+  match Tiny_json.parse s with
+  | exception Tiny_json.Bad e -> Error ("not valid JSON: " ^ e)
+  | Tiny_json.Obj fields -> (
     match List.assoc_opt "traceEvents" fields with
     | None -> Error "missing \"traceEvents\" key"
-    | Some (Json.Arr events) ->
+    | Some (Tiny_json.Arr events) ->
       let check_event = function
-        | Json.Obj ev ->
+        | Tiny_json.Obj ev ->
           let has k = List.mem_assoc k ev in
           if has "name" && has "ph" && has "pid" && has "tid" then Ok ()
           else Error "event missing one of name/ph/pid/tid"
@@ -365,7 +223,8 @@ let validate_string s =
             (* Complete events additionally carry a timestamp/duration. *)
             let ok_x =
               match ev with
-              | Json.Obj fields when List.assoc_opt "ph" fields = Some (Json.Str "X") ->
+              | Tiny_json.Obj fields
+                when List.assoc_opt "ph" fields = Some (Tiny_json.Str "X") ->
                 List.mem_assoc "ts" fields && List.mem_assoc "dur" fields
               | _ -> true
             in
@@ -382,17 +241,17 @@ let validate_file path =
   | s -> validate_string s
 
 let count_events_string s ~name =
-  match Json.parse s with
-  | exception Json.Bad e -> Error ("not valid JSON: " ^ e)
-  | Json.Obj fields -> (
+  match Tiny_json.parse s with
+  | exception Tiny_json.Bad e -> Error ("not valid JSON: " ^ e)
+  | Tiny_json.Obj fields -> (
     match List.assoc_opt "traceEvents" fields with
-    | Some (Json.Arr events) ->
+    | Some (Tiny_json.Arr events) ->
       Ok
         (List.fold_left
            (fun n ev ->
              match ev with
-             | Json.Obj fields
-               when List.assoc_opt "name" fields = Some (Json.Str name) ->
+             | Tiny_json.Obj fields
+               when List.assoc_opt "name" fields = Some (Tiny_json.Str name) ->
                n + 1
              | _ -> n)
            0 events)
@@ -404,6 +263,24 @@ let count_events_file path ~name =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error e -> Error e
   | s -> count_events_string s ~name
+
+(* Total events dropped to ring wrap-around, from the top-level
+   "bdsDroppedEvents" key the flusher writes.  Traces from before that
+   key existed read as 0 dropped rather than erroring: absence of
+   evidence of drops is how those files were always interpreted. *)
+let dropped_of_string s =
+  match Tiny_json.parse_result s with
+  | Error e -> Error ("not valid JSON: " ^ e)
+  | Ok v -> (
+    match Tiny_json.member "bdsDroppedEvents" v with
+    | Some (Tiny_json.Num f) -> Ok (int_of_float f)
+    | Some _ -> Error "\"bdsDroppedEvents\" is not a number"
+    | None -> ( match v with Tiny_json.Obj _ -> Ok 0 | _ -> Error "top level is not an object"))
+
+let dropped_of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | s -> dropped_of_string s
 
 (* ------------------------------------------------------------------ *)
 (* Test backdoors *)

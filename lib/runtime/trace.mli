@@ -53,6 +53,16 @@ val count_events_file : string -> name:string -> (int, string) result
 (** Like {!count_events_file}, on an in-memory string. *)
 val count_events_string : string -> name:string -> (int, string) result
 
+(** [dropped_of_file path] reads the total number of events lost to ring
+    wrap-around from the trace's top-level ["bdsDroppedEvents"] key
+    (per-domain counts are also flushed as ["bds_dropped_events"]
+    metadata events).  Traces written before that key existed read as 0.
+    Backs the drop warning of [bds_probe trace-check]. *)
+val dropped_of_file : string -> (int, string) result
+
+(** Like {!dropped_of_file}, on an in-memory string. *)
+val dropped_of_string : string -> (int, string) result
+
 (** Test backdoors — not part of the public contract. *)
 module For_testing : sig
   (** [(name, cat)] of every buffered event, across all domains. *)

@@ -11,6 +11,7 @@
 
 module Runtime = Bds_runtime.Runtime
 module Grain = Bds_runtime.Grain
+module Profile = Bds_runtime.Profile
 
 (* Sequential cutoff for both the sort recursion and the merge, from the
    unified granularity layer (ablatable via [Grain.set_sort_cutoff]); an
@@ -48,10 +49,13 @@ let seq_merge cmp src alo ahi blo bhi dst dlo =
   else Array.blit src !j dst !k (bhi - !j)
 
 (* Merge the sorted runs src[alo,ahi) and src[blo,bhi) into dst at dlo,
-   in parallel by divide-and-conquer on the larger run. *)
-let rec par_merge cmp grain src alo ahi blo bhi dst dlo =
+   in parallel by divide-and-conquer on the larger run.  [prof] is the
+   sort op's profile region, threaded through the recursion so sequential
+   base cases on any worker domain record as leaves of that op. *)
+let rec par_merge cmp grain prof src alo ahi blo bhi dst dlo =
   let la = ahi - alo and lb = bhi - blo in
-  if la + lb <= grain then seq_merge cmp src alo ahi blo bhi dst dlo
+  if la + lb <= grain then
+    Profile.leaf prof (fun () -> seq_merge cmp src alo ahi blo bhi dst dlo)
   else if la >= lb then begin
     let amid = (alo + ahi) / 2 in
     let pivot = src.(amid) in
@@ -60,8 +64,8 @@ let rec par_merge cmp grain src alo ahi blo bhi dst dlo =
     let dmid = dlo + (amid - alo) + (bmid - blo) in
     let (), () =
       Runtime.par
-        (fun () -> par_merge cmp grain src alo amid blo bmid dst dlo)
-        (fun () -> par_merge cmp grain src amid ahi bmid bhi dst dmid)
+        (fun () -> par_merge cmp grain prof src alo amid blo bmid dst dlo)
+        (fun () -> par_merge cmp grain prof src amid ahi bmid bhi dst dmid)
     in
     ()
   end
@@ -73,42 +77,47 @@ let rec par_merge cmp grain src alo ahi blo bhi dst dlo =
     let dmid = dlo + (amid - alo) + (bmid - blo) in
     let (), () =
       Runtime.par
-        (fun () -> par_merge cmp grain src alo amid blo bmid dst dlo)
-        (fun () -> par_merge cmp grain src amid ahi bmid bhi dst dmid)
+        (fun () -> par_merge cmp grain prof src alo amid blo bmid dst dlo)
+        (fun () -> par_merge cmp grain prof src amid ahi bmid bhi dst dmid)
     in
     ()
   end
 
 (* Sort src[lo, hi); the sorted run ends up in dst[lo, hi) when [into_dst],
    else back in src[lo, hi). *)
-let rec sort_range cmp grain src dst lo hi into_dst =
+let rec sort_range cmp grain prof src dst lo hi into_dst =
   let n = hi - lo in
-  if n <= grain then begin
-    let tmp = Array.sub src lo n in
-    Array.stable_sort cmp tmp;
-    Array.blit tmp 0 (if into_dst then dst else src) lo n
-  end
+  if n <= grain then
+    Profile.leaf prof (fun () ->
+        let tmp = Array.sub src lo n in
+        Array.stable_sort cmp tmp;
+        Array.blit tmp 0 (if into_dst then dst else src) lo n)
   else begin
     let mid = (lo + hi) / 2 in
     let (), () =
       Runtime.par
-        (fun () -> sort_range cmp grain src dst lo mid (not into_dst))
-        (fun () -> sort_range cmp grain src dst mid hi (not into_dst))
+        (fun () -> sort_range cmp grain prof src dst lo mid (not into_dst))
+        (fun () -> sort_range cmp grain prof src dst mid hi (not into_dst))
     in
     (* Halves are sorted in the *other* buffer; merge them into ours. *)
     let from, into = if into_dst then (src, dst) else (dst, src) in
-    par_merge cmp grain from lo mid mid hi into lo
+    par_merge cmp grain prof from lo mid mid hi into lo
   end
 
 let sort_in_place ?grain cmp a =
   let n = Array.length a in
-  if n > 1 then begin
-    let grain =
-      max 16 (match grain with Some g -> g | None -> default_grain ())
-    in
-    let scratch = Array.copy a in
-    Runtime.run (fun () -> sort_range cmp grain a scratch 0 n false)
-  end
+  if n > 1 then
+    Profile.with_op "sort" (fun () ->
+        let grain =
+          max 16 (match grain with Some g -> g | None -> default_grain ())
+        in
+        let scratch = Array.copy a in
+        (* One region for the whole fork-join recursion: the span
+           estimate degrades to "serial glue + longest base case" (the
+           merge chain along the critical path is not modelled), which
+           still separates a starved sort from a balanced one. *)
+        Profile.with_region (fun prof ->
+            Runtime.run (fun () -> sort_range cmp grain prof a scratch 0 n false)))
 
 let sort ?grain cmp a =
   let out = Array.copy a in
@@ -120,13 +129,15 @@ let merge cmp a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 then Array.copy b
   else if lb = 0 then Array.copy a
-  else begin
-    let src = Array.append a b in
-    let dst = Array.make (la + lb) a.(0) in
-    let grain = max 16 (default_grain ()) in
-    Runtime.run (fun () -> par_merge cmp grain src 0 la la (la + lb) dst 0);
-    dst
-  end
+  else
+    Profile.with_op "sort" (fun () ->
+        let src = Array.append a b in
+        let dst = Array.make (la + lb) a.(0) in
+        let grain = max 16 (default_grain ()) in
+        Profile.with_region (fun prof ->
+            Runtime.run (fun () ->
+                par_merge cmp grain prof src 0 la la (la + lb) dst 0));
+        dst)
 
 let is_sorted cmp a =
   let n = Array.length a in
@@ -141,7 +152,9 @@ let group_by (cmp : 'k -> 'k -> int) (pairs : ('k * 'v) array) :
     ('k * 'v array) array =
   let n = Array.length pairs in
   if n = 0 then [||]
-  else begin
+  else
+    Profile.with_op "sort" @@ fun () ->
+    begin
     let sorted = sort (fun (k1, _) (k2, _) -> cmp k1 k2) pairs in
     let key i = fst sorted.(i) in
     (* Group start indices. *)

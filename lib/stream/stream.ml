@@ -36,6 +36,7 @@
 
 module Cancel = Bds_runtime.Cancel
 module Telemetry = Bds_runtime.Telemetry
+module Profile = Bds_runtime.Profile
 
 type 'a t = {
   length : int;
@@ -355,9 +356,15 @@ let[@inline] count_path s =
   if s.fused then Telemetry.incr_fused_folds ()
   else Telemetry.incr_trickle_fallbacks ()
 
+(* Profiled push fold: a consumer driven inside a Seq block leaf is
+   already accounted there ([Profile.seq_op] is free in a leaf); a
+   consumer driven directly by user code records as op "fold" (work =
+   wall, parallelism 1 — streams are sequential by construction). *)
+let[@inline] profiled f = Profile.seq_op "fold" f
+
 let reduce f z s =
   count_path s;
-  s.fold ~stop:s.length f z
+  profiled (fun () -> s.fold ~stop:s.length f z)
 
 (* Fold of a non-empty stream seeded from its first element; lets parallel
    callers combine a seed exactly once across blocks.  The accumulator
@@ -367,56 +374,62 @@ let reduce1 f s =
   if s.length = 0 then invalid_arg "Stream.reduce1: empty stream";
   count_path s;
   let cell =
-    s.fold ~stop:s.length
-      (fun acc v ->
-        match acc with
-        | None -> Some (ref v)
-        | Some r ->
-          r := f !r v;
-          acc)
-      None
+    profiled (fun () ->
+        s.fold ~stop:s.length
+          (fun acc v ->
+            match acc with
+            | None -> Some (ref v)
+            | Some r ->
+              r := f !r v;
+              acc)
+          None)
   in
   match cell with Some r -> !r | None -> assert false
 
 let iter f s =
   count_path s;
-  s.fold ~stop:s.length (fun () v -> f v) ()
+  profiled (fun () -> s.fold ~stop:s.length (fun () v -> f v) ())
 
 let iteri f s =
   count_path s;
-  let _ : int = s.fold ~stop:s.length (fun i v -> f i v; i + 1) 0 in
+  let _ : int =
+    profiled (fun () -> s.fold ~stop:s.length (fun i v -> f i v; i + 1) 0)
+  in
   ()
 
 let pack_to_array p s =
   count_path s;
-  let buf = Buffer_ext.create () in
-  s.fold ~stop:s.length (fun () v -> if p v then Buffer_ext.push buf v) ();
-  Buffer_ext.to_array buf
+  profiled (fun () ->
+      let buf = Buffer_ext.create () in
+      s.fold ~stop:s.length (fun () v -> if p v then Buffer_ext.push buf v) ();
+      Buffer_ext.to_array buf)
 
 (* filterOp / mapPartial: keep [Some] images. *)
 let pack_op_to_array p s =
   count_path s;
-  let buf = Buffer_ext.create () in
-  s.fold ~stop:s.length
-    (fun () v -> match p v with Some w -> Buffer_ext.push buf w | None -> ())
-    ();
-  Buffer_ext.to_array buf
+  profiled (fun () ->
+      let buf = Buffer_ext.create () in
+      s.fold ~stop:s.length
+        (fun () v -> match p v with Some w -> Buffer_ext.push buf w | None -> ())
+        ();
+      Buffer_ext.to_array buf)
 
 let to_array s =
   if s.length = 0 then [||]
   else begin
     count_path s;
-    let out = ref [||] in
-    let n = s.length in
-    let _ : int =
-      s.fold ~stop:n
-        (fun i v ->
-          if i = 0 then out := Array.make n v;
-          Array.unsafe_set !out i v;
-          i + 1)
-        0
-    in
-    !out
+    profiled (fun () ->
+        let out = ref [||] in
+        let n = s.length in
+        let _ : int =
+          s.fold ~stop:n
+            (fun i v ->
+              if i = 0 then out := Array.make n v;
+              Array.unsafe_set !out i v;
+              i + 1)
+            0
+        in
+        !out)
   end
 
 let to_list s =
@@ -424,7 +437,8 @@ let to_list s =
      are stateful, so no other order is sound); accumulate reversed and
      flip once. *)
   count_path s;
-  List.rev (s.fold ~stop:s.length (fun acc v -> v :: acc) [])
+  profiled (fun () ->
+      List.rev (s.fold ~stop:s.length (fun acc v -> v :: acc) []))
 
 let equal eq s1 s2 =
   s1.length = s2.length

@@ -1,0 +1,67 @@
+The perf-regression gate (scripts/bench_compare, CI job
+bench-regression) diffs a fresh bench CSV against a committed baseline
+snapshot.  This test is hermetic: baseline and CSV are written inline,
+so it exercises the gate logic — not the benchmark — and is exact.
+
+  $ cat > baseline.json <<'EOF'
+  > {
+  >   "snapshot": 4,
+  >   "results": {
+  >     "stream-overhead/chain3": {
+  >       "pull_trickle": { "time_s": 0.0240 },
+  >       "push_fused": { "time_s": 0.0140 },
+  >       "speedup_push_vs_pull": 1.72
+  >     }
+  >   }
+  > }
+  > EOF
+
+A run whose push-vs-pull speedup matches the baseline passes:
+
+  $ cat > good.csv <<'EOF'
+  > section,bench,version,procs,metric,value
+  > stream-overhead,chain3,pull,2,time_s,0.0250
+  > stream-overhead,chain3,push,2,time_s,0.0145
+  > EOF
+  $ bench_compare --baseline baseline.json --csv good.csv
+  bench_compare: baseline snapshot 4 (baseline.json), tolerance 15%
+    stream-overhead push-vs-pull speedup       baseline   1.7200  current   1.7241    +0.2%  ok
+  result: PASS
+
+Injecting a 2x slowdown into the push path halves the speedup, which
+the gate rejects with a non-zero exit:
+
+  $ sed 's/push,2,time_s,0.0145/push,2,time_s,0.0290/' good.csv > slow.csv
+  $ bench_compare --baseline baseline.json --csv slow.csv
+  bench_compare: baseline snapshot 4 (baseline.json), tolerance 15%
+    stream-overhead push-vs-pull speedup       baseline   1.7200  current   0.8621   -49.9%  REGRESSION
+  result: FAIL
+  [1]
+
+The tolerance is a flag; a loose enough gate lets the same run through:
+
+  $ bench_compare --baseline baseline.json --csv slow.csv --max-regress 60
+  bench_compare: baseline snapshot 4 (baseline.json), tolerance 60%
+    stream-overhead push-vs-pull speedup       baseline   1.7200  current   0.8621   -49.9%  ok
+  result: PASS
+
+--absolute additionally gates raw times (for quiet hosts; within-run
+ratios are the default because shared runners drift):
+
+  $ bench_compare --baseline baseline.json --csv good.csv --absolute
+  bench_compare: baseline snapshot 4 (baseline.json), tolerance 15%
+    stream-overhead push-vs-pull speedup       baseline   1.7200  current   1.7241    +0.2%  ok
+    stream-overhead pull time_s (absolute)     baseline   0.0240  current   0.0250    +4.2%  ok
+    stream-overhead push time_s (absolute)     baseline   0.0140  current   0.0145    +3.6%  ok
+  result: PASS
+
+Malformed inputs are usage errors (exit 2), distinct from regressions:
+
+  $ echo 'not json' > bad.json
+  $ bench_compare --baseline bad.json --csv good.csv
+  bench_compare: bad.json: expected u at offset 1
+  [2]
+  $ echo 'wrong,header' > bad.csv
+  $ bench_compare --baseline baseline.json --csv bad.csv
+  bench_compare: bad.csv: unexpected CSV header: wrong,header
+  [2]

@@ -1,0 +1,38 @@
+The work/span profiler through bds_probe (docs/OBSERVABILITY.md
+"Profiling").  `bds_probe report` force-enables profiling, runs a
+map|scan|reduce pipeline (plus a filter|to_array tail) and prints the
+per-op report.  Times and counts depend on the host, so they are
+normalised: durations to T, other numbers to N/F.  The op set, the
+column layout and the name-sorted row order are the interface.
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe report \
+  >   | sed -E 's/[0-9]+\.?[0-9]*(ns|us|ms|s)\b/T/g; s/[0-9]+\.[0-9]+/F/g; s/[0-9]+/N/g'
+  profile report (N workers)
+  op calls chunks pN pN work span parallelism utilization
+  filter N N T T T T F F
+  map N N T T T T F F
+  reduce N N T T T T F F
+  scan N N T T T T F F
+  tabulate N N T T T T F F
+  to_array N N T T T T F F
+
+Delayed constructors (map, tabulate) report ~no work of their own: their
+cost lands in the eager consumer that drives them (the paper's cost
+semantics), which the zero chunks above make visible.
+
+The JSON form has one object per op with the same fields CI artifacts
+consume:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe report --json \
+  >   | sed -E 's/:-?[0-9]+\.?[0-9]*/:N/g'
+  {"workers":N,"ops":[{"name":"filter","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"map","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"reduce","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"scan","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"tabulate","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"to_array","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N}]}
+
+Forcing tiny blocks trips the Cilkview-style grain diagnostic (the
+warning names the knobs to raise).  Which ops cross the 25% threshold
+depends on per-op constant factors, so only the reduce warning — whose
+64-element integer-fold leaves are tiny beyond doubt — is pinned:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_BLOCK_SIZE=64 bds_probe report \
+  >   | sed -E 's/[0-9]+\.?[0-9]*(ns|us|ms|s)\b/T/g; s/[0-9]+\.[0-9]+/F/g; s/[0-9]+/N/g' \
+  >   | grep 'warning: reduce'
+  warning: reduce: chunks too small: N% of chunk time < T (raise BDS_GRAIN / BDS_BLOCK_SIZE)

@@ -31,6 +31,23 @@ loads) and reports the event count:
   $ bds_probe trace-check probe-trace.json | sed -E 's/[0-9]+/N/'
   trace ok: N events
 
+A trace whose rings wrapped reports its drop count both per-track and
+as a top-level `bdsDroppedEvents` field; `trace-check` surfaces it as a
+warning, which `--strict` (what `make trace-smoke` uses) escalates to a
+failing exit:
+
+  $ cat > dropped.json <<'EOF'
+  > {"traceEvents":[{"name":"x","ph":"M","pid":1,"tid":0}
+  > ],"bdsDroppedEvents":7,"displayTimeUnit":"ms"}
+  > EOF
+  $ bds_probe trace-check dropped.json
+  trace ok: 1 events
+  warning: 7 events dropped (ring wrap-around); trace is incomplete
+  $ bds_probe trace-check --strict dropped.json
+  trace ok: 1 events
+  warning: 7 events dropped (ring wrap-around); trace is incomplete
+  [1]
+
 The validator rejects files that are not Chrome traces:
 
   $ echo '{"events":[]}' > bad.json
@@ -41,5 +58,11 @@ The validator rejects files that are not Chrome traces:
 Unknown sub-commands fail with usage:
 
   $ bds_probe frobnicate
-  usage: bds_probe [stats | blocks | streams | trace-check FILE | trace-count FILE NAME]
+  usage: bds_probe [stats [--json] | blocks | streams | report [--json] [--large] | trace-check [--strict] FILE | trace-count FILE NAME]
   [2]
+
+`bds_probe stats --json` emits the same counters as one machine-readable
+object (the format CI artifacts and bench_compare share):
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe stats --json | sed -E 's/:[0-9]+/:N/g'
+  {"workers":N,"counters":{"tasks_spawned":N,"steal_attempts":N,"steals":N,"overflow_pushes":N,"chunks_executed":N,"cancel_polls":N,"cancel_trips":N,"chaos_injections":N,"fused_folds":N,"trickle_fallbacks":N}}

@@ -1,0 +1,137 @@
+(* The per-domain log2-bucket latency histogram behind the profiler.
+
+   Everything here records from the main domain only, so snapshots are
+   exact (the racy-monotone caveat applies only to cross-domain reads)
+   and the tests can assert equalities, not just bounds. *)
+
+module H = Bds_runtime.Histogram
+
+let record_all h l = List.iter (fun ns -> H.record h ~ns) l
+
+let snap_of l =
+  let h = H.create () in
+  record_all h l;
+  H.snapshot h
+
+let check_snap_eq msg a b =
+  Alcotest.(check (array int)) (msg ^ " counts") a.H.s_counts b.H.s_counts;
+  Alcotest.(check (array int)) (msg ^ " ns") a.H.s_ns b.H.s_ns;
+  Alcotest.(check int) (msg ^ " max") a.H.s_max_ns b.H.s_max_ns
+
+(* Bucket k covers [2^k, 2^(k+1)); 0 and 1 land in bucket 0; the top
+   bucket absorbs the tail and has no upper bound. *)
+let test_bucket_boundaries () =
+  Alcotest.(check int) "0" 0 (H.bucket_of_ns 0);
+  Alcotest.(check int) "1" 0 (H.bucket_of_ns 1);
+  Alcotest.(check int) "2" 1 (H.bucket_of_ns 2);
+  Alcotest.(check int) "3" 1 (H.bucket_of_ns 3);
+  Alcotest.(check int) "4" 2 (H.bucket_of_ns 4);
+  for k = 1 to 40 do
+    Alcotest.(check int) (Printf.sprintf "2^%d" k) k (H.bucket_of_ns (1 lsl k));
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d+1 - 1" k)
+      k
+      (H.bucket_of_ns ((1 lsl (k + 1)) - 1))
+  done;
+  (* OCaml ints are 63-bit: max_int = 2^62 - 1 lands in bucket 61, so
+     the 64-bucket array has unreachable headroom at the top rather
+     than a saturating tail. *)
+  Alcotest.(check int) "max_int" 61 (H.bucket_of_ns max_int);
+  (* Upper bounds are inclusive and consistent with bucket_of_ns (the
+     top slots are skipped: their 2^(k+1) overflows the int width). *)
+  for k = 0 to 60 do
+    let u = H.bucket_upper_ns k in
+    Alcotest.(check int) (Printf.sprintf "upper(%d) in bucket" k) k (H.bucket_of_ns u);
+    Alcotest.(check int)
+      (Printf.sprintf "upper(%d)+1 in next bucket" k)
+      (k + 1)
+      (H.bucket_of_ns (u + 1))
+  done;
+  Alcotest.(check int) "top bucket unbounded" max_int (H.bucket_upper_ns (H.buckets - 1))
+
+let test_record_totals () =
+  let l = [ 0; 1; 5; 5; 1000; 123_456; 7 ] in
+  let s = snap_of l in
+  Alcotest.(check int) "count" (List.length l) (H.total_count s);
+  Alcotest.(check int) "ns" (List.fold_left ( + ) 0 l) (H.total_ns s);
+  Alcotest.(check int) "max" 123_456 (H.max_ns s);
+  (* Negative durations (clock went backwards) clamp to 0, not crash. *)
+  let s' = snap_of [ -5 ] in
+  Alcotest.(check int) "negative clamps: count" 1 (H.total_count s');
+  Alcotest.(check int) "negative clamps: ns" 0 (H.total_ns s')
+
+(* Percentile estimates are bracketed: at least the true value's bucket
+   lower bound, at most the recorded maximum, and monotone in p. *)
+let test_percentile_bounds () =
+  let l = List.init 100 (fun i -> (i + 1) * 100) in
+  (* 100..10000ns *)
+  let s = snap_of l in
+  let p50 = H.p50 s and p90 = H.p90 s and p99 = H.p99 s in
+  Alcotest.(check bool) "p50 <= p90" true (p50 <= p90);
+  Alcotest.(check bool) "p90 <= p99" true (p90 <= p99);
+  Alcotest.(check bool) "p99 <= max" true (p99 <= H.max_ns s);
+  (* True p50 is 5000ns: the estimate must cover it from above within
+     one log2 bucket (bucket of 5000 is [4096,8191]). *)
+  Alcotest.(check bool) "p50 over-approximates" true (p50 >= 5000);
+  Alcotest.(check bool) "p50 within its bucket" true (p50 <= 8191);
+  (* Degenerate cases. *)
+  Alcotest.(check int) "empty" 0 (H.percentile H.empty 50.);
+  let one = snap_of [ 777 ] in
+  Alcotest.(check int) "single sample is exact" 777 (H.percentile one 50.);
+  Alcotest.(check int) "p0 behaves" 777 (H.percentile one 0.);
+  Alcotest.(check int) "p100 = max" 777 (H.percentile one 100.)
+
+let test_time_below () =
+  let s = snap_of [ 10; 20; 10_000; 20_000 ] in
+  (* Buckets entirely below 5000ns: the 10/20ns samples qualify; the
+     10000/20000ns ones do not. *)
+  let below = H.time_below s ~threshold_ns:5000 in
+  Alcotest.(check int) "below" 30 below;
+  Alcotest.(check int) "none below 1" 0 (H.time_below s ~threshold_ns:1);
+  Alcotest.(check int) "all below huge" (H.total_ns s)
+    (H.time_below s ~threshold_ns:max_int)
+
+(* merge is associative and commutative with [empty] as identity —
+   required for the registry fold to be order-insensitive (rows register
+   in whatever order domains first touch the histogram). *)
+let test_merge_algebra () =
+  let gen = QCheck2.Gen.(list_size (int_bound 50) (int_bound 100_000)) in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:100 ~name:"merge algebra"
+       QCheck2.Gen.(triple gen gen gen)
+       (fun (la, lb, lc) ->
+         let a = snap_of la and b = snap_of lb and c = snap_of lc in
+         let eq x y =
+           x.H.s_counts = y.H.s_counts && x.H.s_ns = y.H.s_ns
+           && x.H.s_max_ns = y.H.s_max_ns
+         in
+         eq (H.merge a b) (H.merge b a)
+         && eq (H.merge (H.merge a b) c) (H.merge a (H.merge b c))
+         && eq (H.merge a H.empty) a
+         && eq (H.merge H.empty a) a))
+
+(* Recording the concatenation equals merging the parts: snapshots are
+   a homomorphism from sample multisets. *)
+let test_merge_is_concat () =
+  let la = [ 1; 100; 9999 ] and lb = [ 5; 5; 1_000_000 ] in
+  check_snap_eq "concat" (snap_of (la @ lb)) (H.merge (snap_of la) (snap_of lb))
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "buckets",
+        [
+          Alcotest.test_case "boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "record totals" `Quick test_record_totals;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentile bounds" `Quick test_percentile_bounds;
+          Alcotest.test_case "time_below" `Quick test_time_below;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "algebra (qcheck)" `Quick test_merge_algebra;
+          Alcotest.test_case "concat homomorphism" `Quick test_merge_is_concat;
+        ] );
+    ]
