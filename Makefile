@@ -1,6 +1,6 @@
 # Convenience targets (cf. the paper artifact's makefiles).
 
-.PHONY: all build test stress trace-smoke profile-smoke bench bench-quick bench-compare examples clean
+.PHONY: all build test stress trace-smoke profile-smoke serve-smoke bench bench-quick bench-compare examples clean
 
 # Fixed-seed chaos specification used by `make stress` (see
 # docs/RUNTIME.md for the BDS_CHAOS format).  delay+starve perturb
@@ -23,9 +23,9 @@ test:
 	dune runtest --force
 
 # Chaos stress: the dedicated @stress alias, then the full suite under
-# fault injection across 1, 2 and 4 domains, after the trace and
-# profiler round-trips.
-stress: trace-smoke profile-smoke
+# fault injection across 1, 2 and 4 domains, after the trace, profiler
+# and job-service round-trips.
+stress: trace-smoke profile-smoke serve-smoke
 	dune build @stress --force
 	for d in $(STRESS_DOMAINS); do \
 	  echo "== stress: BDS_NUM_DOMAINS=$$d BDS_CHAOS=$(CHAOS_SPEC) =="; \
@@ -49,6 +49,13 @@ profile-smoke:
 	dune build bin/bds_probe.exe
 	BDS_NUM_DOMAINS=4 dune exec bin/bds_probe.exe -- report
 	BDS_NUM_DOMAINS=4 dune exec bin/bds_probe.exe -- report --json > /dev/null
+
+# Job-service round-trip: bds_serve over a Unix socket, one scripted
+# workload forcing every typed response (incl. a deadline-exceeded and a
+# shed job), graceful SIGTERM with trace flush, then the same under
+# jobs+raise chaos at 4 domains (see docs/SERVICE.md).
+serve-smoke:
+	scripts/serve_smoke
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt

@@ -35,6 +35,9 @@ type config = {
   profile : bool;
       (** run everything under the work/span profiler and append per-op
           rows to the CSV (--profile) *)
+  service : bool;
+      (** run the job-service open-loop load generator instead of the
+          paper sections (--service) *)
 }
 
 (* Raw results accumulated for --csv: section, bench, version, procs,
@@ -700,6 +703,140 @@ let stream_overhead cfg =
           ])
 
 (* ------------------------------------------------------------------ *)
+(* --service: open-loop load generator against the job service          *)
+
+(* Drive the in-process Service with an open-loop arrival process: jobs
+   are submitted on a fixed cadence regardless of completions, so when
+   offered load exceeds what [runners] can drain, the outstanding-job
+   bound fills and admission control sheds with typed Overloaded — the
+   backpressure behaviour under test, not an error.  The mix is
+   deterministic by index: mostly short busy jobs (predictable service
+   time), some Seq pipelines, a slice of fail-once jobs (retry path) and
+   a slice of tight-deadline jobs (deadline path), spread over four
+   tenants.  Reports p50/p99 job latency (admission to terminal outcome,
+   via Histogram), rejection rate and retries, and checks the zero-lost-
+   jobs invariant: admitted = completed + failed + cancelled +
+   deadline_exceeded.  Exits non-zero if any job is lost. *)
+let service_bench cfg =
+  let module Service = Bds_service.Service in
+  let module Job = Bds_service.Job in
+  let module Histogram = Bds_runtime.Histogram in
+  let total = scaled cfg 400 in
+  let rate = 2000.0 (* jobs/s offered *) in
+  let config =
+    {
+      Service.default_config with
+      Service.capacity = 32;
+      runners = cfg.procs;
+    }
+  in
+  Printf.printf
+    "Job-service load generator: %d jobs open-loop at %.0f/s (capacity=%d, \
+     runners=%d)\n\
+     chaos: %s\n%!"
+    total rate config.Service.capacity config.Service.runners
+    (Bds_runtime.Chaos.describe ());
+  let before = Telemetry.snapshot () in
+  let svc = Service.create ~config () in
+  let lat = Histogram.create () in
+  let request i =
+    let tenant = Printf.sprintf "t%d" (i mod 4) in
+    if i mod 10 = 7 then
+      (* Tight deadline against a longer busy loop: deadline path. *)
+      Job.request ~tenant ~params:[ ("ms", "20") ] ~deadline_ms:2 "busy"
+    else if i mod 10 = 3 then
+      (* Fails once, then a small pipeline: retry path. *)
+      Job.request ~tenant ~params:[ ("k", "1"); ("n", "1000") ] "fail"
+    else if i mod 5 = 1 then
+      Job.request ~tenant ~params:[ ("n", "20000") ] "sum"
+    else
+      (* 3ms busy at 2000/s across [runners] pool workers oversubscribes
+         the service, so the paced phase itself reaches saturation. *)
+      Job.request ~tenant ~params:[ ("ms", "3") ] "busy"
+  in
+  let t0 = Unix.gettimeofday () in
+  let rejected = ref 0 in
+  for i = 0 to total - 1 do
+    (* Open loop: wait for the arrival time, not for the service. *)
+    let due = t0 +. (float_of_int i /. rate) in
+    let rec pace () =
+      let d = due -. Unix.gettimeofday () in
+      if d > 0.0 then begin
+        Thread.delay d;
+        pace ()
+      end
+    in
+    pace ();
+    let submitted = Unix.gettimeofday () in
+    match
+      Service.submit svc
+        ~on_complete:(fun _ ->
+          Histogram.record lat
+            ~ns:
+              (int_of_float
+                 ((Unix.gettimeofday () -. submitted) *. 1e9)))
+        (request i)
+    with
+    | Ok _ -> ()
+    | Error (`Rejected _) -> incr rejected
+    | Error (`Bad_request msg) -> failwith ("service bench: bad request: " ^ msg)
+  done;
+  Service.shutdown svc;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let d = Telemetry.diff ~before ~after:(Telemetry.snapshot ()) in
+  let admitted = d.Telemetry.s_jobs_admitted in
+  let resolved =
+    d.Telemetry.s_jobs_completed + d.Telemetry.s_jobs_failed
+    + d.Telemetry.s_jobs_cancelled + d.Telemetry.s_jobs_deadline_exceeded
+  in
+  let lost = admitted - resolved in
+  let s = Histogram.snapshot lat in
+  let ms ns = float_of_int ns /. 1e6 in
+  let rejection_rate = float_of_int !rejected /. float_of_int total in
+  Tables.print ~title:"Job-service load generator"
+    ~headers:[ "metric"; "value" ]
+    ~rows:
+      [
+        [ "offered jobs"; string_of_int total ];
+        [ "admitted"; string_of_int admitted ];
+        [ "rejected (Overloaded)"; string_of_int !rejected ];
+        [ "rejection rate"; Printf.sprintf "%.1f%%" (100.0 *. rejection_rate) ];
+        [ "completed"; string_of_int d.Telemetry.s_jobs_completed ];
+        [ "failed"; string_of_int d.Telemetry.s_jobs_failed ];
+        [ "cancelled"; string_of_int d.Telemetry.s_jobs_cancelled ];
+        [ "deadline exceeded"; string_of_int d.Telemetry.s_jobs_deadline_exceeded ];
+        [ "retries"; string_of_int d.Telemetry.s_jobs_retried ];
+        [ "retries shed (breaker)"; string_of_int d.Telemetry.s_jobs_retries_shed ];
+        [ "latency p50"; Printf.sprintf "%.2f ms" (ms (Histogram.p50 s)) ];
+        [ "latency p99"; Printf.sprintf "%.2f ms" (ms (Histogram.p99 s)) ];
+        [ "latency max"; Printf.sprintf "%.2f ms" (ms (Histogram.max_ns s)) ];
+        [ "wall time"; Printf.sprintf "%.2f s" elapsed ];
+        [ "lost jobs"; string_of_int lost ];
+      ];
+  List.iter
+    (fun (metric, v) ->
+      record ~section:"service" ~bench:"loadgen" ~version:"service"
+        ~procs:cfg.procs ~metric v)
+    [
+      ("p50_ns", float_of_int (Histogram.p50 s));
+      ("p99_ns", float_of_int (Histogram.p99 s));
+      ("rejection_rate", rejection_rate);
+      ("retries", float_of_int d.Telemetry.s_jobs_retried);
+      ("lost_jobs", float_of_int lost);
+    ];
+  if lost <> 0 then begin
+    Printf.eprintf "FAIL: %d admitted job(s) never reached a terminal outcome\n" lost;
+    exit 1
+  end;
+  if Histogram.total_count s <> admitted then begin
+    (* Every admitted job's on_complete fired exactly once. *)
+    Printf.eprintf "FAIL: %d admitted but %d completion callbacks\n" admitted
+      (Histogram.total_count s);
+    exit 1
+  end;
+  print_endline "\nzero lost jobs: every admitted job reached exactly one terminal outcome"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test per paper table                  *)
 
 let micro cfg =
@@ -800,8 +937,7 @@ let profile_report cfg =
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
-let run cfg =
-  if cfg.profile then Profile.set_enabled true;
+let run_sections cfg =
   Printf.printf
     "Parallel block-delayed sequences: benchmark harness\n\
      host workers: %d requested for P=max; scale %.2fx; repeat %d\n"
@@ -836,6 +972,16 @@ let run cfg =
   if cfg.profile then profile_report cfg;
   Option.iter write_csv cfg.csv;
   Printf.printf "\ndone. (sink: %d %.3f)\n" !Registry.sink_int !Registry.sink_float
+
+let run cfg =
+  if cfg.profile then Profile.set_enabled true;
+  if cfg.service then begin
+    (* The load generator stands alone: it measures the service layer,
+       not the paper's figures, and owns its own pass/fail criterion. *)
+    service_bench cfg;
+    Option.iter write_csv cfg.csv
+  end
+  else run_sections cfg
 
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
@@ -897,8 +1043,18 @@ let profile_arg =
                  per-op report at the end and append per-op rows (section \
                  \"profile\") to --csv output.")
 
+let service_arg =
+  Arg.(value & flag
+       & info [ "service" ]
+           ~doc:"Run the job-service open-loop load generator instead of \
+                 the paper sections: submit a deterministic mixed workload \
+                 at a fixed arrival rate and report p50/p99 job latency, \
+                 rejection rate and retries.  Exits non-zero if any \
+                 admitted job is lost.  --scale sizes the job count, \
+                 --procs the runner count.")
+
 let main scale quick procs proc_list repeat sections micro_filter csv plots
-    sweep_grain sweep_block profile =
+    sweep_grain sweep_block profile service =
   let cfg =
     {
       scale = (if quick then scale /. 10.0 else scale);
@@ -912,6 +1068,7 @@ let main scale quick procs proc_list repeat sections micro_filter csv plots
       sweep_grain;
       sweep_block;
       profile;
+      service;
     }
   in
   Option.iter
@@ -926,6 +1083,6 @@ let cmd =
     Term.(
       const main $ scale_arg $ quick_arg $ procs_arg $ proc_list_arg $ repeat_arg
       $ only_arg $ micro_filter_arg $ csv_arg $ plots_arg $ sweep_grain_arg
-      $ sweep_block_arg $ profile_arg)
+      $ sweep_block_arg $ profile_arg $ service_arg)
 
 let () = exit (Cmd.eval cmd)

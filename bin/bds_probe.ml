@@ -13,7 +13,9 @@
                              work/span report
      bds_probe trace-check [--strict] F — validate a BDS_TRACE JSON file
                              (--strict: non-zero exit on dropped events)
-     bds_probe trace-count F NAME — count NAME events in a trace file *)
+     bds_probe trace-count F NAME — count NAME events in a trace file
+     bds_probe jobs        — run a fixed job-service scenario and dump
+                             the per-outcome jobs_* telemetry counters *)
 
 module Runtime = Bds_runtime.Runtime
 module Grain = Bds_runtime.Grain
@@ -140,6 +142,56 @@ let trace_check ~strict file =
     Printf.eprintf "trace invalid: %s\n" e;
     1
 
+(* Drive one deterministic scenario through the job service and print
+   the jobs_* counters: a single runner and capacity 2, so a busy job
+   with a short deadline (-> deadline_exceeded) plus a queued sum
+   (-> completed) fill the service, a third submission is shed with a
+   typed Overloaded, and a fail-twice job exercises the retry path
+   (-> completed after 2 retries).  Every count is forced by
+   construction, so the cram test pins the output exactly. *)
+let jobs () =
+  let module Service = Bds_service.Service in
+  let module Job = Bds_service.Job in
+  let config =
+    { Service.default_config with Service.capacity = 2; runners = 1 }
+  in
+  let svc = Service.create ~config () in
+  let busy =
+    Service.submit svc
+      (Job.request ~params:[ ("ms", "2000") ] ~deadline_ms:50 "busy")
+  in
+  let sum = Service.submit svc (Job.request ~params:[ ("n", "10000") ] "sum") in
+  let overflow = Service.submit svc (Job.request "echo") in
+  let show name = function
+    | Ok ticket ->
+      Printf.printf "  %s -> %s\n" name
+        (Job.outcome_label (Service.wait ticket))
+    | Error (`Rejected r) ->
+      Printf.printf "  %s -> rejected %s\n" name (Job.reject_label r)
+    | Error (`Bad_request msg) -> Printf.printf "  %s -> bad request: %s\n" name msg
+  in
+  print_endline "jobs probe:";
+  show "busy" busy;
+  show "sum" sum;
+  show "overflow" overflow;
+  let fail =
+    Service.submit svc
+      (Job.request ~params:[ ("k", "2"); ("n", "1000") ] "fail")
+  in
+  (match fail with
+  | Ok ticket ->
+    let outcome = Service.wait ticket in
+    Printf.printf "  fail -> %s (retries=%d)\n" (Job.outcome_label outcome)
+      (Service.For_testing.retries_used ticket)
+  | Error _ -> print_endline "  fail -> unexpected rejection");
+  Service.shutdown svc;
+  print_endline "telemetry:";
+  Telemetry.to_assoc (Telemetry.snapshot ())
+  |> List.filter (fun (k, _) ->
+         String.length k > 5 && String.sub k 0 5 = "jobs_")
+  |> List.iter (fun (k, v) -> Printf.printf "  %s=%d\n" k v);
+  Runtime.shutdown ()
+
 let trace_count file name =
   match Trace.count_events_file file ~name with
   | Ok n ->
@@ -163,8 +215,9 @@ let () =
   | [ "report" ] -> report ~json:(flag "--json") ~large:(flag "--large")
   | [ "trace-check"; file ] -> exit (trace_check ~strict:(flag "--strict") file)
   | [ "trace-count"; file; name ] when flags = [] -> exit (trace_count file name)
+  | [ "jobs" ] when flags = [] -> jobs ()
   | _ ->
     prerr_endline
       "usage: bds_probe [stats [--json] | blocks | streams | report [--json] \
-       [--large] | trace-check [--strict] FILE | trace-count FILE NAME]";
+       [--large] | trace-check [--strict] FILE | trace-count FILE NAME | jobs]";
     exit 2

@@ -1,0 +1,111 @@
+(* bds_serve: the pipeline-job service over a Unix-domain socket.
+
+   Modes:
+     bds_serve --socket PATH [--capacity N] [--runners N] [--max-retries N]
+       serve until SIGINT/SIGTERM (graceful: outstanding jobs resolve,
+       trace flushed, profiler report emitted if enabled)
+     bds_serve --socket PATH --client 'REQUEST' ['REQUEST' ...]
+       send each request line on one connection, print each response
+       line (exit 0 even on REJECTED/BAD — typed responses are the
+       point; exit 1 only on transport errors)
+
+   The wire protocol is documented in lib/service/protocol.mli and
+   docs/SERVICE.md. *)
+
+module Server = Bds_service.Server
+module Service = Bds_service.Service
+
+let usage () =
+  prerr_endline
+    "usage: bds_serve --socket PATH [--capacity N] [--runners N] \
+     [--max-retries N] [--client REQUEST...]";
+  exit 2
+
+let parse_args () =
+  let socket = ref None in
+  let capacity = ref None in
+  let runners = ref None in
+  let max_retries = ref None in
+  let client = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--socket" :: v :: rest ->
+      socket := Some v;
+      go rest
+    | "--capacity" :: v :: rest ->
+      capacity := int_of_string_opt v;
+      if !capacity = None then usage ();
+      go rest
+    | "--runners" :: v :: rest ->
+      runners := int_of_string_opt v;
+      if !runners = None then usage ();
+      go rest
+    | "--max-retries" :: v :: rest ->
+      max_retries := int_of_string_opt v;
+      if !max_retries = None then usage ();
+      go rest
+    | "--client" :: rest ->
+      (* Everything after --client is a request line. *)
+      if rest = [] then usage ();
+      client := Some rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match !socket with
+  | None -> usage ()
+  | Some path -> (path, !capacity, !runners, !max_retries, !client)
+
+let run_client path requests =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "bds_serve: cannot connect to %s: %s\n" path
+       (Unix.error_message e);
+     exit 1);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let ok = ref true in
+  List.iter
+    (fun req ->
+      output_string oc req;
+      output_char oc '\n';
+      flush oc;
+      match input_line ic with
+      | line -> print_endline line
+      | exception End_of_file ->
+        prerr_endline "bds_serve: connection closed by server";
+        ok := false)
+    requests;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  exit (if !ok then 0 else 1)
+
+let run_server path capacity runners max_retries =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Info);
+  let d = Service.default_config in
+  let config =
+    {
+      d with
+      Service.capacity = Option.value capacity ~default:d.Service.capacity;
+      runners = Option.value runners ~default:d.Service.runners;
+      max_retries = Option.value max_retries ~default:d.Service.max_retries;
+    }
+  in
+  let server = Server.create ~config ~path () in
+  (* Graceful shutdown on SIGINT/SIGTERM: the handler only flips a flag
+     and closes the listener (Server.stop is signal-safe); the accept
+     loop's exit path resolves outstanding jobs and flushes trace and
+     profiler output, so a killed server never truncates them. *)
+  let stop _ = Server.stop server in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
+  (* A client that disconnects mid-response must not kill the server. *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  Server.serve server;
+  Bds_runtime.Runtime.shutdown ()
+
+let () =
+  let path, capacity, runners, max_retries, client = parse_args () in
+  match client with
+  | Some requests -> run_client path requests
+  | None -> run_server path capacity runners max_retries

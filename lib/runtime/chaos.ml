@@ -5,7 +5,7 @@
    domain a reproducible fault plan.  A generation counter lets
    [set_config] invalidate the lazily-seeded per-domain states. *)
 
-type kind = Raise | Delay | Starve
+type kind = Raise | Delay | Starve | Jobs
 
 type config = { seed : int; p : float; kinds : kind list }
 
@@ -22,12 +22,14 @@ let kind_of_string = function
   | "raise" -> Ok Raise
   | "delay" -> Ok Delay
   | "starve" -> Ok Starve
+  | "jobs" -> Ok Jobs
   | s -> Error (Printf.sprintf "unknown fault kind %S" s)
 
 let string_of_kind = function
   | Raise -> "raise"
   | Delay -> "delay"
   | Starve -> "starve"
+  | Jobs -> "jobs"
 
 let default_kinds = [ Delay; Starve ]
 
@@ -180,7 +182,11 @@ let point_task () =
   | Some cfg, gen ->
     let r = local_rng cfg.seed gen in
     if next_float r < cfg.p then begin
-      let task_kinds = List.filter (fun k -> k <> Starve) cfg.kinds in
+      (* Steal starvation and job faults have their own fault points
+         ([starve_steal], [point_job]); only task-level kinds fire here. *)
+      let task_kinds =
+        List.filter (fun k -> k <> Starve && k <> Jobs) cfg.kinds
+      in
       match task_kinds with
       | [] -> ()
       | kinds ->
@@ -196,7 +202,40 @@ let point_task () =
         | Raise ->
           Log.debug (fun m -> m "injecting task fault #%d (raise)" n);
           raise (Injected_fault n)
-        | Starve -> ())
+        | Starve | Jobs -> ())
+    end
+
+(* Job-level fault point (lib/service): called by the service scheduler
+   as it is about to start a job attempt.  With the [jobs] kind active,
+   a p-probability draw injects either a spurious attempt cancellation
+   (exercising the retry-with-backoff path — chaos cancels are
+   retryable) or a pre-start delay of 1..20ms (pushing jobs toward
+   their deadline, exercising the deadline path).  The draws come from
+   the same per-domain splitmix streams as the task faults, so a fixed
+   seed gives a reproducible fault plan per domain (service runner
+   threads share their domain's stream; the plan is deterministic up to
+   their interleaving). *)
+let point_job () =
+  match Atomic.get state with
+  | None, _ -> `None
+  | Some cfg, gen ->
+    if not (List.mem Jobs cfg.kinds) then `None
+    else begin
+      let r = local_rng cfg.seed gen in
+      if next_float r < cfg.p then begin
+        Telemetry.incr_chaos_injections ();
+        let n = Atomic.fetch_and_add faults 1 in
+        if Int64.rem (next_nonneg r) 2L = 0L then begin
+          Log.debug (fun m -> m "injecting job fault #%d (cancel)" n);
+          `Cancel n
+        end
+        else begin
+          let ms = 1 + Int64.to_int (Int64.rem (next_nonneg r) 20L) in
+          Log.debug (fun m -> m "injecting job fault #%d (delay %dms)" n ms);
+          `Delay (float_of_int ms /. 1000.)
+        end
+      end
+      else `None
     end
 
 let starve_steal () =

@@ -14,7 +14,11 @@
     - [delay]  — a task body is preceded by a short busy-wait (shakes
                  schedule interleavings and steal/suspend races);
     - [starve] — a steal attempt spuriously fails (exercises the idle /
-                 retry protocol and overflow draining).
+                 retry protocol and overflow draining);
+    - [jobs]   — an admitted service job is spuriously cancelled or
+                 delayed just before an attempt starts (exercises the
+                 retry-with-backoff and deadline paths of
+                 [lib/service]; see {!point_job}).
 
     Fields may appear in any order; [seed] defaults to [1], [p] (the
     per-site fault probability, in [0..1]) defaults to [0.01], and [kinds]
@@ -29,7 +33,7 @@
     the seed, so a given seed yields a reproducible fault plan per domain
     (modulo which domain executes which task). *)
 
-type kind = Raise | Delay | Starve
+type kind = Raise | Delay | Starve | Jobs
 
 type config = { seed : int; p : float; kinds : kind list }
 
@@ -60,6 +64,13 @@ val point_task : unit -> unit
 (** Fault point in the steal path: true when this steal attempt should
     spuriously fail ([starve]).  Always false when chaos is off. *)
 val starve_steal : unit -> bool
+
+(** Fault point at the start of a service job attempt ([jobs] kind):
+    [`Cancel n] asks the caller to cancel the attempt (payload: the
+    global fault counter, for {!Injected_fault}), [`Delay s] asks it to
+    sleep [s] seconds before starting.  [`None] when chaos is off or
+    the [jobs] kind is not active. *)
+val point_job : unit -> [ `None | `Cancel of int | `Delay of float ]
 
 (** Total faults injected since start (all kinds, all domains). *)
 val faults_injected : unit -> int

@@ -311,6 +311,22 @@ let promise_result (p : 'a promise) : 'a =
 let still_pending (p : 'a promise) =
   match Atomic.get p with Pending _ -> true | _ -> false
 
+(* Non-blocking observers, for callers (the job service) that must wait
+   for a promise from a sys-thread without spinning in [await]'s
+   outside-pool help loop.  [on_resolve]'s thunk runs on the fulfilling
+   domain, synchronously inside [fulfill]'s waiter sweep — it must be
+   fast and must not raise (a raise there would escape the scheduler on
+   a worker domain and poison the pool). *)
+
+let peek (p : 'a promise) =
+  match Atomic.get p with
+  | Pending _ -> None
+  | Returned v -> Some (Ok v)
+  | Raised (e, bt) -> Some (Error (e, bt))
+
+let on_resolve (p : 'a promise) (w : unit -> unit) =
+  if not (add_waiter p w) then w ()
+
 (* ------------------------------------------------------------------ *)
 (* Worker loop                                                         *)
 
@@ -471,20 +487,38 @@ let local_deque_empty pool =
     Ws_deque.is_empty pool.deques.(ctx_id)
   | _ -> true
 
+let promise_task f p () =
+  match
+    Chaos.point_task ();
+    f ()
+  with
+  | v -> fulfill p (Returned v)
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    fulfill p (Raised (e, bt))
+
 let async pool f =
   check_alive pool;
   let p = promise () in
-  let task () =
-    match
-      Chaos.point_task ();
-      f ()
-    with
-    | v -> fulfill p (Returned v)
-    | exception e ->
-      let bt = Printexc.get_raw_backtrace () in
-      fulfill p (Raised (e, bt))
-  in
-  push_task pool task;
+  push_task pool (promise_task f p);
+  p
+
+(* Submission path for sys-threads that may share a domain with a pool
+   member: the worker-context DLS is domain-local, so such a thread can
+   observe the member's context and [push_task] would then touch the
+   member's deque owner-side — a single-owner violation.  Routing
+   unconditionally through the mutex-protected overflow queue is always
+   safe, whatever thread calls it. *)
+let async_external pool f =
+  check_alive pool;
+  let p = promise () in
+  Telemetry.incr_tasks_spawned ();
+  Telemetry.incr_overflow_pushes ();
+  Mutex.lock pool.overflow_mutex;
+  Queue.push (promise_task f p) pool.overflow;
+  Atomic.incr pool.overflow_size;
+  Mutex.unlock pool.overflow_mutex;
+  wake_idlers pool;
   p
 
 let await pool p =

@@ -55,6 +55,29 @@ val async : t -> (unit -> 'a) -> 'a promise
     @raise Worker_crashed if the pool is poisoned while waiting. *)
 val await : t -> 'a promise -> 'a
 
+(** Like {!async}, but always routes the task through the external
+    overflow queue, never the calling worker's deque.  Required for
+    sys-threads that may {e share a domain} with a pool member (e.g. the
+    job service's runner threads on the main domain): the worker context
+    is domain-local, so such a thread could otherwise push to a deque it
+    does not own concurrently with the owner.
+    @raise Shutdown on a torn-down pool.
+    @raise Worker_crashed on a poisoned pool. *)
+val async_external : t -> (unit -> 'a) -> 'a promise
+
+(** [peek p] is the promise's result if it has resolved ([Ok] /
+    [Error (exn, backtrace)]), or [None] while pending.  Never blocks,
+    never raises. *)
+val peek : 'a promise -> ('a, exn * Printexc.raw_backtrace) result option
+
+(** [on_resolve p w] runs [w] as soon as [p] resolves — immediately (in
+    the calling thread) if it already has, otherwise on whichever domain
+    fulfills it, synchronously inside the fulfill path.  [w] must be
+    cheap and must not raise.  This is how the job service's runner
+    threads get woken by a condition variable instead of spinning in
+    {!await}'s outside-pool help loop. *)
+val on_resolve : 'a promise -> (unit -> unit) -> unit
+
 (** [run pool f] executes [f] with the calling domain acting as worker 0
     and returns its result. Only one concurrent [run] per pool; calls from
     within pool tasks execute [f] inline.

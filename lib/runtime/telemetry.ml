@@ -26,8 +26,19 @@ type counters = {
   mutable chaos_injections : int;
   mutable fused_folds : int;
   mutable trickle_fallbacks : int;
-  (* Padding out to two cache lines (the 10 counters above plus these
-     pads are 128 bytes of payload): adjacent domains' records can never
+  (* Job-service outcome counters (lib/service): every admitted job
+     resolves to exactly one terminal outcome, and the service bumps the
+     matching counter at that single completion point. *)
+  mutable jobs_admitted : int;
+  mutable jobs_completed : int;
+  mutable jobs_cancelled : int;
+  mutable jobs_deadline_exceeded : int;
+  mutable jobs_failed : int;
+  mutable jobs_retried : int;
+  mutable jobs_shed : int;
+  mutable jobs_retries_shed : int;
+  (* Padding out to three cache lines (the 18 counters above plus these
+     pads are 192 bytes of payload): adjacent domains' records can never
      share a line even when the allocator places them back to back. *)
   mutable pad0 : int;
   mutable pad1 : int;
@@ -48,6 +59,14 @@ type snapshot = {
   s_chaos_injections : int;
   s_fused_folds : int;
   s_trickle_fallbacks : int;
+  s_jobs_admitted : int;
+  s_jobs_completed : int;
+  s_jobs_cancelled : int;
+  s_jobs_deadline_exceeded : int;
+  s_jobs_failed : int;
+  s_jobs_retried : int;
+  s_jobs_shed : int;
+  s_jobs_retries_shed : int;
 }
 
 let registry_mutex = Mutex.create ()
@@ -66,6 +85,14 @@ let fresh_counters () =
     chaos_injections = 0;
     fused_folds = 0;
     trickle_fallbacks = 0;
+    jobs_admitted = 0;
+    jobs_completed = 0;
+    jobs_cancelled = 0;
+    jobs_deadline_exceeded = 0;
+    jobs_failed = 0;
+    jobs_retried = 0;
+    jobs_shed = 0;
+    jobs_retries_shed = 0;
     pad0 = 0;
     pad1 = 0;
     pad2 = 0;
@@ -124,6 +151,38 @@ let[@inline] incr_trickle_fallbacks () =
   let c = local () in
   c.trickle_fallbacks <- c.trickle_fallbacks + 1
 
+let[@inline] incr_jobs_admitted () =
+  let c = local () in
+  c.jobs_admitted <- c.jobs_admitted + 1
+
+let[@inline] incr_jobs_completed () =
+  let c = local () in
+  c.jobs_completed <- c.jobs_completed + 1
+
+let[@inline] incr_jobs_cancelled () =
+  let c = local () in
+  c.jobs_cancelled <- c.jobs_cancelled + 1
+
+let[@inline] incr_jobs_deadline_exceeded () =
+  let c = local () in
+  c.jobs_deadline_exceeded <- c.jobs_deadline_exceeded + 1
+
+let[@inline] incr_jobs_failed () =
+  let c = local () in
+  c.jobs_failed <- c.jobs_failed + 1
+
+let[@inline] incr_jobs_retried () =
+  let c = local () in
+  c.jobs_retried <- c.jobs_retried + 1
+
+let[@inline] incr_jobs_shed () =
+  let c = local () in
+  c.jobs_shed <- c.jobs_shed + 1
+
+let[@inline] incr_jobs_retries_shed () =
+  let c = local () in
+  c.jobs_retries_shed <- c.jobs_retries_shed + 1
+
 let zero =
   {
     s_tasks_spawned = 0;
@@ -136,6 +195,14 @@ let zero =
     s_chaos_injections = 0;
     s_fused_folds = 0;
     s_trickle_fallbacks = 0;
+    s_jobs_admitted = 0;
+    s_jobs_completed = 0;
+    s_jobs_cancelled = 0;
+    s_jobs_deadline_exceeded = 0;
+    s_jobs_failed = 0;
+    s_jobs_retried = 0;
+    s_jobs_shed = 0;
+    s_jobs_retries_shed = 0;
   }
 
 let snapshot () =
@@ -155,6 +222,15 @@ let snapshot () =
         s_chaos_injections = acc.s_chaos_injections + c.chaos_injections;
         s_fused_folds = acc.s_fused_folds + c.fused_folds;
         s_trickle_fallbacks = acc.s_trickle_fallbacks + c.trickle_fallbacks;
+        s_jobs_admitted = acc.s_jobs_admitted + c.jobs_admitted;
+        s_jobs_completed = acc.s_jobs_completed + c.jobs_completed;
+        s_jobs_cancelled = acc.s_jobs_cancelled + c.jobs_cancelled;
+        s_jobs_deadline_exceeded =
+          acc.s_jobs_deadline_exceeded + c.jobs_deadline_exceeded;
+        s_jobs_failed = acc.s_jobs_failed + c.jobs_failed;
+        s_jobs_retried = acc.s_jobs_retried + c.jobs_retried;
+        s_jobs_shed = acc.s_jobs_shed + c.jobs_shed;
+        s_jobs_retries_shed = acc.s_jobs_retries_shed + c.jobs_retries_shed;
       })
     zero records
 
@@ -184,6 +260,15 @@ let diff_checked ~before ~after =
       s_chaos_injections = d after.s_chaos_injections before.s_chaos_injections;
       s_fused_folds = d after.s_fused_folds before.s_fused_folds;
       s_trickle_fallbacks = d after.s_trickle_fallbacks before.s_trickle_fallbacks;
+      s_jobs_admitted = d after.s_jobs_admitted before.s_jobs_admitted;
+      s_jobs_completed = d after.s_jobs_completed before.s_jobs_completed;
+      s_jobs_cancelled = d after.s_jobs_cancelled before.s_jobs_cancelled;
+      s_jobs_deadline_exceeded =
+        d after.s_jobs_deadline_exceeded before.s_jobs_deadline_exceeded;
+      s_jobs_failed = d after.s_jobs_failed before.s_jobs_failed;
+      s_jobs_retried = d after.s_jobs_retried before.s_jobs_retried;
+      s_jobs_shed = d after.s_jobs_shed before.s_jobs_shed;
+      s_jobs_retries_shed = d after.s_jobs_retries_shed before.s_jobs_retries_shed;
     }
   in
   (s, !clamped)
@@ -202,6 +287,14 @@ let to_assoc s =
     ("chaos_injections", s.s_chaos_injections);
     ("fused_folds", s.s_fused_folds);
     ("trickle_fallbacks", s.s_trickle_fallbacks);
+    ("jobs_admitted", s.s_jobs_admitted);
+    ("jobs_completed", s.s_jobs_completed);
+    ("jobs_cancelled", s.s_jobs_cancelled);
+    ("jobs_deadline_exceeded", s.s_jobs_deadline_exceeded);
+    ("jobs_failed", s.s_jobs_failed);
+    ("jobs_retried", s.s_jobs_retried);
+    ("jobs_shed", s.s_jobs_shed);
+    ("jobs_retries_shed", s.s_jobs_retries_shed);
   ]
 
 let pp s =

@@ -26,6 +26,15 @@ type snapshot = {
       (** stream consumers that drove a native push fold (Stream) *)
   s_trickle_fallbacks : int;
       (** stream consumers that drove a trickle-derived fold (Stream) *)
+  s_jobs_admitted : int;  (** jobs accepted by the service admission queue *)
+  s_jobs_completed : int;  (** jobs that produced a result *)
+  s_jobs_cancelled : int;  (** jobs terminated by an explicit cancel *)
+  s_jobs_deadline_exceeded : int;  (** jobs terminated by their deadline *)
+  s_jobs_failed : int;  (** jobs that exhausted retries or raised *)
+  s_jobs_retried : int;  (** retry attempts scheduled (one per re-run) *)
+  s_jobs_shed : int;  (** submissions rejected at admission (overload) *)
+  s_jobs_retries_shed : int;
+      (** retries suppressed by an open circuit breaker *)
 }
 
 (** Sum of every domain's counters (racy lower bound; monotone). *)
@@ -65,3 +74,16 @@ val incr_chaos_injections : unit -> unit
 
 val incr_fused_folds : unit -> unit
 val incr_trickle_fallbacks : unit -> unit
+
+(** Bumped by the job service ([lib/service]): exactly one terminal-
+    outcome increment per admitted job, plus the admission / retry /
+    shedding events around it.  See docs/SERVICE.md. *)
+
+val incr_jobs_admitted : unit -> unit
+val incr_jobs_completed : unit -> unit
+val incr_jobs_cancelled : unit -> unit
+val incr_jobs_deadline_exceeded : unit -> unit
+val incr_jobs_failed : unit -> unit
+val incr_jobs_retried : unit -> unit
+val incr_jobs_shed : unit -> unit
+val incr_jobs_retries_shed : unit -> unit

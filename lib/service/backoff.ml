@@ -1,0 +1,15 @@
+(* Exponential backoff with splitmix jitter (see backoff.mli). *)
+
+type t = { base_s : float; factor : float; max_s : float; jitter : float }
+
+let default = { base_s = 0.005; factor = 2.0; max_s = 0.25; jitter = 0.5 }
+
+let delay t ~seed ~attempt =
+  let attempt = max 1 attempt in
+  let raw = t.base_s *. (t.factor ** float_of_int (attempt - 1)) in
+  let capped = Float.min raw t.max_s in
+  (* Uniform in [1 - jitter, 1 + jitter]: variate [attempt] of stream
+     [seed], so the schedule is deterministic per (seed, attempt). *)
+  let u = Bds_data.Splitmix.float_at ~seed attempt in
+  let factor = 1.0 -. t.jitter +. (2.0 *. t.jitter *. u) in
+  Float.max 1e-6 (capped *. factor)

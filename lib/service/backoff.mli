@@ -1,0 +1,26 @@
+(** Exponential retry backoff with deterministic jitter.
+
+    The delay before retry attempt [k] (the first retry is [k = 1]) is
+
+    {v base * factor^(k-1), capped at max, then jittered v}
+
+    where the jitter multiplies by a factor drawn uniformly from
+    [1 - jitter, 1 + jitter].  The draw is {!Bds_data.Splitmix} at
+    [(seed, k)], so a job's retry schedule is a pure function of its
+    seed — reproducible across runs, yet decorrelated between jobs
+    (no thundering-herd retry waves). *)
+
+type t = {
+  base_s : float;  (** first-retry delay, seconds *)
+  factor : float;  (** exponential growth per further retry, >= 1 *)
+  max_s : float;  (** cap applied before jitter *)
+  jitter : float;  (** relative jitter amplitude in [0, 1] *)
+}
+
+val default : t
+(** 5ms base, factor 2, 250ms cap, 0.5 jitter — tuned for a service
+    whose jobs run in the millisecond-to-second range. *)
+
+val delay : t -> seed:int -> attempt:int -> float
+(** Delay in seconds before retry [attempt] (>= 1).  Always positive
+    and at most [max_s * (1 + jitter)]. *)

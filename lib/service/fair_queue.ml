@@ -1,0 +1,105 @@
+(* Round-robin multi-tenant queue (see fair_queue.mli).
+
+   Tenants are kept in an arrival-ordered ring ([order]); [cursor]
+   points at the tenant to serve next.  An empty sub-queue stays in the
+   ring (tenant sets are small — removing and re-adding would just churn
+   the ring), it is simply skipped. *)
+
+type 'a t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  tenants : (string, 'a Queue.t) Hashtbl.t;
+  mutable order : string array;  (* ring of known tenants *)
+  mutable cursor : int;
+  mutable size : int;
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    tenants = Hashtbl.create 8;
+    order = [||];
+    cursor = 0;
+    size = 0;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let subqueue t tenant =
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.tenants tenant q;
+    t.order <- Array.append t.order [| tenant |];
+    q
+
+let push t ~tenant v =
+  locked t (fun () ->
+      if t.closed then false
+      else begin
+        Queue.push v (subqueue t tenant);
+        t.size <- t.size + 1;
+        Condition.signal t.cv;
+        true
+      end)
+
+(* Next item in round-robin order, advancing the cursor past the tenant
+   served (call with the mutex held; returns None when empty). *)
+let pick t =
+  let n = Array.length t.order in
+  if n = 0 || t.size = 0 then None
+  else begin
+    let rec go k =
+      if k >= n then None
+      else
+        let i = (t.cursor + k) mod n in
+        let q = Hashtbl.find t.tenants t.order.(i) in
+        if Queue.is_empty q then go (k + 1)
+        else begin
+          t.cursor <- (i + 1) mod n;
+          t.size <- t.size - 1;
+          Some (Queue.pop q)
+        end
+    in
+    go 0
+  end
+
+let take t =
+  locked t (fun () ->
+      let rec wait () =
+        match pick t with
+        | Some _ as r -> r
+        | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.cv t.m;
+            wait ()
+          end
+      in
+      wait ())
+
+let length t = locked t (fun () -> t.size)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.cv)
+
+let drain t =
+  locked t (fun () ->
+      let acc = ref [] in
+      let rec go () =
+        match pick t with
+        | Some v ->
+          acc := v :: !acc;
+          go ()
+        | None -> ()
+      in
+      go ();
+      List.rev !acc)

@@ -1,0 +1,32 @@
+(** Multi-tenant FIFO queue with round-robin fairness.
+
+    Each tenant gets its own FIFO sub-queue; {!take} serves tenants in
+    round-robin order, so a tenant flooding the service cannot starve
+    the others — within a tenant, order stays FIFO.  The queue itself
+    is unbounded: admission control (the outstanding-job bound) lives
+    in {!Service}, which checks before pushing.
+
+    Thread-safe; {!take} blocks on a condition variable until an item
+    or {!close} arrives. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> tenant:string -> 'a -> bool
+(** Enqueue for [tenant].  False (and no enqueue) after {!close}. *)
+
+val take : 'a t -> 'a option
+(** Blocking round-robin dequeue; [None] once the queue is closed {e
+    and} drained. *)
+
+val length : 'a t -> int
+(** Total queued items across tenants (racy snapshot). *)
+
+val close : 'a t -> unit
+(** Reject further pushes and wake all blocked takers; queued items
+    are still handed out until drained. *)
+
+val drain : 'a t -> 'a list
+(** Atomically remove and return everything queued (round-robin
+    order).  Used by non-draining shutdown to fail queued jobs fast. *)

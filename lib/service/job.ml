@@ -1,0 +1,38 @@
+(* Job descriptors and typed terminal outcomes (see job.mli). *)
+
+type request = {
+  kind : string;
+  params : (string * string) list;
+  tenant : string;
+  deadline_ms : int option;
+  retries : int option;
+}
+
+let request ?(params = []) ?(tenant = "default") ?deadline_ms ?retries kind =
+  { kind; params; tenant; deadline_ms; retries }
+
+exception Transient of string
+
+type outcome =
+  | Completed of string
+  | Failed of string
+  | Cancelled
+  | Deadline_exceeded
+
+type reject = Overloaded | Shutting_down
+
+let outcome_label = function
+  | Completed _ -> "completed"
+  | Failed _ -> "failed"
+  | Cancelled -> "cancelled"
+  | Deadline_exceeded -> "deadline_exceeded"
+
+let reject_label = function
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+
+let pp_outcome = function
+  | Completed s -> Printf.sprintf "completed(%s)" s
+  | Failed s -> Printf.sprintf "failed(%s)" s
+  | Cancelled -> "cancelled"
+  | Deadline_exceeded -> "deadline_exceeded"

@@ -1,0 +1,58 @@
+(** Job descriptors and typed terminal outcomes for the pipeline
+    service.
+
+    A {e job} is one client-submitted pipeline run: a workload kind
+    (see {!Workload}) with parameters, owned by a tenant, optionally
+    carrying a wall-clock deadline and a retry budget.  Every admitted
+    job resolves to {e exactly one} terminal {!outcome}; submissions the
+    admission controller refuses get a typed {!reject} instead of an
+    outcome (they were never admitted).  The full failure matrix lives
+    in docs/SERVICE.md. *)
+
+(** What the client asked for.  [params] are the raw [key=value] pairs
+    of the request; {!Workload.build} validates them. *)
+type request = {
+  kind : string;  (** workload name, e.g. ["sum"], ["busy"], ["fail"] *)
+  params : (string * string) list;
+  tenant : string;  (** fair-scheduling key; defaults to ["default"] *)
+  deadline_ms : int option;  (** wall-clock budget from admission *)
+  retries : int option;  (** per-job override of the retry budget *)
+}
+
+val request :
+  ?params:(string * string) list ->
+  ?tenant:string ->
+  ?deadline_ms:int ->
+  ?retries:int ->
+  string ->
+  request
+
+(** Raised by workload bodies to signal a {e retryable} fault (the
+    job-level analogue of [Chaos.Injected_fault]).  The scheduler
+    retries it under the backoff policy; any other exception is
+    terminal. *)
+exception Transient of string
+
+(** The single terminal outcome of an admitted job. *)
+type outcome =
+  | Completed of string  (** result payload, rendered by the workload *)
+  | Failed of string  (** terminal fault: retries exhausted / shed by the
+                          circuit breaker / non-retryable exception /
+                          worker crash *)
+  | Cancelled  (** explicit [cancel], or service shutdown without drain *)
+  | Deadline_exceeded
+
+(** Typed admission refusal (the job was never admitted). *)
+type reject =
+  | Overloaded  (** outstanding-job bound reached: load was shed *)
+  | Shutting_down
+
+val outcome_label : outcome -> string
+(** Stable one-token label: [completed] / [failed] / [cancelled] /
+    [deadline_exceeded] (the telemetry-counter and protocol names). *)
+
+val reject_label : reject -> string
+(** [overloaded] / [shutting_down]. *)
+
+val pp_outcome : outcome -> string
+(** Label plus payload, for logs and test failure messages. *)

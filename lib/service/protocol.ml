@@ -1,0 +1,139 @@
+(* Line protocol parsing/rendering (see protocol.mli).  Pure string
+   functions — the socket plumbing lives in Server. *)
+
+type command =
+  | Submit of Job.request
+  | Post of Job.request
+  | Wait of int
+  | Stats
+  | Quit
+
+type response =
+  | R_outcome of Job.outcome
+  | R_accepted of int
+  | R_rejected of Job.reject
+  | R_bad of string
+  | R_stats of string
+  | R_bye
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* Fold [key=value] tokens into a Job.request, routing the reserved keys
+   into their typed fields. *)
+let parse_request kind args =
+  let ( let* ) = Result.bind in
+  let int_field key v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "%s: not a non-negative integer: %S" key v)
+  in
+  let rec go req = function
+    | [] -> Ok { req with Job.params = List.rev req.Job.params }
+    | tok :: rest -> (
+      match String.index_opt tok '=' with
+      | None -> Error (Printf.sprintf "malformed argument %S (want key=value)" tok)
+      | Some i ->
+        let key = String.sub tok 0 i in
+        let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+        if key = "" then
+          Error (Printf.sprintf "malformed argument %S (empty key)" tok)
+        else
+          let* req =
+            match key with
+            | "tenant" -> Ok { req with Job.tenant = v }
+            | "deadline_ms" ->
+              let* n = int_field key v in
+              Ok { req with Job.deadline_ms = Some n }
+            | "retries" ->
+              let* n = int_field key v in
+              Ok { req with Job.retries = Some n }
+            | _ -> Ok { req with Job.params = (key, v) :: req.Job.params }
+          in
+          go req rest)
+  in
+  go (Job.request kind) args
+
+let parse_command line =
+  match tokens line with
+  | [] -> Error "empty request"
+  | verb :: rest -> (
+    match (String.uppercase_ascii verb, rest) with
+    | "SUBMIT", kind :: args ->
+      Result.map (fun r -> Submit r) (parse_request kind args)
+    | "SUBMIT", [] -> Error "SUBMIT: missing kind"
+    | "POST", kind :: args ->
+      Result.map (fun r -> Post r) (parse_request kind args)
+    | "POST", [] -> Error "POST: missing kind"
+    | "WAIT", [ id ] -> (
+      match int_of_string_opt id with
+      | Some n when n > 0 -> Ok (Wait n)
+      | _ -> Error (Printf.sprintf "WAIT: not a job id: %S" id))
+    | "WAIT", _ -> Error "WAIT: want exactly one job id"
+    | "STATS", [] -> Ok Stats
+    | "QUIT", [] -> Ok Quit
+    | _ -> Error (Printf.sprintf "unknown request %S" verb))
+
+let render_request verb (r : Job.request) =
+  let field k = function Some v -> [ k ^ "=" ^ string_of_int v ] | None -> [] in
+  String.concat " "
+    ((verb :: r.Job.kind
+      :: (if r.Job.tenant = "default" then [] else [ "tenant=" ^ r.Job.tenant ]))
+    @ field "deadline_ms" r.Job.deadline_ms
+    @ field "retries" r.Job.retries
+    @ List.map (fun (k, v) -> k ^ "=" ^ v) r.Job.params)
+
+let render_command = function
+  | Submit r -> render_request "SUBMIT" r
+  | Post r -> render_request "POST" r
+  | Wait id -> Printf.sprintf "WAIT %d" id
+  | Stats -> "STATS"
+  | Quit -> "QUIT"
+
+let render_outcome o =
+  match o with
+  | Job.Completed payload -> "OK completed " ^ one_line payload
+  | Job.Failed msg -> "OK failed " ^ one_line msg
+  | Job.Cancelled -> "OK cancelled"
+  | Job.Deadline_exceeded -> "OK deadline_exceeded"
+
+let render_reject r = "REJECTED " ^ Job.reject_label r
+
+let render_bad msg = "BAD " ^ one_line msg
+
+let render_accepted id = Printf.sprintf "ACCEPTED %d" id
+
+let parse_response line =
+  let split_verb line =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+      ( String.sub line 0 i,
+        String.sub line (i + 1) (String.length line - i - 1) )
+  in
+  let verb, rest = split_verb (String.trim line) in
+  match verb with
+  | "OK" -> (
+    let label, payload = split_verb rest in
+    match label with
+    | "completed" -> Ok (R_outcome (Job.Completed payload))
+    | "failed" -> Ok (R_outcome (Job.Failed payload))
+    | "cancelled" -> Ok (R_outcome Job.Cancelled)
+    | "deadline_exceeded" -> Ok (R_outcome Job.Deadline_exceeded)
+    | _ -> Error (Printf.sprintf "unknown outcome label %S" label))
+  | "ACCEPTED" -> (
+    match int_of_string_opt rest with
+    | Some id -> Ok (R_accepted id)
+    | None -> Error (Printf.sprintf "ACCEPTED: bad id %S" rest))
+  | "REJECTED" -> (
+    match rest with
+    | "overloaded" -> Ok (R_rejected Job.Overloaded)
+    | "shutting_down" -> Ok (R_rejected Job.Shutting_down)
+    | _ -> Error (Printf.sprintf "unknown reject label %S" rest))
+  | "BAD" -> Ok (R_bad rest)
+  | "STATS" -> Ok (R_stats rest)
+  | "BYE" -> Ok R_bye
+  | _ -> Error (Printf.sprintf "unknown response %S" line)

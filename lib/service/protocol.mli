@@ -1,0 +1,68 @@
+(** Wire protocol of [bds_serve]: newline-delimited requests, typed
+    newline-delimited responses, over a Unix-domain socket.
+
+    Requests (one per line, space-separated tokens):
+
+    {v
+    SUBMIT <kind> [key=value ...]   run a job, block for its outcome
+    POST   <kind> [key=value ...]   admit a job, reply immediately
+    WAIT   <id>                     block for a POSTed job's outcome
+    STATS                           one-line JSON service summary
+    QUIT                            close the connection
+    v}
+
+    The reserved keys [tenant], [deadline_ms] and [retries] populate the
+    corresponding {!Job.request} fields; every other [key=value] pair is
+    passed to the workload as a parameter.
+
+    Responses (exactly one line per request; first token is the type):
+
+    {v
+    OK <outcome_label> [payload]    terminal outcome (SUBMIT / WAIT)
+    ACCEPTED <id>                   POST admitted
+    REJECTED <reject_label>         admission refused (overloaded /
+                                    shutting_down)
+    BAD <message>                   malformed request; never admitted
+    STATS <json>                    service summary
+    BYE                             reply to QUIT
+    v}
+
+    [OK completed <payload>] carries the workload result; [OK failed
+    <message>] the terminal error; [OK cancelled] and
+    [OK deadline_exceeded] are bare.  Parsing and rendering are pure so
+    the protocol is unit-testable without a socket. *)
+
+type command =
+  | Submit of Job.request  (** blocking: respond with the outcome *)
+  | Post of Job.request  (** fire-and-forget: respond [ACCEPTED id] *)
+  | Wait of int
+  | Stats
+  | Quit
+
+val parse_command : string -> (command, string) result
+(** Parse one request line.  [Error msg] renders as [BAD msg]. *)
+
+val render_command : command -> string
+(** Inverse of {!parse_command} (params in listed order). *)
+
+val render_outcome : Job.outcome -> string
+(** The [OK ...] response line. *)
+
+val render_reject : Job.reject -> string
+(** The [REJECTED ...] response line. *)
+
+val render_bad : string -> string
+(** The [BAD ...] response line (message flattened to one line). *)
+
+val render_accepted : int -> string
+
+(** A parsed response, for clients and tests. *)
+type response =
+  | R_outcome of Job.outcome
+  | R_accepted of int
+  | R_rejected of Job.reject
+  | R_bad of string
+  | R_stats of string  (** raw JSON payload *)
+  | R_bye
+
+val parse_response : string -> (response, string) result

@@ -1,0 +1,152 @@
+(* Unix-socket front end (see server.mli). *)
+
+module Telemetry = Bds_runtime.Telemetry
+module Profile = Bds_runtime.Profile
+
+let log_src = Logs.Src.create "bds.server" ~doc:"bds_serve socket front end"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  service : Service.t;
+  path : string;
+  listen_fd : Unix.file_descr;
+  stopping : bool Atomic.t;
+  (* POSTed jobs waiting for a WAIT, shared across connections. *)
+  tickets : (int, Service.ticket) Hashtbl.t;
+  tickets_m : Mutex.t;
+}
+
+let create ?config ~path () =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 64;
+  {
+    service = Service.create ?config ();
+    path;
+    listen_fd;
+    stopping = Atomic.make false;
+    tickets = Hashtbl.create 64;
+    tickets_m = Mutex.create ();
+  }
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    (* Closing the listener makes the blocked [accept] fail, which is
+       the wake-up; shutdown proper happens in [serve]'s exit path so a
+       signal handler stays minimal. *)
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+let stats_json t =
+  let s = Service.summary t.service in
+  let jobs =
+    Telemetry.to_assoc (Telemetry.snapshot ())
+    |> List.filter (fun (k, _) -> String.length k > 5 && String.sub k 0 5 = "jobs_")
+    |> List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"workers\":%d,\"queue_depth\":%d,\"outstanding\":%d,\"breaker\":%S,\"jobs\":{%s}}"
+    s.Service.sm_workers s.Service.sm_queue_depth s.Service.sm_outstanding
+    s.Service.sm_breaker jobs
+
+let remember t ticket =
+  Mutex.lock t.tickets_m;
+  Hashtbl.replace t.tickets (Service.id ticket) ticket;
+  Mutex.unlock t.tickets_m
+
+let recall t id =
+  Mutex.lock t.tickets_m;
+  let r = Hashtbl.find_opt t.tickets id in
+  Mutex.unlock t.tickets_m;
+  r
+
+let respond_submit t req =
+  match Service.submit t.service req with
+  | Error (`Rejected r) -> Protocol.render_reject r
+  | Error (`Bad_request msg) -> Protocol.render_bad msg
+  | Ok ticket -> Protocol.render_outcome (Service.wait ticket)
+
+let respond_post t req =
+  match Service.submit t.service req with
+  | Error (`Rejected r) -> Protocol.render_reject r
+  | Error (`Bad_request msg) -> Protocol.render_bad msg
+  | Ok ticket ->
+    remember t ticket;
+    Protocol.render_accepted (Service.id ticket)
+
+let respond_wait t id =
+  match recall t id with
+  | None -> Protocol.render_bad (Printf.sprintf "unknown job id %d" id)
+  | Some ticket -> Protocol.render_outcome (Service.wait ticket)
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line -> (
+      match Protocol.parse_command line with
+      | Error msg ->
+        send (Protocol.render_bad msg);
+        loop ()
+      | Ok (Protocol.Submit req) ->
+        send (respond_submit t req);
+        loop ()
+      | Ok (Protocol.Post req) ->
+        send (respond_post t req);
+        loop ()
+      | Ok (Protocol.Wait id) ->
+        send (respond_wait t id);
+        loop ()
+      | Ok Protocol.Stats ->
+        send ("STATS " ^ stats_json t);
+        loop ()
+      | Ok Protocol.Quit -> send "BYE")
+  in
+  (try loop ()
+   with e ->
+     (* A dropped connection (EPIPE on send, etc.) must not kill the
+        server; it only ends this conversation. *)
+     Log.debug (fun m -> m "connection error: %s" (Printexc.to_string e)));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve t =
+  Log.app (fun m ->
+      m "bds_serve listening on %s (capacity=%d runners=%d)" t.path
+        (Service.config t.service).Service.capacity
+        (Service.config t.service).Service.runners);
+  let rec accept_loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      ignore (Thread.create (fun () -> handle_connection t fd) ());
+      accept_loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      when Atomic.get t.stopping ->
+      ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Atomic.get t.stopping then () else accept_loop ()
+  in
+  accept_loop ();
+  Log.app (fun m -> m "bds_serve stopping");
+  (* Cancel outstanding jobs rather than draining: a signalled server
+     should exit promptly, and every admitted job still resolves
+     (Cancelled) before we return.  Service.shutdown flushes the trace
+     recorder. *)
+  Service.shutdown ~drain:false t.service;
+  if Profile.enabled () then
+    prerr_string
+      (Profile.render ~workers:(Bds_runtime.Runtime.num_workers ())
+         (Profile.rows ()));
+  (try Unix.unlink t.path with Unix.Unix_error _ -> ());
+  Log.app (fun m -> m "bds_serve stopped")

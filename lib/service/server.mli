@@ -1,0 +1,29 @@
+(** Unix-domain-socket front end for {!Service}, speaking {!Protocol}.
+
+    One accept loop, one sys-thread per connection.  {!stop} is safe to
+    call from a signal handler: it atomically flips the stopping flag
+    and closes the listening socket, which unblocks the accept loop; the
+    loop then shuts the service down (cancelling outstanding jobs),
+    which flushes the trace recorder, and emits the profiler report if
+    profiling is enabled — so a [bds_serve] killed by SIGINT/SIGTERM
+    never silently truncates its observability output. *)
+
+type t
+
+val create : ?config:Service.config -> path:string -> unit -> t
+(** Bind and listen on the Unix socket at [path] (unlinking any stale
+    socket file first) and start the backing {!Service}.
+    @raise Unix.Unix_error if the bind fails. *)
+
+val serve : t -> unit
+(** Run the accept loop until {!stop}.  Returns after the service has
+    fully shut down (every admitted job resolved, trace flushed) and the
+    socket file is removed. *)
+
+val stop : t -> unit
+(** Request shutdown.  Async-signal-safe in the OCaml sense (runs from
+    [Sys.signal] handlers); idempotent. *)
+
+val stats_json : t -> string
+(** The [STATS] payload: one-line JSON with the {!Service.summary}
+    fields and the [jobs_*] telemetry counters. *)

@@ -1,0 +1,588 @@
+(* The multi-tenant job scheduler (see service.mli and docs/SERVICE.md).
+
+   Threading model.  The service runs entirely on sys-threads of the
+   submitting domain plus the shared worker pool:
+
+   - [runners] runner threads loop on the fair queue and drive one job
+     each at a time: per-attempt chaos hook, submission of the attempt
+     body to the pool via [Pool.async_external] (never the deque of a
+     worker whose domain we might share), a condition-variable wait for
+     the promise (woken by [Pool.on_resolve] from the fulfilling
+     domain), then outcome classification and the retry loop;
+   - one monitor thread ticks every [poll_cadence_s]: it resolves
+     queued jobs whose deadline passed, cancels the scope of running
+     jobs past deadline, and broadcasts every running job's condition
+     variable so runner waits re-check liveness (a poisoned pool whose
+     promise will never resolve) at the cadence.
+
+   Exactly-once outcomes.  All terminal transitions funnel through
+   [complete], which assigns the outcome under the job's mutex at most
+   once; every later call is a benign no-op (the monitor, an explicit
+   cancel, and the runner legitimately race).  The telemetry counter
+   for the outcome is bumped iff the assignment won, so the counters
+   are an exact per-outcome partition of admitted jobs. *)
+
+module Pool = Bds_runtime.Pool
+module Runtime = Bds_runtime.Runtime
+module Cancel = Bds_runtime.Cancel
+module Chaos = Bds_runtime.Chaos
+module Telemetry = Bds_runtime.Telemetry
+module Profile = Bds_runtime.Profile
+module Trace = Bds_runtime.Trace
+
+let log_src = Logs.Src.create "bds.service" ~doc:"Pipeline job service"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  capacity : int;
+  runners : int;
+  poll_cadence_s : float;
+  max_retries : int;
+  backoff : Backoff.t;
+  breaker : Breaker.config;
+}
+
+let default_config =
+  {
+    capacity = 64;
+    runners = 4;
+    poll_cadence_s = 0.002;
+    max_retries = 2;
+    backoff = Backoff.default;
+    breaker = Breaker.default_config;
+  }
+
+type job_state = Queued | Running | Done
+
+type job = {
+  jid : int;
+  request : Job.request;
+  work : attempt:int -> string;
+  deadline_at : float option;  (* absolute, Unix.gettimeofday clock *)
+  max_retries : int;
+  token : Cancel.t;  (* job scope: deadline / explicit cancel *)
+  jm : Mutex.t;
+  jcv : Condition.t;  (* completion + attempt-resolution broadcasts *)
+  mutable state : job_state;
+  mutable outcome : Job.outcome option;
+  mutable completions : int;  (* times an outcome was assigned (<= 1) *)
+  mutable deadline_hit : bool;  (* set (under [jm]) before cancelling *)
+  mutable on_complete : (Job.outcome -> unit) list;
+  mutable retries_used : int;
+}
+
+type ticket = job
+
+type t = {
+  cfg : config;
+  queue : job Fair_queue.t;
+  registry : (int, job) Hashtbl.t;  (* outstanding jobs, keyed by id *)
+  reg_m : Mutex.t;
+  outstanding : int Atomic.t;
+  next_id : int Atomic.t;
+  breaker : Breaker.t;
+  stopping : bool Atomic.t;  (* admission closed *)
+  monitor_stop : bool Atomic.t;
+  mutable pool : Pool.t;  (* current shared pool (healed on poisoning) *)
+  pool_m : Mutex.t;
+  mutable runner_threads : Thread.t list;
+  mutable monitor_thread : Thread.t option;
+}
+
+let config t = t.cfg
+
+let id (j : ticket) = j.jid
+
+let now () = Unix.gettimeofday ()
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let registry_snapshot t =
+  locked t.reg_m (fun () -> Hashtbl.fold (fun _ j acc -> j :: acc) t.registry [])
+
+(* ------------------------------------------------------------------ *)
+(* Exactly-once completion                                             *)
+
+let count_outcome = function
+  | Job.Completed _ -> Telemetry.incr_jobs_completed ()
+  | Job.Failed _ -> Telemetry.incr_jobs_failed ()
+  | Job.Cancelled -> Telemetry.incr_jobs_cancelled ()
+  | Job.Deadline_exceeded -> Telemetry.incr_jobs_deadline_exceeded ()
+
+(* Assign [outcome] if the job is still unresolved; true iff this call
+   won the assignment.  The loser of a (monitor | cancel | runner) race
+   is a silent no-op — the first terminal outcome sticks. *)
+let complete t job outcome =
+  let won =
+    locked job.jm (fun () ->
+        match job.outcome with
+        | Some _ -> None
+        | None ->
+          job.outcome <- Some outcome;
+          job.completions <- job.completions + 1;
+          job.state <- Done;
+          Condition.broadcast job.jcv;
+          let cbs = job.on_complete in
+          job.on_complete <- [];
+          Some cbs)
+  in
+  match won with
+  | None -> false
+  | Some cbs ->
+    count_outcome outcome;
+    locked t.reg_m (fun () -> Hashtbl.remove t.registry job.jid);
+    Atomic.decr t.outstanding;
+    Log.debug (fun m ->
+        m "job #%d (%s/%s) -> %s" job.jid job.request.Job.tenant
+          job.request.Job.kind (Job.pp_outcome outcome));
+    List.iter
+      (fun f -> try f outcome with _ -> ())
+      (List.rev cbs);
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Pool liveness and healing                                           *)
+
+let current_pool t = locked t.pool_m (fun () -> t.pool)
+
+(* Replace a poisoned/torn-down pool so the service keeps serving: the
+   global pool is swapped exactly once per dead pool (double-checked
+   under [pool_m]); later callers see the fresh one. *)
+let heal_pool t dead =
+  locked t.pool_m (fun () ->
+      if t.pool == dead then begin
+        Log.warn (fun m ->
+            m "backing pool is dead (%s); swapping in a fresh pool"
+              (match Pool.health dead with
+              | `Poisoned d -> d
+              | `Shutdown -> "shut down"
+              | `Ok -> "ok?"));
+        (try Runtime.shutdown () with _ -> ());
+        t.pool <- Runtime.get_pool ()
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Waiting                                                             *)
+
+let peek (j : ticket) = locked j.jm (fun () -> j.outcome)
+
+let wait (j : ticket) =
+  locked j.jm (fun () ->
+      while j.outcome = None do
+        Condition.wait j.jcv j.jm
+      done;
+      Option.get j.outcome)
+
+let wait_timeout (j : ticket) timeout_s =
+  let stop_at = now () +. timeout_s in
+  let rec go () =
+    match peek j with
+    | Some _ as r -> r
+    | None ->
+      if now () >= stop_at then None
+      else begin
+        Thread.delay 0.001;
+        go ()
+      end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Attempt execution                                                   *)
+
+(* Sleep up to [d] seconds in cadence slices, returning early when the
+   job resolves or its scope is cancelled (shutdown, deadline, explicit
+   cancel) — a backoff pause must never outlive the job. *)
+let interruptible_delay t job d =
+  let stop_at = now () +. d in
+  let rec go () =
+    let remaining = stop_at -. now () in
+    if
+      remaining > 0.0
+      && peek job = None
+      && not (Cancel.is_cancelled job.token)
+    then begin
+      Thread.delay (Float.min t.cfg.poll_cadence_s remaining);
+      go ()
+    end
+  in
+  go ()
+
+(* One attempt of [job] on the pool.  Returns the classification the
+   retry loop acts on. *)
+let run_attempt t job ~attempt attempt_tok =
+  let pool = current_pool t in
+  let body () =
+    (* Per-job-kind profile attribution: all attempt work (leaves of
+       nested Seq/Runtime scopes included) lands under "job:<kind>". *)
+    Profile.with_op ("job:" ^ job.request.Job.kind) (fun () ->
+        Cancel.with_ambient attempt_tok (fun () ->
+            Cancel.check attempt_tok;
+            job.work ~attempt))
+  in
+  match Pool.async_external pool body with
+  | exception (Pool.Shutdown | Pool.Worker_crashed _) -> `Pool_dead pool
+  | p ->
+    if Pool.size pool <= 1 then
+      (* Degenerate pool: no spawned worker domains (single-core host,
+         or a heal under BDS_NUM_DOMAINS=1), so nothing will ever pop
+         the overflow queue on its own.  [Pool.await] from outside the
+         pool *helps* — it drains the overflow and executes the attempt
+         on this runner thread — and fails fast with a typed exception
+         once the pool can no longer resolve the promise. *)
+      (match Pool.await pool p with
+      | result -> `Ok result
+      | exception (Pool.Shutdown | Pool.Worker_crashed _) -> `Pool_dead pool
+      | exception e -> `Exn e)
+    else begin
+      (* Worker domains exist: block cheaply on the job's condvar.
+         Wake our wait from the fulfilling domain; the monitor also
+         broadcasts [jcv] every cadence so the liveness re-check below
+         runs even if the promise never resolves. *)
+      Pool.on_resolve p (fun () ->
+          Mutex.lock job.jm;
+          Condition.broadcast job.jcv;
+          Mutex.unlock job.jm);
+      let pool_stuck () =
+        match Pool.health pool with
+        | `Ok -> false
+        | `Shutdown | `Poisoned _ -> true
+      in
+      locked job.jm (fun () ->
+          while
+            Pool.peek p = None
+            && (not (pool_stuck ()))
+            && not (Cancel.is_cancelled job.token)
+          do
+            Condition.wait job.jcv job.jm
+          done);
+      match Pool.peek p with
+      | Some (Ok result) -> `Ok result
+      | Some (Error (e, _)) -> `Exn e
+      | None ->
+        if pool_stuck () then
+          (* Pool died with the attempt stranded (its fulfiller crashed
+             or the fiber was leaked by poisoning): fail fast rather
+             than wait on a promise that may never resolve. *)
+          `Pool_dead pool
+        else
+          (* Job scope cancelled while the attempt sat unexecuted in the
+             pool's overflow queue (all worker domains busy): abandon
+             the attempt rather than wait for a slot — if it does run
+             later, its leading [Cancel.check] makes it a cheap no-op
+             fulfilling a promise nobody reads. *)
+          `Exn Cancel.Cancelled
+    end
+
+(* Did the *job* scope get cancelled (deadline / explicit / shutdown),
+   as opposed to just the attempt scope (chaos)? *)
+let job_scope_cancelled job = Cancel.is_cancelled job.token
+
+let terminal_for_cancelled job =
+  if locked job.jm (fun () -> job.deadline_hit) then Job.Deadline_exceeded
+  else Job.Cancelled
+
+(* Classify an attempt exception: [`Terminal outcome] or
+   [`Retry reason].  The failure matrix is docs/SERVICE.md. *)
+let classify job attempt_tok = function
+  | Cancel.Cancelled -> (
+    if job_scope_cancelled job then `Terminal (terminal_for_cancelled job)
+    else
+      (* Attempt-scope-only cancellation: a chaos job fault.  The
+         injected exception is recorded in the attempt token. *)
+      match Cancel.reason attempt_tok with
+      | Some (Chaos.Injected_fault n, _) ->
+        `Retry (Printf.sprintf "chaos job-cancel #%d" n)
+      | Some (e, _) -> `Retry (Printexc.to_string e)
+      | None -> `Retry "attempt cancelled")
+  | Chaos.Injected_fault n -> `Retry (Printf.sprintf "chaos fault #%d" n)
+  | Job.Transient msg -> `Retry msg
+  | e -> `Terminal (Job.Failed (Printexc.to_string e))
+
+let handle_job t job =
+  let rec attempt_loop attempt =
+    (* Pre-attempt gate: the monitor or a cancel may have resolved the
+       job while it sat queued or between attempts. *)
+    let gate =
+      locked job.jm (fun () ->
+          if job.outcome <> None then `Already_done
+          else if Cancel.is_cancelled job.token then `Job_cancelled
+          else begin
+            job.state <- Running;
+            `Go
+          end)
+    in
+    match gate with
+    | `Already_done -> ()
+    | `Job_cancelled -> ignore (complete t job (terminal_for_cancelled job))
+    | `Go -> (
+      let attempt_tok = Cancel.create ~parent:job.token () in
+      (* Chaos job fault point: spurious attempt cancellation (feeds the
+         retry path below) or a pre-start delay (pushes the job toward
+         its deadline). *)
+      (match Chaos.point_job () with
+      | `None -> ()
+      | `Cancel n ->
+        Cancel.cancel_with attempt_tok (Chaos.Injected_fault n)
+          (Printexc.get_callstack 0)
+      | `Delay d -> interruptible_delay t job d);
+      match run_attempt t job ~attempt attempt_tok with
+      | `Ok result ->
+        Breaker.record t.breaker ~now:(now ()) ~ok:true;
+        ignore (complete t job (Job.Completed result))
+      | `Pool_dead pool ->
+        (* Worker crash / teardown under us: fail fast with a typed
+           error, then heal so the service keeps serving. *)
+        let diag =
+          match Pool.health pool with
+          | `Poisoned d -> d
+          | `Shutdown -> "pool shut down"
+          | `Ok -> "pool unavailable"
+        in
+        ignore (complete t job (Job.Failed ("worker_crashed: " ^ diag)));
+        heal_pool t pool
+      | `Exn e -> (
+        match classify job attempt_tok e with
+        | `Terminal outcome -> ignore (complete t job outcome)
+        | `Retry reason ->
+          let tnow = now () in
+          Breaker.record t.breaker ~now:tnow ~ok:false;
+          if attempt > job.max_retries then
+            ignore
+              (complete t job
+                 (Job.Failed
+                    (Printf.sprintf "retries exhausted after %d attempts: %s"
+                       attempt reason)))
+          else if not (Breaker.allow_retry t.breaker ~now:tnow) then begin
+            Telemetry.incr_jobs_retries_shed ();
+            ignore
+              (complete t job
+                 (Job.Failed
+                    (Printf.sprintf "retry shed: circuit breaker open (%s)"
+                       reason)))
+          end
+          else begin
+            let d = Backoff.delay t.cfg.backoff ~seed:job.jid ~attempt in
+            (* Never sleep past the deadline: the retry would be dead on
+               arrival anyway, and the monitor resolves the job at the
+               deadline regardless. *)
+            let d =
+              match job.deadline_at with
+              | Some at -> Float.min d (Float.max 0.0 (at -. now ()))
+              | None -> d
+            in
+            interruptible_delay t job d;
+            Telemetry.incr_jobs_retried ();
+            locked job.jm (fun () ->
+                job.retries_used <- job.retries_used + 1;
+                (* Back to the queue conceptually: the monitor treats
+                   between-attempt jobs like queued ones. *)
+                if job.state = Running then job.state <- Queued);
+            attempt_loop (attempt + 1)
+          end))
+  in
+  attempt_loop 1
+
+(* ------------------------------------------------------------------ *)
+(* Threads                                                             *)
+
+let rec runner_loop t =
+  match Fair_queue.take t.queue with
+  | None -> ()
+  | Some job ->
+    (try handle_job t job
+     with e ->
+       (* A scheduler-level bug must not kill the runner thread: resolve
+          the job with a typed failure and keep serving. *)
+       Log.err (fun m ->
+           m "runner: unexpected exception handling job #%d: %s" job.jid
+             (Printexc.to_string e));
+       ignore (complete t job (Job.Failed ("internal: " ^ Printexc.to_string e))));
+    runner_loop t
+
+let monitor_tick t =
+  let tnow = now () in
+  List.iter
+    (fun job ->
+      let expired =
+        match job.deadline_at with Some at -> tnow >= at | None -> false
+      in
+      let action =
+        locked job.jm (fun () ->
+            match job.outcome with
+            | Some _ -> `Nothing
+            | None ->
+              (* Liveness: wake any runner blocked on this job's attempt
+                 promise so it re-checks pool health and job-scope
+                 cancellation at the cadence — in particular a runner
+                 whose attempt sits unexecuted in the pool overflow must
+                 observe a cancel even though no fulfiller will ever
+                 broadcast for it. *)
+              Condition.broadcast job.jcv;
+              if expired then begin
+                job.deadline_hit <- true;
+                match job.state with
+                | Queued -> `Complete_deadline
+                | Running | Done -> `Cancel_scope
+              end
+              else `Nothing)
+      in
+      match action with
+      | `Nothing -> ()
+      | `Complete_deadline ->
+        (* Queued past deadline: resolve directly — the job returns at
+           deadline + one cadence even behind a long backlog. *)
+        ignore (complete t job Job.Deadline_exceeded)
+      | `Cancel_scope -> Cancel.cancel job.token)
+    (registry_snapshot t)
+
+let monitor_loop t =
+  while not (Atomic.get t.monitor_stop) do
+    monitor_tick t;
+    Thread.delay t.cfg.poll_cadence_s
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+
+let create ?(config = default_config) () =
+  if config.capacity < 1 then invalid_arg "Service.create: capacity < 1";
+  if config.runners < 1 then invalid_arg "Service.create: runners < 1";
+  if config.poll_cadence_s <= 0.0 then
+    invalid_arg "Service.create: poll_cadence_s <= 0";
+  let t =
+    {
+      cfg = config;
+      queue = Fair_queue.create ();
+      registry = Hashtbl.create 64;
+      reg_m = Mutex.create ();
+      outstanding = Atomic.make 0;
+      next_id = Atomic.make 1;
+      breaker = Breaker.create config.breaker;
+      stopping = Atomic.make false;
+      monitor_stop = Atomic.make false;
+      pool = Runtime.get_pool ();
+      pool_m = Mutex.create ();
+      runner_threads = [];
+      monitor_thread = None;
+    }
+  in
+  t.runner_threads <-
+    List.init config.runners (fun _ -> Thread.create runner_loop t);
+  t.monitor_thread <- Some (Thread.create monitor_loop t);
+  Log.debug (fun m ->
+      m "service up: capacity=%d runners=%d cadence=%.1fms" config.capacity
+        config.runners (config.poll_cadence_s *. 1000.));
+  t
+
+let submit ?on_complete t req =
+  if Atomic.get t.stopping then Error (`Rejected Job.Shutting_down)
+  else
+    match Workload.build req with
+    | Error msg -> Error (`Bad_request msg)
+    | Ok work ->
+      (* Admission control: CAS-claim an outstanding slot, or shed. *)
+      let rec claim () =
+        let cur = Atomic.get t.outstanding in
+        if cur >= t.cfg.capacity then false
+        else if Atomic.compare_and_set t.outstanding cur (cur + 1) then true
+        else claim ()
+      in
+      if not (claim ()) then begin
+        Telemetry.incr_jobs_shed ();
+        Error (`Rejected Job.Overloaded)
+      end
+      else begin
+        let jid = Atomic.fetch_and_add t.next_id 1 in
+        let job =
+          {
+            jid;
+            request = req;
+            work;
+            deadline_at =
+              Option.map
+                (fun ms -> now () +. (float_of_int ms /. 1000.))
+                req.Job.deadline_ms;
+            max_retries =
+              (match req.Job.retries with
+              | Some r -> max 0 r
+              | None -> t.cfg.max_retries);
+            token = Cancel.create ();
+            jm = Mutex.create ();
+            jcv = Condition.create ();
+            state = Queued;
+            outcome = None;
+            completions = 0;
+            deadline_hit = false;
+            on_complete = (match on_complete with Some f -> [ f ] | None -> []);
+            retries_used = 0;
+          }
+        in
+        locked t.reg_m (fun () -> Hashtbl.replace t.registry jid job);
+        Telemetry.incr_jobs_admitted ();
+        if Fair_queue.push t.queue ~tenant:req.Job.tenant job then Ok job
+        else begin
+          (* Shutdown closed the queue between the stopping check and
+             the push: the job was admitted, so it still gets its one
+             terminal outcome. *)
+          ignore (complete t job Job.Cancelled);
+          Error (`Rejected Job.Shutting_down)
+        end
+      end
+
+let cancel t (j : ticket) =
+  let queued =
+    locked j.jm (fun () -> j.outcome = None && j.state = Queued)
+  in
+  if queued then
+    (* Resolve immediately; if a runner dequeued it in the meantime its
+       pre-attempt gate sees the outcome and skips. *)
+    ignore (complete t j Job.Cancelled);
+  Cancel.cancel j.token
+
+type summary = {
+  sm_workers : int;
+  sm_queue_depth : int;
+  sm_outstanding : int;
+  sm_breaker : string;
+}
+
+let summary t =
+  {
+    sm_workers = Pool.size (current_pool t);
+    sm_queue_depth = Fair_queue.length t.queue;
+    sm_outstanding = Atomic.get t.outstanding;
+    sm_breaker = Breaker.state_label (Breaker.state t.breaker ~now:(now ()));
+  }
+
+let shutdown ?(drain = true) t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Fair_queue.close t.queue;
+    if not drain then
+      List.iter (fun j -> Cancel.cancel j.token) (registry_snapshot t);
+    (* Every admitted job reaches its terminal outcome before the
+       threads are joined: runners chew the (possibly cancelled)
+       backlog, the monitor keeps deadlines and liveness honest. *)
+    while Atomic.get t.outstanding > 0 do
+      Thread.delay t.cfg.poll_cadence_s
+    done;
+    List.iter Thread.join t.runner_threads;
+    t.runner_threads <- [];
+    Atomic.set t.monitor_stop true;
+    Option.iter Thread.join t.monitor_thread;
+    t.monitor_thread <- None;
+    (* A traced service must never lose buffered spans to a shutdown
+       that does not tear the pool down (satellite: flush on service
+       shutdown, not just pool teardown / at_exit). *)
+    Trace.flush ();
+    Log.debug (fun m -> m "service stopped (drain=%b)" drain)
+  end
+
+module For_testing = struct
+  let completions (j : ticket) = locked j.jm (fun () -> j.completions)
+
+  let retries_used (j : ticket) = locked j.jm (fun () -> j.retries_used)
+end

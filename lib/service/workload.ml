@@ -1,0 +1,73 @@
+(* Workload catalogue (see workload.mli). *)
+
+module Seq = Bds.Seq
+module Cancel = Bds_runtime.Cancel
+
+let kinds = [ "sum"; "scan"; "filter"; "busy"; "fail"; "boom"; "echo" ]
+
+let int_param params key ~default =
+  match List.assoc_opt key params with
+  | None -> Ok default
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | _ -> Error (Printf.sprintf "%s: not a non-negative integer: %S" key s))
+
+(* Busy-wait for [ms] milliseconds, polling the ambient cancellation
+   token (the job's attempt scope) often enough that a deadline or an
+   explicit cancel lands within a poll cadence, not after the loop. *)
+let busy_loop ms =
+  let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+  while Unix.gettimeofday () < deadline do
+    Cancel.poll ();
+    for _ = 1 to 500 do
+      Domain.cpu_relax ()
+    done
+  done;
+  Printf.sprintf "busy %dms" ms
+
+let sum_pipeline n =
+  let input = Seq.iota n in
+  let mapped = Seq.map (fun x -> (x * 7) land 1023) input in
+  string_of_int (Seq.reduce ( + ) 0 mapped)
+
+let scan_pipeline n =
+  let scanned = Seq.scan_incl ( + ) 0 (Seq.iota n) in
+  string_of_int (Seq.reduce ( + ) 0 scanned)
+
+let filter_pipeline n =
+  let kept = Seq.filter (fun x -> x land 1 = 0) (Seq.iota n) in
+  string_of_int (Seq.reduce ( + ) 0 kept)
+
+let build (r : Job.request) =
+  let ( let* ) = Result.bind in
+  match r.Job.kind with
+  | "sum" ->
+    let* n = int_param r.Job.params "n" ~default:100_000 in
+    Ok (fun ~attempt:_ -> sum_pipeline n)
+  | "scan" ->
+    let* n = int_param r.Job.params "n" ~default:100_000 in
+    Ok (fun ~attempt:_ -> scan_pipeline n)
+  | "filter" ->
+    let* n = int_param r.Job.params "n" ~default:100_000 in
+    Ok (fun ~attempt:_ -> filter_pipeline n)
+  | "busy" ->
+    let* ms = int_param r.Job.params "ms" ~default:50 in
+    Ok (fun ~attempt:_ -> busy_loop ms)
+  | "fail" ->
+    let* k = int_param r.Job.params "k" ~default:1 in
+    let* n = int_param r.Job.params "n" ~default:1_000 in
+    Ok
+      (fun ~attempt ->
+        if attempt <= k then
+          raise (Job.Transient (Printf.sprintf "injected failure %d/%d" attempt k))
+        else sum_pipeline n)
+  | "boom" -> Ok (fun ~attempt:_ -> failwith "boom")
+  | "echo" ->
+    let msg =
+      match List.assoc_opt "msg" r.Job.params with Some m -> m | None -> "pong"
+    in
+    Ok (fun ~attempt:_ -> msg)
+  | k ->
+    Error
+      (Printf.sprintf "unknown kind %S (known: %s)" k (String.concat ", " kinds))

@@ -1,0 +1,30 @@
+The job-service probe drives one fixed scenario through a single-runner
+service with capacity 2 and prints the per-outcome jobs_* telemetry
+counters.  Every line is forced by construction (see bds_probe.ml): the
+busy job's 50ms deadline expires long before its 2s spin would finish,
+the queued sum runs to completion, the third submission exceeds capacity
+and is shed with a typed rejection, and the fail-twice job succeeds on
+its third attempt — so the output is pinned exactly, with no
+normalisation.
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe jobs
+  jobs probe:
+    busy -> deadline_exceeded
+    sum -> completed
+    overflow -> rejected overloaded
+    fail -> completed (retries=2)
+  telemetry:
+    jobs_admitted=3
+    jobs_completed=2
+    jobs_cancelled=0
+    jobs_deadline_exceeded=1
+    jobs_failed=0
+    jobs_retried=2
+    jobs_shed=1
+    jobs_retries_shed=0
+
+The counters partition admitted jobs by outcome: completed +
+deadline_exceeded + failed + cancelled = admitted, and the shed
+submission is counted in jobs_shed without ever being admitted.  The
+fail job's k=2 transient faults surface as jobs_retried=2, and with a
+healthy (closed) breaker none of those retries are shed.
