@@ -703,6 +703,108 @@ let stream_overhead cfg =
           ])
 
 (* ------------------------------------------------------------------ *)
+(* Float kernels: boxed vs unboxed lane (--only float-kernels).
+
+   Each bench runs the same float-heavy computation two ways on the
+   same input: "boxed" through the generic polymorphic pipeline (the
+   pre-ISSUE-7 code path — polymorphic reads, boxed closure crossings,
+   an allocation per element) and "unboxed" through the float lane
+   (Float_seq / Stream.sum_floats / Psort.sort_floats).  As with
+   stream-overhead, the gated quantity is the within-run speedup ratio,
+   which is stable on this noisy shared host even when absolute times
+   are not (BENCH_7.json, gated by bench_compare).
+
+   The unboxed runs are wrapped in a telemetry snapshot pair: the
+   float_boxed_fallback delta is recorded per bench and must be zero on
+   these fused chains (ISSUE 7 acceptance criterion) — a nonzero count
+   means a pipeline silently fell off the lane. *)
+
+let float_kernels cfg =
+  let n = scaled cfg 2_000_000 in
+  Printf.eprintf "  float-kernels (n=%d)...\n%!" n;
+  let module FS = Bds.Float_seq in
+  let af = K.Mcss.generate_floats ~seed:7 n in
+  let bf = K.Mcss.generate_floats ~seed:8 n in
+  let pts = K.Linefit.generate n in
+  let close ?(tol = 1e-6) x y =
+    let scale = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+    Float.abs (x -. y) <= tol *. scale
+  in
+  Measure.with_domains cfg.procs (fun () ->
+      let results = ref [] in
+      let bench name ~boxed ~unboxed ~agree =
+        if not (agree (boxed ()) (unboxed ())) then
+          failwith (Printf.sprintf "float-kernels/%s: boxed and unboxed disagree" name);
+        let t_boxed =
+          Measure.time ~repeat:cfg.repeat (fun () -> ignore (boxed ()))
+        in
+        let before = Telemetry.snapshot () in
+        let t_unboxed =
+          Measure.time ~repeat:cfg.repeat (fun () -> ignore (unboxed ()))
+        in
+        let after = Telemetry.snapshot () in
+        let fallbacks =
+          (Telemetry.diff ~before ~after).Telemetry.s_float_boxed_fallback
+        in
+        List.iter
+          (fun (version, t) ->
+            record ~section:"float-kernels" ~bench:name ~version
+              ~procs:cfg.procs ~metric:"time_s" t)
+          [ ("boxed", t_boxed); ("unboxed", t_unboxed) ];
+        record ~section:"float-kernels" ~bench:name ~version:"unboxed"
+          ~procs:cfg.procs ~metric:"speedup_unboxed_vs_boxed"
+          (t_boxed /. t_unboxed);
+        record ~section:"float-kernels" ~bench:name ~version:"unboxed"
+          ~procs:cfg.procs ~metric:"boxed_fallbacks" (float_of_int fallbacks);
+        results := (name, t_boxed, t_unboxed, fallbacks) :: !results
+      in
+      bench "sum"
+        ~boxed:(fun () -> S.reduce ( +. ) 0.0 (S.of_array af))
+        ~unboxed:(fun () -> S.float_sum (S.of_array af))
+        ~agree:(close ~tol:1e-9);
+      bench "dot"
+        ~boxed:(fun () ->
+          S.reduce ( +. ) 0.0 (S.zip_with ( *. ) (S.of_array af) (S.of_array bf)))
+        ~unboxed:(fun () -> FS.dot (FS.of_array af) (FS.of_array bf))
+        ~agree:(close ~tol:1e-9);
+      bench "integrate"
+        ~boxed:(fun () -> K.Integrate.Delay_version.integrate n)
+        ~unboxed:(fun () -> K.Integrate.integrate_unboxed n)
+        ~agree:(close ~tol:1e-9);
+      bench "linefit"
+        ~boxed:(fun () -> K.Linefit.Delay_version.fit pts)
+        ~unboxed:(fun () -> K.Linefit.fit_unboxed pts)
+        ~agree:(fun (s1, i1) (s2, i2) ->
+          close ~tol:1e-6 s1 s2 && close ~tol:1e-6 i1 i2);
+      bench "mcss-float"
+        ~boxed:(fun () -> K.Mcss.mcss_floats_boxed af)
+        ~unboxed:(fun () -> K.Mcss.mcss_floats af)
+        ~agree:(close ~tol:1e-9);
+      bench "sort-floats"
+        ~boxed:(fun () -> Bds_sort.Psort.sort Float.compare af)
+        ~unboxed:(fun () -> Bds_sort.Psort.sort_floats af)
+        ~agree:(fun a b ->
+          Array.length a = Array.length b
+          && Array.for_all2 (fun x y -> Float.equal x y) a b);
+      Tables.print
+        ~title:
+          (Printf.sprintf
+             "Float kernels: boxed pipeline vs unboxed lane (n=%d, P=%d)" n
+             cfg.procs)
+        ~headers:[ "bench"; "boxed"; "unboxed"; "speedup"; "fallbacks" ]
+        ~rows:
+          (List.rev_map
+             (fun (name, tb, tu, fb) ->
+               [
+                 name;
+                 Measure.pp_time tb;
+                 Measure.pp_time tu;
+                 Tables.ratio tb tu;
+                 string_of_int fb;
+               ])
+             !results))
+
+(* ------------------------------------------------------------------ *)
 (* --service: open-loop load generator against the job service          *)
 
 (* Drive the in-process Service with an open-loop arrival process: jobs
@@ -967,6 +1069,7 @@ let run_sections cfg =
   end;
   if enabled cfg "ablation" then ablation cfg;
   if enabled cfg "stream-overhead" then stream_overhead cfg;
+  if enabled cfg "float-kernels" then float_kernels cfg;
   if cfg.sweep_grain <> [] || cfg.sweep_block <> [] then sweeps cfg;
   if enabled cfg "micro" then micro cfg;
   if cfg.profile then profile_report cfg;
@@ -1005,7 +1108,7 @@ let repeat_arg =
 
 let only_arg =
   Arg.(value & opt (list string) []
-       & info [ "only" ] ~doc:"Sections to run: fig5, fig13, fig14, fig15, fig16, ext, ablation, stream-overhead, micro. Default: all.")
+       & info [ "only" ] ~doc:"Sections to run: fig5, fig13, fig14, fig15, fig16, ext, ablation, stream-overhead, float-kernels, micro. Default: all.")
 
 let micro_filter_arg =
   Arg.(value & opt (some string) None

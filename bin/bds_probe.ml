@@ -8,6 +8,8 @@
      bds_probe stats [--json] — probe + scheduler-telemetry counters
      bds_probe blocks      — report the unified block grid for n=8000
      bds_probe streams     — stream execution-path counters per pipeline
+     bds_probe floats      — float-lane execution-path counters per
+                             pipeline (fast path vs boxed fallback)
      bds_probe report [--json] [--large] — run a map|scan|reduce pipeline
                              under the profiler and print the per-op
                              work/span report
@@ -103,10 +105,44 @@ let streams () =
   report "filter-reduce" b1 sum2;
   Runtime.shutdown ()
 
+(* Drive fixed float pipelines and report the float-lane execution-path
+   counters each bumped (docs/STREAMS.md "Unboxed float lane").  With
+   BDS_BLOCK_SIZE pinned the counts are exact, one bump per per-block
+   loop: a RAD map|float_sum chain stays entirely on the unboxed fast
+   path; summing a scan_incl output falls back block-by-block (the scan
+   stream is stateful, so its blocks carry no pure index function); a
+   Float_seq dot runs one fast-path loop per block.  The cram test pins
+   zero fallbacks on the fused chains. *)
+let floats () =
+  let n = 8_000 in
+  let report label before v =
+    let d = Telemetry.diff ~before ~after:(Telemetry.snapshot ()) in
+    Printf.printf "%s: value=%.1f float_fast_path=%d float_boxed_fallback=%d\n"
+      label v d.Telemetry.s_float_fast_path d.Telemetry.s_float_boxed_fallback
+  in
+  let input = Bds.Seq.tabulate n float_of_int in
+  let b0 = Telemetry.snapshot () in
+  let sum = Bds.Seq.float_sum (Bds.Seq.map (fun x -> x *. 0.5) input) in
+  report "map-sum" b0 sum;
+  let b1 = Telemetry.snapshot () in
+  let scanned = Bds.Seq.scan_incl ( +. ) 0.0 input in
+  let sum2 = Bds.Seq.float_sum scanned in
+  report "scan-sum" b1 sum2;
+  let b2 = Telemetry.snapshot () in
+  (* force materialises once (one fast-path loop per block), then dot
+     runs one more per block: 2x the block count, zero fallbacks. *)
+  let xs =
+    Bds.Float_seq.force (Bds.Float_seq.tabulate n (fun i -> float_of_int (i land 7)))
+  in
+  let d = Bds.Float_seq.dot xs xs in
+  report "floatarray-dot" b2 d;
+  Runtime.shutdown ()
+
 (* Run the acceptance pipeline (iota |> map |> scan |> reduce, plus a
-   filter |> to_array tail) under the profiler and print the per-op
-   report.  Profiling is force-enabled — the whole point of the command
-   is the report — so `bds_probe report` works without BDS_PROFILE=1. *)
+   filter |> to_array tail, a float_sum over the float lane, and a
+   max_by/min_by pair) under the profiler and print the per-op report.
+   Profiling is force-enabled — the whole point of the command is the
+   report — so `bds_probe report` works without BDS_PROFILE=1. *)
 let report ~json ~large =
   Profile.set_enabled true;
   let n = if large then 2_000_000 else 200_000 in
@@ -115,8 +151,13 @@ let report ~json ~large =
   let scanned = Bds.Seq.scan_incl ( + ) 0 mapped in
   let total = Bds.Seq.reduce ( + ) 0 scanned in
   let packed = Bds.Seq.to_array (Bds.Seq.filter (fun x -> x land 1 = 0) scanned) in
+  let fsum = Bds.Seq.float_sum (Bds.Seq.map float_of_int input) in
+  let mx = Bds.Seq.max_by compare mapped in
+  let mn = Bds.Seq.min_by compare mapped in
   ignore (Sys.opaque_identity total);
   ignore (Sys.opaque_identity packed);
+  ignore (Sys.opaque_identity fsum);
+  ignore (Sys.opaque_identity (mx + mn));
   let workers = Runtime.num_workers () in
   Runtime.shutdown ();
   let rows = Profile.rows () in
@@ -212,12 +253,14 @@ let () =
   | [ "stats" ] -> probe ~stats:true ~json:(flag "--json")
   | [ "blocks" ] when flags = [] -> blocks ()
   | [ "streams" ] when flags = [] -> streams ()
+  | [ "floats" ] when flags = [] -> floats ()
   | [ "report" ] -> report ~json:(flag "--json") ~large:(flag "--large")
   | [ "trace-check"; file ] -> exit (trace_check ~strict:(flag "--strict") file)
   | [ "trace-count"; file; name ] when flags = [] -> exit (trace_count file name)
   | [ "jobs" ] when flags = [] -> jobs ()
   | _ ->
     prerr_endline
-      "usage: bds_probe [stats [--json] | blocks | streams | report [--json] \
-       [--large] | trace-check [--strict] FILE | trace-count FILE NAME | jobs]";
+      "usage: bds_probe [stats [--json] | blocks | streams | floats | report \
+       [--json] [--large] | trace-check [--strict] FILE | trace-count FILE \
+       NAME | jobs]";
     exit 2

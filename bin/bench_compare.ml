@@ -1,12 +1,16 @@
 (* Perf-regression gate: compare a fresh benchmark CSV (bench/main.exe
-   --csv) against the committed baseline snapshot (BENCH_4.json).
+   --csv) against the committed baseline snapshot (BENCH_7.json).
 
    The host is a shared container whose absolute wall-clock drifts by
    tens of percent between runs, so the gate judges *within-run ratios*
-   by default — currently the push-vs-pull speedup of the
-   stream-overhead chain, which divides two times measured seconds apart
-   on the same machine and is stable (see BENCH_4.json's host_note).
-   Absolute times are compared only under --absolute, for quiet hosts.
+   by default: the push-vs-pull speedup of the stream-overhead chain,
+   and the unboxed-vs-boxed speedup of every float-kernels bench — each
+   divides two times measured seconds apart on the same machine, which
+   is stable (see the snapshots' host_note).  A section is gated when it
+   is present in the baseline's "results" (so older BENCH_4-shaped
+   baselines still work); a baseline with no known section is a usage
+   error, never a silent pass.  Absolute times are compared only under
+   --absolute, for quiet hosts.
 
    Exit status: 0 when every checked metric is within --max-regress
    percent of the baseline, 1 on any regression, 2 on usage/parse
@@ -100,62 +104,125 @@ let baseline_float json path_ =
 
 let build_checks ~absolute json rows =
   let ( let* ) = Result.bind in
-  let chain = [ "results"; "stream-overhead/chain3" ] in
-  let* base_speedup = baseline_float json (chain @ [ "speedup_push_vs_pull" ]) in
-  let csv_time version =
-    match
-      find rows ~section:"stream-overhead" ~bench:"chain3" ~version
-        ~metric:"time_s"
-    with
-    | Some v when v > 0.0 -> Ok v
-    | Some _ -> Error (Printf.sprintf "csv: non-positive time for %s" version)
-    | None -> Error (Printf.sprintf "csv: no stream-overhead time for %s" version)
+  let csv_time ~section ~bench version =
+    match find rows ~section ~bench ~version ~metric:"time_s" with
+    | Some v when v > 0.0 ->
+      Ok v
+    | Some _ ->
+      Error
+        (Printf.sprintf "csv: non-positive time for %s/%s/%s" section bench
+           version)
+    | None ->
+      Error (Printf.sprintf "csv: no %s time for %s/%s" section bench version)
   in
-  let* t_pull = csv_time "pull" in
-  let* t_push = csv_time "push" in
-  let ratio_checks =
-    [
-      {
-        name = "stream-overhead push-vs-pull speedup";
-        dir = Higher_better;
-        baseline = base_speedup;
-        current = t_pull /. t_push;
-      };
-    ]
+  (* stream-overhead: gate the push-vs-pull speedup (present since
+     BENCH_4). *)
+  let stream_checks () =
+    let chain = [ "results"; "stream-overhead/chain3" ] in
+    match J.path chain json with
+    | None -> Ok []
+    | Some _ ->
+      let* base_speedup =
+        baseline_float json (chain @ [ "speedup_push_vs_pull" ])
+      in
+      let time = csv_time ~section:"stream-overhead" ~bench:"chain3" in
+      let* t_pull = time "pull" in
+      let* t_push = time "push" in
+      let ratio_checks =
+        [
+          {
+            name = "stream-overhead push-vs-pull speedup";
+            dir = Higher_better;
+            baseline = base_speedup;
+            current = t_pull /. t_push;
+          };
+        ]
+      in
+      if not absolute then Ok ratio_checks
+      else
+        let* base_pull =
+          baseline_float json (chain @ [ "pull_trickle"; "time_s" ])
+        in
+        let* base_push =
+          baseline_float json (chain @ [ "push_fused"; "time_s" ])
+        in
+        Ok
+          (ratio_checks
+          @ [
+              {
+                name = "stream-overhead pull time_s (absolute)";
+                dir = Lower_better;
+                baseline = base_pull;
+                current = t_pull;
+              };
+              {
+                name = "stream-overhead push time_s (absolute)";
+                dir = Lower_better;
+                baseline = base_push;
+                current = t_push;
+              };
+            ])
   in
-  if not absolute then Ok ratio_checks
-  else
-    let* base_pull = baseline_float json (chain @ [ "pull_trickle"; "time_s" ]) in
-    let* base_push = baseline_float json (chain @ [ "push_fused"; "time_s" ]) in
-    Ok
-      (ratio_checks
-      @ [
-          {
-            name = "stream-overhead pull time_s (absolute)";
-            dir = Lower_better;
-            baseline = base_pull;
-            current = t_pull;
-          };
-          {
-            name = "stream-overhead push time_s (absolute)";
-            dir = Lower_better;
-            baseline = base_push;
-            current = t_push;
-          };
-        ])
+  (* float-kernels: gate the unboxed-vs-boxed speedup of every bench the
+     baseline records (present since BENCH_7). *)
+  let float_checks () =
+    match J.path [ "results"; "float-kernels" ] json with
+    | None -> Ok []
+    | Some (J.Obj benches) ->
+      let* checks =
+        List.fold_left
+          (fun acc (bench, v) ->
+            let* acc = acc in
+            let* base =
+              match
+                Option.bind (J.member "speedup_unboxed_vs_boxed" v) J.to_float
+              with
+              | Some f -> Ok f
+              | None ->
+                Error
+                  (Printf.sprintf
+                     "baseline: missing results.float-kernels.%s.speedup_unboxed_vs_boxed"
+                     bench)
+            in
+            let time = csv_time ~section:"float-kernels" ~bench in
+            let* t_boxed = time "boxed" in
+            let* t_unboxed = time "unboxed" in
+            Ok
+              ({
+                 name =
+                   Printf.sprintf "float-kernels %s unboxed-vs-boxed speedup"
+                     bench;
+                 dir = Higher_better;
+                 baseline = base;
+                 current = t_boxed /. t_unboxed;
+               }
+              :: acc))
+          (Ok []) benches
+      in
+      Ok (List.rev checks)
+    | Some _ -> Error "baseline: results.float-kernels is not an object"
+  in
+  let* sc = stream_checks () in
+  let* fc = float_checks () in
+  match sc @ fc with
+  | [] ->
+    Error
+      "baseline: results contains no known gated section \
+       (stream-overhead/chain3 or float-kernels)"
+  | checks -> Ok checks
 
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let () =
-  let baseline = ref "BENCH_4.json" in
+  let baseline = ref "BENCH_7.json" in
   let csv = ref "" in
   let tolerance = ref 15.0 in
   let absolute = ref false in
   let usage = "bench_compare --csv FILE [--baseline FILE] [--max-regress PCT] [--absolute]" in
   Arg.parse
     [
-      ("--baseline", Arg.Set_string baseline, "FILE Baseline snapshot JSON (default BENCH_4.json)");
+      ("--baseline", Arg.Set_string baseline, "FILE Baseline snapshot JSON (default BENCH_7.json)");
       ("--csv", Arg.Set_string csv, "FILE Fresh bench CSV (bench/main.exe --csv)");
       ("--max-regress", Arg.Set_float tolerance, "PCT Allowed regression percent (default 15)");
       ("--absolute", Arg.Set absolute, " Also gate absolute times (noisy hosts: leave off)");

@@ -1,0 +1,90 @@
+(** The unboxed float lane: monomorphic block-delayed float sequences.
+
+    The polymorphic ['a Seq.t] pipeline boxes every float it touches —
+    polymorphic array reads, boxed closure arguments, an allocation per
+    pushed element.  A {!t} keeps float data in [floatarray] blocks and
+    drives every eager operation through [Runtime.apply_blocks] with a
+    monomorphic inner loop: unboxed reads, local [float ref]
+    accumulators (4-way split in sum/dot so the adds form independent
+    FMA-friendly chains), unboxed [floatarray] stores for per-block
+    partials, and a cancellation poll every 64 elements — the same
+    cadence as the stream push path.
+
+    Delayed values ([tabulate], [map], [map2]) are pure index functions
+    that compose at construction time, exactly like the PR-4 stream
+    fusion; eager consumers ([sum], [dot], [reduce], [scan],
+    [to_floatarray]) get the block grid, grain policy, per-block trace
+    spans, and work/span attribution from the shared runtime.
+
+    Every per-block loop bumps the [float_fast_path] telemetry counter;
+    chains that fall back to the generic boxed fold (see
+    [Seq.float_sum] / [Stream.sum_floats]) bump [float_boxed_fallback]
+    instead.  docs/STREAMS.md "Unboxed float lane" describes when a
+    pipeline stays on this lane. *)
+
+type t =
+  | Fn of { len : int; get : int -> float }
+      (** Delayed: a pure index function (composes with {!map}). *)
+  | Mat of floatarray  (** Materialised: contiguous unboxed storage. *)
+
+val length : t -> int
+
+(** Bounds-checked element read ([Fn] applies the index function). *)
+val get : t -> int -> float
+
+val empty : t
+
+(** Delayed; raises [Invalid_argument] on negative length. *)
+val tabulate : int -> (int -> float) -> t
+
+(** Zero-cost view of a [floatarray] (not copied — treat as shared). *)
+val of_floatarray : floatarray -> t
+
+(** In flat-float-array mode (the default runtime) this is a zero-copy
+    cast — the result aliases [a]; otherwise it copies. *)
+val of_array : float array -> t
+
+(** Delayed composition: no intermediate is materialised. *)
+val map : (float -> float) -> t -> t
+
+(** Delayed elementwise combination; raises on length mismatch. *)
+val map2 : (float -> float -> float) -> t -> t -> t
+
+(** Parallel unboxed sum.  Association order is: 4-way-split
+    accumulators within a block, blocks combined left-to-right — so
+    results differ from a sequential left fold by the usual
+    summation-order rounding (compare with a tolerance). *)
+val sum : t -> float
+
+(** Parallel unboxed dot product; raises on length mismatch. *)
+val dot : t -> t -> float
+
+(** Generic parallel fold: [f] associative with left unit [z].  [f] is
+    an arbitrary closure, so its arguments box at the call boundary —
+    {!sum}/{!dot} are the fully unboxed reductions. *)
+val reduce : (float -> float -> float) -> float -> t -> float
+
+(** Exclusive parallel prefix sums, returning (prefixes, total).
+    Specialised to [( +. )] so all three phases stay unboxed; the output
+    is materialised eagerly (a [Mat]) rather than delayed like
+    [Seq.scan]. *)
+val scan : t -> t * float
+
+(** Inclusive parallel prefix sums (element [i] includes input [i]). *)
+val scan_incl : t -> t
+
+(** Materialise.  For a [Mat] this returns the underlying storage
+    without copying — treat it as read-only. *)
+val to_floatarray : t -> floatarray
+
+(** {!to_floatarray} re-wrapped as a [Mat]. *)
+val force : t -> t
+
+(** Boxed-type bridge ([float array] view; zero-copy in flat mode). *)
+val to_array : t -> float array
+
+(** Zero-copy cast in flat-float-array mode, copy otherwise.  Exposed
+    for the kernels and [Seq.float_sum]'s memoised-BID path. *)
+val floatarray_of_array : float array -> floatarray
+
+val array_of_floatarray : floatarray -> float array

@@ -509,18 +509,55 @@ let equal eq s1 s2 =
 
 let sum s = reduce ( + ) 0 s
 
-let float_sum s = reduce ( +. ) 0.0 s
+(* The Seq entry of the unboxed float lane (bugfix: this was
+   [reduce ( +. ) 0.0], which boxed every element through the
+   polymorphic combine closure).  A RAD is already a pure index
+   function — hand it straight to [Float_seq].  A memoised BID reuses
+   its forced array as a (zero-copy, in flat-float-array mode)
+   floatarray view.  An unforced BID keeps its per-block streams: each
+   block drives [Stream.sum_floats] — monomorphic with an unboxed
+   accumulator when the block stream carries a pure index function, the
+   generic boxed fold otherwise (the only path that still boxes, and it
+   announces itself via the [float_boxed_fallback] counter) — with the
+   per-block partials in a [floatarray] and a sequential unboxed
+   combine across blocks. *)
+let float_sum s =
+  Profile.with_op "float_sum" @@ fun () ->
+  match s with
+  | Rad { r_len; get } -> Float_seq.sum (Float_seq.tabulate r_len get)
+  | Bid b -> (
+    match Atomic.get b.memo with
+    | Some a -> Float_seq.sum (Float_seq.of_array a)
+    | None ->
+      let nb = num_blocks_of b in
+      if nb = 0 then 0.0
+      else begin
+        let partial = Float.Array.create nb in
+        apply_bid_blocks b (fun j ->
+            Float.Array.unsafe_set partial j (Stream.sum_floats (b.block j)));
+        let acc = ref 0.0 in
+        for j = 0 to nb - 1 do
+          acc := !acc +. Float.Array.unsafe_get partial j
+        done;
+        !acc
+      end)
 
+(* Own op label (bugfix: this carried [with_op "reduce"], so profiler
+   reports attributed max_by/min_by work to [reduce]). *)
 let max_by cmp s =
   if length s = 0 then invalid_arg "Seq.max_by: empty";
-  Profile.with_op "reduce" (fun () ->
+  Profile.with_op "max_by" (fun () ->
       let a = to_array s in
       Runtime.parallel_for_reduce 1 (Array.length a)
         ~combine:(fun x y -> if cmp x y >= 0 then x else y)
         ~init:a.(0)
         (fun i -> a.(i)))
 
-let min_by cmp s = max_by (fun a b -> cmp b a) s
+(* [with_op] is outermost-wins, so the inner [max_by] label does not
+   override this one. *)
+let min_by cmp s =
+  if length s = 0 then invalid_arg "Seq.min_by: empty";
+  Profile.with_op "min_by" (fun () -> max_by (fun a b -> cmp b a) s)
 
 let map2 f s1 s2 = zip_with f s1 s2
 

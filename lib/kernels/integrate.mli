@@ -14,6 +14,12 @@ module Array_version : sig val integrate : ?lo:float -> ?hi:float -> int -> floa
 module Rad_version : sig val integrate : ?lo:float -> ?hi:float -> int -> float end
 module Delay_version : sig val integrate : ?lo:float -> ?hi:float -> int -> float end
 
+(** Unboxed-lane variant: the sample function goes straight into
+    [Float_seq.sum]'s monomorphic loop (no per-element boxing, no
+    materialised intermediate).  Differs from the boxed pipelines by
+    summation-order rounding only. *)
+val integrate_unboxed : ?lo:float -> ?hi:float -> int -> float
+
 val reference : ?lo:float -> ?hi:float -> int -> float
 
 (** Closed form 2(sqrt hi - sqrt lo), for accuracy checks. *)

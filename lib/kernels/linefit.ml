@@ -29,6 +29,159 @@ module Array_version = Make (Bds_seqs.Impl_array)
 module Rad_version = Make (Bds_seqs.Impl_rad)
 module Delay_version = Make (Bds_seqs.Impl_delay)
 
+(* ------------------------------------------------------------------ *)
+(* Unboxed variant (ISSUE 7): the boxed pipeline allocates a (float *
+   float) tuple per element per pass.  Here the coordinates are split
+   once into two [floatarray]s (one boxed tuple read per element, paid a
+   single time), the means come from [Float_seq.sum] (Mat fast path),
+   and the second moments run as one dedicated monomorphic block loop —
+   per element, two [floatarray] reads and the centred products, with
+   2x2 split accumulators (sxx and sxy each keep two independent add
+   chains).  Routing the centred coordinates through [Float_seq.dot] of
+   delayed [Fn]s instead would pay four float-returning closure calls
+   per element, which costs more than the tuples it saves. *)
+
+module Float_seq = Bds.Float_seq
+module Runtime = Bds_runtime.Runtime
+module Cancel = Bds_runtime.Cancel
+module Grain = Bds_runtime.Grain
+module Telemetry = Bds_runtime.Telemetry
+module Profile = Bds_runtime.Profile
+
+(* Partial (sum dx*dx, sum dx*dy) per block; sequential unboxed combine. *)
+let second_moments (xs : floatarray) (ys : floatarray) ~mx ~my =
+  let n = Float.Array.length xs in
+  Profile.with_op "float_dot" @@ fun () ->
+  let g = Runtime.block_grid n in
+  let nb = g.Grain.num_blocks in
+  let pxx = Float.Array.create nb and pxy = Float.Array.create nb in
+  Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb (fun j ->
+      Telemetry.incr_float_fast_path ();
+      let lo, hi = Grain.bounds g j in
+      let s0 = ref 0.0 and s1 = ref 0.0 and t0 = ref 0.0 and t1 = ref 0.0 in
+      let i = ref lo in
+      while !i < hi do
+        Cancel.poll ();
+        let stop = min hi (!i + 64) in
+        let k = ref !i in
+        while !k + 1 < stop do
+          let dx0 = Float.Array.unsafe_get xs !k -. mx in
+          let dy0 = Float.Array.unsafe_get ys !k -. my in
+          let dx1 = Float.Array.unsafe_get xs (!k + 1) -. mx in
+          let dy1 = Float.Array.unsafe_get ys (!k + 1) -. my in
+          s0 := !s0 +. (dx0 *. dx0);
+          t0 := !t0 +. (dx0 *. dy0);
+          s1 := !s1 +. (dx1 *. dx1);
+          t1 := !t1 +. (dx1 *. dy1);
+          k := !k + 2
+        done;
+        if !k < stop then begin
+          let dx = Float.Array.unsafe_get xs !k -. mx in
+          let dy = Float.Array.unsafe_get ys !k -. my in
+          s0 := !s0 +. (dx *. dx);
+          t0 := !t0 +. (dx *. dy)
+        end;
+        i := stop
+      done;
+      Float.Array.unsafe_set pxx j (!s0 +. !s1);
+      Float.Array.unsafe_set pxy j (!t0 +. !t1));
+  let sxx = ref 0.0 and sxy = ref 0.0 in
+  for j = 0 to nb - 1 do
+    sxx := !sxx +. Float.Array.unsafe_get pxx j;
+    sxy := !sxy +. Float.Array.unsafe_get pxy j
+  done;
+  (!sxx, !sxy)
+
+let fit_xy (xs : floatarray) (ys : floatarray) : float * float =
+  let n = Float.Array.length xs in
+  if Float.Array.length ys <> n then invalid_arg "Linefit.fit_xy";
+  if n = 0 then invalid_arg "Linefit.fit_xy: empty";
+  let fn = float_of_int n in
+  let sx = Float_seq.sum (Float_seq.of_floatarray xs) in
+  let sy = Float_seq.sum (Float_seq.of_floatarray ys) in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx, sxy = second_moments xs ys ~mx ~my in
+  let slope = sxy /. sxx in
+  (slope, my -. (slope *. mx))
+
+(* The tuple-array entry point works directly on [pts]: a tuple read is
+   a pointer load plus two unboxed field loads — no per-element
+   allocation — so folding in place beats splitting the coordinates into
+   two fresh 16n-byte [floatarray]s first (the split's allocations and
+   cold stores cost more than every tuple dereference it saves, and the
+   repeated large allocations thrash the major GC under benchmarking). *)
+
+let sums_pts (pts : (float * float) array) =
+  let n = Array.length pts in
+  Profile.with_op "float_sum" @@ fun () ->
+  let g = Runtime.block_grid n in
+  let nb = g.Grain.num_blocks in
+  let px = Float.Array.create nb and py = Float.Array.create nb in
+  Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb (fun j ->
+      Telemetry.incr_float_fast_path ();
+      let lo, hi = Grain.bounds g j in
+      let sx = ref 0.0 and sy = ref 0.0 in
+      let i = ref lo in
+      while !i < hi do
+        Cancel.poll ();
+        let stop = min hi (!i + 64) in
+        for k = !i to stop - 1 do
+          let x, y = Array.unsafe_get pts k in
+          sx := !sx +. x;
+          sy := !sy +. y
+        done;
+        i := stop
+      done;
+      Float.Array.unsafe_set px j !sx;
+      Float.Array.unsafe_set py j !sy);
+  let sx = ref 0.0 and sy = ref 0.0 in
+  for j = 0 to nb - 1 do
+    sx := !sx +. Float.Array.unsafe_get px j;
+    sy := !sy +. Float.Array.unsafe_get py j
+  done;
+  (!sx, !sy)
+
+let second_moments_pts (pts : (float * float) array) ~mx ~my =
+  let n = Array.length pts in
+  Profile.with_op "float_dot" @@ fun () ->
+  let g = Runtime.block_grid n in
+  let nb = g.Grain.num_blocks in
+  let pxx = Float.Array.create nb and pxy = Float.Array.create nb in
+  Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb (fun j ->
+      Telemetry.incr_float_fast_path ();
+      let lo, hi = Grain.bounds g j in
+      let sxx = ref 0.0 and sxy = ref 0.0 in
+      let i = ref lo in
+      while !i < hi do
+        Cancel.poll ();
+        let stop = min hi (!i + 64) in
+        for k = !i to stop - 1 do
+          let x, y = Array.unsafe_get pts k in
+          let dx = x -. mx in
+          sxx := !sxx +. (dx *. dx);
+          sxy := !sxy +. (dx *. (y -. my))
+        done;
+        i := stop
+      done;
+      Float.Array.unsafe_set pxx j !sxx;
+      Float.Array.unsafe_set pxy j !sxy);
+  let sxx = ref 0.0 and sxy = ref 0.0 in
+  for j = 0 to nb - 1 do
+    sxx := !sxx +. Float.Array.unsafe_get pxx j;
+    sxy := !sxy +. Float.Array.unsafe_get pxy j
+  done;
+  (!sxx, !sxy)
+
+let fit_unboxed (pts : (float * float) array) : float * float =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Linefit.fit_unboxed: empty";
+  let fn = float_of_int n in
+  let sx, sy = sums_pts pts in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx, sxy = second_moments_pts pts ~mx ~my in
+  let slope = sxy /. sxx in
+  (slope, my -. (slope *. mx))
+
 let reference (pts : (float * float) array) : float * float =
   let n = Array.length pts in
   let fn = float_of_int n in

@@ -30,6 +30,107 @@ module Array_version = Make (Bds_seqs.Impl_array)
 module Rad_version = Make (Bds_seqs.Impl_rad)
 module Delay_version = Make (Bds_seqs.Impl_delay)
 
+(* ------------------------------------------------------------------ *)
+(* Float mcss: the float lane's flagship reduction (ISSUE 7).
+
+   The monoid is the same 4-tuple, over floats.  The boxed baseline runs
+   it through the generic delayed pipeline — one [fsummary] record
+   allocation plus four boxed closure crossings per element.  The
+   unboxed variant folds the monoid inside each block with four local
+   [float ref] accumulators over a [floatarray] view (zero-copy in
+   flat-float-array mode), allocating one [fsummary] per *block*; blocks
+   run through [Runtime.apply_blocks] (grain policy, cancellation at the
+   64-element cadence, per-block spans) and combine sequentially. *)
+
+module Runtime = Bds_runtime.Runtime
+module Cancel = Bds_runtime.Cancel
+module Grain = Bds_runtime.Grain
+module Telemetry = Bds_runtime.Telemetry
+module Float_seq = Bds.Float_seq
+
+type fsummary = {
+  ftotal : float;
+  fprefix : float;
+  fsuffix : float;
+  fbest : float;
+}
+
+let unit_fsummary = { ftotal = 0.0; fprefix = 0.0; fsuffix = 0.0; fbest = 0.0 }
+
+let of_element_f x =
+  let m = Float.max 0.0 x in
+  { ftotal = x; fprefix = m; fsuffix = m; fbest = m }
+
+let combine_f l r =
+  {
+    ftotal = l.ftotal +. r.ftotal;
+    fprefix = Float.max l.fprefix (l.ftotal +. r.fprefix);
+    fsuffix = Float.max r.fsuffix (l.fsuffix +. r.ftotal);
+    fbest = Float.max (Float.max l.fbest r.fbest) (l.fsuffix +. r.fprefix);
+  }
+
+(* Boxed baseline: the generic block-delayed pipeline ("delay" library),
+   kept callable so the bench can measure the boxing cost directly. *)
+let mcss_floats_boxed (a : float array) : float =
+  let s = Bds.Seq.map of_element_f (Bds.Seq.of_array a) in
+  (Bds.Seq.reduce combine_f unit_fsummary s).fbest
+
+let mcss_floats (a : float array) : float =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let fa = Float_seq.floatarray_of_array a in
+    let g = Runtime.block_grid n in
+    let nb = g.Grain.num_blocks in
+    let partial = Array.make nb unit_fsummary in
+    Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb (fun j ->
+        Telemetry.incr_float_fast_path ();
+        let lo, hi = Grain.bounds g j in
+        (* [combine_f acc (of_element_f x)] unrolled over four unboxed
+           accumulators; the record materialises once per block. *)
+        let total = ref 0.0
+        and prefix = ref 0.0
+        and suffix = ref 0.0
+        and best = ref 0.0 in
+        let i = ref lo in
+        while !i < hi do
+          Cancel.poll ();
+          let stop = min hi (!i + 64) in
+          for k = !i to stop - 1 do
+            let x = Float.Array.unsafe_get fa k in
+            let m = Float.max 0.0 x in
+            let prefix' = Float.max !prefix (!total +. m) in
+            let best' = Float.max (Float.max !best m) (!suffix +. m) in
+            let suffix' = Float.max m (!suffix +. x) in
+            total := !total +. x;
+            prefix := prefix';
+            suffix := suffix';
+            best := best'
+          done;
+          i := stop
+        done;
+        partial.(j) <-
+          { ftotal = !total; fprefix = !prefix; fsuffix = !suffix; fbest = !best });
+    let acc = ref unit_fsummary in
+    for j = 0 to nb - 1 do
+      acc := combine_f !acc partial.(j)
+    done;
+    !acc.fbest
+  end
+
+(* Kadane over floats (empty subsequence allowed), for checks. *)
+let reference_floats (a : float array) : float =
+  let best = ref 0.0 and cur = ref 0.0 in
+  Array.iter
+    (fun x ->
+      cur := Float.max 0.0 (!cur +. x);
+      if !cur > !best then best := !cur)
+    a;
+  !best
+
+let generate_floats ?(seed = 42) n =
+  Bds_data.Gen.floats ~seed ~lo:(-1000.0) ~hi:1000.0 n
+
 (* Kadane's algorithm (empty subsequence allowed). *)
 let reference (a : int array) : int =
   let best = ref 0 and cur = ref 0 in

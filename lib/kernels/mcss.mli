@@ -22,3 +22,33 @@ module Delay_version : sig val mcss : int array -> int end
 val reference : int array -> int
 
 val generate : ?seed:int -> int -> int array
+
+(** {1 Float variant (unboxed lane)} *)
+
+(** The same monoid over floats. *)
+type fsummary = {
+  ftotal : float;
+  fprefix : float;
+  fsuffix : float;
+  fbest : float;
+}
+
+val unit_fsummary : fsummary
+val of_element_f : float -> fsummary
+val combine_f : fsummary -> fsummary -> fsummary
+
+(** Per-block Kadane-monoid fold with four unboxed accumulators over a
+    [floatarray] view of the input (one [fsummary] allocation per block,
+    none per element).  Summation order differs from a sequential fold
+    by block structure only — the monoid itself is order-sensitive to
+    rounding, so compare against {!reference_floats} with a tolerance. *)
+val mcss_floats : float array -> float
+
+(** The generic boxed pipeline (one record + boxed closure crossings per
+    element); kept callable so the bench measures the boxing cost. *)
+val mcss_floats_boxed : float array -> float
+
+(** Sequential Kadane over floats. *)
+val reference_floats : float array -> float
+
+val generate_floats : ?seed:int -> int -> float array

@@ -15,6 +15,7 @@ let default_policy =
 let chunks_per_worker = 32
 let default_lazy_chunk = 64
 let default_sort_cutoff = 4096
+let default_merge_tile = 4096
 
 (* All mutable policy state is Atomic: the bench harness (and tests)
    mutate it between sweep points while worker domains read it.  A plain
@@ -23,6 +24,7 @@ let policy_state : policy Atomic.t = Atomic.make default_policy
 let leaf_override : int option Atomic.t = Atomic.make None
 let lazy_chunk_state : int Atomic.t = Atomic.make default_lazy_chunk
 let sort_cutoff_state : int Atomic.t = Atomic.make default_sort_cutoff
+let merge_tile_state : int Atomic.t = Atomic.make default_merge_tile
 
 (* ------------------------------------------------------------------ *)
 (* Environment overrides, validated at first use *)
@@ -172,3 +174,9 @@ let sort_cutoff () = Atomic.get sort_cutoff_state
 let set_sort_cutoff c =
   if c < 1 then invalid_arg "Grain.set_sort_cutoff: cutoff must be >= 1";
   Atomic.set sort_cutoff_state c
+
+let merge_tile () = Atomic.get merge_tile_state
+
+let set_merge_tile c =
+  if c < 1 then invalid_arg "Grain.set_merge_tile: tile must be >= 1";
+  Atomic.set merge_tile_state c

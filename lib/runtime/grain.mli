@@ -101,6 +101,14 @@ val sort_cutoff : unit -> int
 
 val set_sort_cutoff : int -> unit
 
+(** Output-tile size for [Psort]'s cache-blocked parallel merge
+    ([Psort.sort_floats]): each tile of the merged output is located by
+    a merge-path binary search and then written by one sequential pass,
+    so the tile should fit comfortably in L1/L2 (default 4096). *)
+val merge_tile : unit -> int
+
+val set_merge_tile : int -> unit
+
 (** {2 Environment parsing} *)
 
 (** [parse_pos_int ~key s]: [Ok None] for a blank string (use the

@@ -26,6 +26,12 @@ type counters = {
   mutable chaos_injections : int;
   mutable fused_folds : int;
   mutable trickle_fallbacks : int;
+  (* Float-lane execution-path counters (lib/core/float_seq.ml and the
+     Stream/Seq float reductions): which representation a float
+     reduction loop actually ran over — a monomorphic unboxed loop, or
+     the generic boxed fold it falls back to. *)
+  mutable float_fast_path : int;
+  mutable float_boxed_fallback : int;
   (* Job-service outcome counters (lib/service): every admitted job
      resolves to exactly one terminal outcome, and the service bumps the
      matching counter at that single completion point. *)
@@ -37,15 +43,13 @@ type counters = {
   mutable jobs_retried : int;
   mutable jobs_shed : int;
   mutable jobs_retries_shed : int;
-  (* Padding out to three cache lines (the 18 counters above plus these
+  (* Padding out to three cache lines (the 20 counters above plus these
      pads are 192 bytes of payload): adjacent domains' records can never
      share a line even when the allocator places them back to back. *)
   mutable pad0 : int;
   mutable pad1 : int;
   mutable pad2 : int;
   mutable pad3 : int;
-  mutable pad4 : int;
-  mutable pad5 : int;
 }
 
 type snapshot = {
@@ -59,6 +63,8 @@ type snapshot = {
   s_chaos_injections : int;
   s_fused_folds : int;
   s_trickle_fallbacks : int;
+  s_float_fast_path : int;
+  s_float_boxed_fallback : int;
   s_jobs_admitted : int;
   s_jobs_completed : int;
   s_jobs_cancelled : int;
@@ -85,6 +91,8 @@ let fresh_counters () =
     chaos_injections = 0;
     fused_folds = 0;
     trickle_fallbacks = 0;
+    float_fast_path = 0;
+    float_boxed_fallback = 0;
     jobs_admitted = 0;
     jobs_completed = 0;
     jobs_cancelled = 0;
@@ -97,8 +105,6 @@ let fresh_counters () =
     pad1 = 0;
     pad2 = 0;
     pad3 = 0;
-    pad4 = 0;
-    pad5 = 0;
   }
 
 let key : counters Domain.DLS.key =
@@ -151,6 +157,14 @@ let[@inline] incr_trickle_fallbacks () =
   let c = local () in
   c.trickle_fallbacks <- c.trickle_fallbacks + 1
 
+let[@inline] incr_float_fast_path () =
+  let c = local () in
+  c.float_fast_path <- c.float_fast_path + 1
+
+let[@inline] incr_float_boxed_fallback () =
+  let c = local () in
+  c.float_boxed_fallback <- c.float_boxed_fallback + 1
+
 let[@inline] incr_jobs_admitted () =
   let c = local () in
   c.jobs_admitted <- c.jobs_admitted + 1
@@ -195,6 +209,8 @@ let zero =
     s_chaos_injections = 0;
     s_fused_folds = 0;
     s_trickle_fallbacks = 0;
+    s_float_fast_path = 0;
+    s_float_boxed_fallback = 0;
     s_jobs_admitted = 0;
     s_jobs_completed = 0;
     s_jobs_cancelled = 0;
@@ -222,6 +238,9 @@ let snapshot () =
         s_chaos_injections = acc.s_chaos_injections + c.chaos_injections;
         s_fused_folds = acc.s_fused_folds + c.fused_folds;
         s_trickle_fallbacks = acc.s_trickle_fallbacks + c.trickle_fallbacks;
+        s_float_fast_path = acc.s_float_fast_path + c.float_fast_path;
+        s_float_boxed_fallback =
+          acc.s_float_boxed_fallback + c.float_boxed_fallback;
         s_jobs_admitted = acc.s_jobs_admitted + c.jobs_admitted;
         s_jobs_completed = acc.s_jobs_completed + c.jobs_completed;
         s_jobs_cancelled = acc.s_jobs_cancelled + c.jobs_cancelled;
@@ -260,6 +279,9 @@ let diff_checked ~before ~after =
       s_chaos_injections = d after.s_chaos_injections before.s_chaos_injections;
       s_fused_folds = d after.s_fused_folds before.s_fused_folds;
       s_trickle_fallbacks = d after.s_trickle_fallbacks before.s_trickle_fallbacks;
+      s_float_fast_path = d after.s_float_fast_path before.s_float_fast_path;
+      s_float_boxed_fallback =
+        d after.s_float_boxed_fallback before.s_float_boxed_fallback;
       s_jobs_admitted = d after.s_jobs_admitted before.s_jobs_admitted;
       s_jobs_completed = d after.s_jobs_completed before.s_jobs_completed;
       s_jobs_cancelled = d after.s_jobs_cancelled before.s_jobs_cancelled;
@@ -287,6 +309,8 @@ let to_assoc s =
     ("chaos_injections", s.s_chaos_injections);
     ("fused_folds", s.s_fused_folds);
     ("trickle_fallbacks", s.s_trickle_fallbacks);
+    ("float_fast_path", s.s_float_fast_path);
+    ("float_boxed_fallback", s.s_float_boxed_fallback);
     ("jobs_admitted", s.s_jobs_admitted);
     ("jobs_completed", s.s_jobs_completed);
     ("jobs_cancelled", s.s_jobs_cancelled);

@@ -26,6 +26,13 @@ type snapshot = {
       (** stream consumers that drove a native push fold (Stream) *)
   s_trickle_fallbacks : int;
       (** stream consumers that drove a trickle-derived fold (Stream) *)
+  s_float_fast_path : int;
+      (** float-reduction loops that ran monomorphic and unboxed
+          ([Float_seq] block bodies, [Stream.sum_floats] over a pure
+          index function); one bump per block/loop *)
+  s_float_boxed_fallback : int;
+      (** float-reduction loops that fell back to the generic boxed
+          fold (non-materialisable producers); one bump per block *)
   s_jobs_admitted : int;  (** jobs accepted by the service admission queue *)
   s_jobs_completed : int;  (** jobs that produced a result *)
   s_jobs_cancelled : int;  (** jobs terminated by an explicit cancel *)
@@ -74,6 +81,15 @@ val incr_chaos_injections : unit -> unit
 
 val incr_fused_folds : unit -> unit
 val incr_trickle_fallbacks : unit -> unit
+
+(** Bumped by the unboxed float lane ([Float_seq], [Stream.sum_floats],
+    [Seq.float_sum]): one increment per block (or per whole loop for
+    unblocked drives) recording whether the reduction ran monomorphic
+    and unboxed or fell back to the generic boxed fold.  See
+    docs/STREAMS.md "Unboxed float lane". *)
+
+val incr_float_fast_path : unit -> unit
+val incr_float_boxed_fallback : unit -> unit
 
 (** Bumped by the job service ([lib/service]): exactly one terminal-
     outcome increment per admitted job, plus the admission / retry /

@@ -139,6 +139,178 @@ let merge cmp a b =
                 par_merge cmp grain prof src 0 la la (la + lb) dst 0));
         dst)
 
+(* ------------------------------------------------------------------ *)
+(* Unboxed float sort (the float lane's sorting substrate).
+
+   The generic sort above compares through a polymorphic [cmp] closure,
+   which boxes both floats on every comparison and reads elements
+   through polymorphic accessors.  The float variant below is fully
+   monomorphic over [float array] (flat unboxed storage), compares with
+   the primitive [<=], and replaces the divide-and-conquer merge with a
+   {e cache-blocked merge-path} merge: the output is cut into
+   fixed-size tiles ([Grain.merge_tile], default 4096 — sized to stay
+   cache-resident), each tile locates its input split with one binary
+   search along the merge path, and then writes its slice of the output
+   in a single sequential pass.  Tiles are independent, so they run as
+   a flat [parallel_for] — span O(log n) per merge level instead of the
+   generic merge's recursive splitting, and every memory access within
+   a tile is sequential (streaming loads from two runs, streaming
+   stores to one output range).
+
+   Ordering uses the primitive [<=] on floats: inputs containing NaN
+   have no total order under [<=], and the result is unspecified for
+   them (memory-safe, but not sorted).  [-0.] and [0.] compare equal
+   and keep their relative order (the merges and the insertion-sort
+   base are stable, though stability is unobservable for floats). *)
+
+let insertion_sort_floats (a : float array) lo hi =
+  for i = lo + 1 to hi - 1 do
+    let v = Array.unsafe_get a i in
+    let j = ref (i - 1) in
+    while !j >= lo && Array.unsafe_get a !j > v do
+      Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+      decr j
+    done;
+    Array.unsafe_set a (!j + 1) v
+  done
+
+let seq_merge_floats (src : float array) alo ahi blo bhi (dst : float array)
+    dlo =
+  let i = ref alo and j = ref blo and k = ref dlo in
+  while !i < ahi && !j < bhi do
+    let x = Array.unsafe_get src !i and y = Array.unsafe_get src !j in
+    (* Stability: ties taken from the left run. *)
+    if x <= y then begin
+      Array.unsafe_set dst !k x;
+      incr i
+    end
+    else begin
+      Array.unsafe_set dst !k y;
+      incr j
+    end;
+    incr k
+  done;
+  while !i < ahi do
+    Array.unsafe_set dst !k (Array.unsafe_get src !i);
+    incr i;
+    incr k
+  done;
+  while !j < bhi do
+    Array.unsafe_set dst !k (Array.unsafe_get src !j);
+    incr j;
+    incr k
+  done
+
+(* Merge-path split: for sorted runs A = src[alo, alo+la) and
+   B = src[blo, blo+lb), return the unique [i] such that the first [k]
+   elements of the stable merge are A[..i) and B[..k-i).  The stable
+   split satisfies (i = 0 or j = lb or A[i-1] <= B[j]) and (j = 0 or
+   i = la or B[j-1] < A[i]) with j = k - i; the second predicate is
+   monotone in [i], so a binary search for its smallest witness finds
+   the split in O(log min(la, lb, k)). *)
+let merge_path (src : float array) alo la blo lb k =
+  let lo = ref (max 0 (k - lb)) and hi = ref (min k la) in
+  while !lo < !hi do
+    let i = (!lo + !hi) / 2 in
+    let j = k - i in
+    (* Inside the open interval, i < la and j > 0 always hold. *)
+    if Array.unsafe_get src (alo + i) <= Array.unsafe_get src (blo + j - 1)
+    then lo := i + 1
+    else hi := i
+  done;
+  !lo
+
+(* Cache-blocked parallel merge of src[alo,ahi) and src[blo,bhi) into
+   dst[dlo, ...): one output tile per parallel iteration. *)
+let par_merge_floats grain prof (src : float array) alo ahi blo bhi
+    (dst : float array) dlo =
+  let la = ahi - alo and lb = bhi - blo in
+  let total = la + lb in
+  if total <= grain then
+    Profile.leaf prof (fun () -> seq_merge_floats src alo ahi blo bhi dst dlo)
+  else begin
+    let tile = Grain.merge_tile () in
+    let nt = (total + tile - 1) / tile in
+    (* Grain 1: a tile is already a coarse unit of work. *)
+    Runtime.parallel_for ~grain:1 0 nt (fun t ->
+        Profile.leaf prof (fun () ->
+            let k1 = t * tile in
+            let k2 = min total (k1 + tile) in
+            let i1 = merge_path src alo la blo lb k1 in
+            let i2 = merge_path src alo la blo lb k2 in
+            seq_merge_floats src (alo + i1) (alo + i2)
+              (blo + (k1 - i1))
+              (blo + (k2 - i2))
+              dst (dlo + k1)))
+  end
+
+(* Sequential ping-pong merge sort for grain-sized ranges: monomorphic
+   all the way down (no [Array.stable_sort], whose polymorphic compare
+   would box every comparison). *)
+let rec seq_sort_floats (src : float array) (dst : float array) lo hi into_dst
+    =
+  let n = hi - lo in
+  if n <= 32 then begin
+    let a = if into_dst then dst else src in
+    if into_dst then Array.blit src lo dst lo n;
+    insertion_sort_floats a lo hi
+  end
+  else begin
+    let mid = (lo + hi) / 2 in
+    seq_sort_floats src dst lo mid (not into_dst);
+    seq_sort_floats src dst mid hi (not into_dst);
+    let from, into = if into_dst then (src, dst) else (dst, src) in
+    seq_merge_floats from lo mid mid hi into lo
+  end
+
+let rec sort_range_floats grain prof (src : float array) (dst : float array)
+    lo hi into_dst =
+  let n = hi - lo in
+  if n <= grain then
+    Profile.leaf prof (fun () -> seq_sort_floats src dst lo hi into_dst)
+  else begin
+    let mid = (lo + hi) / 2 in
+    let (), () =
+      Runtime.par
+        (fun () -> sort_range_floats grain prof src dst lo mid (not into_dst))
+        (fun () -> sort_range_floats grain prof src dst mid hi (not into_dst))
+    in
+    let from, into = if into_dst then (src, dst) else (dst, src) in
+    par_merge_floats grain prof from lo mid mid hi into lo
+  end
+
+let sort_floats_in_place ?grain (a : float array) =
+  let n = Array.length a in
+  if n > 1 then
+    Profile.with_op "sort_floats" (fun () ->
+        let grain =
+          max 16 (match grain with Some g -> g | None -> default_grain ())
+        in
+        let scratch = Array.copy a in
+        Profile.with_region (fun prof ->
+            Runtime.run (fun () ->
+                sort_range_floats grain prof a scratch 0 n false)))
+
+let sort_floats ?grain a =
+  let out = Array.copy a in
+  sort_floats_in_place ?grain out;
+  out
+
+(* The cache-blocked merge exposed on its own (mirrors {!merge}). *)
+let merge_floats (a : float array) (b : float array) =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then Array.copy b
+  else if lb = 0 then Array.copy a
+  else
+    Profile.with_op "sort_floats" (fun () ->
+        let src = Array.append a b in
+        let dst = Array.make (la + lb) 0.0 in
+        let grain = max 16 (default_grain ()) in
+        Profile.with_region (fun prof ->
+            Runtime.run (fun () ->
+                par_merge_floats grain prof src 0 la la (la + lb) dst 0));
+        dst)
+
 let is_sorted cmp a =
   let n = Array.length a in
   let rec go i = i >= n || (cmp a.(i - 1) a.(i) <= 0 && go (i + 1)) in

@@ -366,6 +366,44 @@ let reduce f z s =
   count_path s;
   profiled (fun () -> s.fold ~stop:s.length f z)
 
+(* Monomorphic float sum: the stream-lane entry of the unboxed float
+   lane (docs/STREAMS.md "Unboxed float lane").  When the stream carries
+   a pure index function (sources and stateless combinator chains over
+   them), the whole sum runs as one monomorphic loop with unboxed
+   accumulators — each element boxes at most once, at the index-function
+   call boundary, instead of once per pipeline stage plus once per
+   combine — keeping the 64-element poll cadence, and bumps
+   [float_fast_path].  Streams with no index function (stateful stages
+   like [scan], or [make]-built trickles) fall back to the generic
+   polymorphic fold, which boxes every element through the step closure;
+   those bump [float_boxed_fallback] so fallen-off chains show up in
+   [bds_probe stats]. *)
+let sum_floats (s : float t) =
+  count_path s;
+  match s.ixfn with
+  | Some f ->
+    Telemetry.incr_float_fast_path ();
+    profiled (fun () ->
+        let stop = s.length in
+        let s0 = ref 0.0 and s1 = ref 0.0 in
+        let i = ref 0 in
+        while !i < stop do
+          Cancel.poll ();
+          let hi = min stop (!i + poll_chunk) in
+          let j = ref !i in
+          while !j + 1 < hi do
+            s0 := !s0 +. f !j;
+            s1 := !s1 +. f (!j + 1);
+            j := !j + 2
+          done;
+          if !j < hi then s0 := !s0 +. f !j;
+          i := hi
+        done;
+        !s0 +. !s1)
+  | None ->
+    Telemetry.incr_float_boxed_fallback ();
+    profiled (fun () -> s.fold ~stop:s.length ( +. ) 0.0)
+
 (* Fold of a non-empty stream seeded from its first element; lets parallel
    callers combine a seed exactly once across blocks.  The accumulator
    cell is allocated when the first element arrives (no ['a option]

@@ -81,6 +81,16 @@ val take : int -> 'a t -> 'a t
 
 val reduce : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a
 
+(** Unboxed float sum.  A stream that is semantically [tabulate n f]
+    (sources and stateless stages over them) is summed by one
+    monomorphic loop with unboxed accumulators, split two ways for ILP
+    — summation order therefore differs from a left fold by rounding —
+    and bumps the [float_fast_path] telemetry counter; anything else
+    falls back to the generic boxed {!reduce} and bumps
+    [float_boxed_fallback].  See docs/STREAMS.md "Unboxed float
+    lane". *)
+val sum_floats : float t -> float
+
 (** Fold of a non-empty stream seeded from its first element (no option
     witness: the accumulator cell is allocated when the first element is
     pushed).  Raises [Invalid_argument] on an empty stream. *)

@@ -55,6 +55,66 @@ ratios are the default because shared runners drift):
     stream-overhead push time_s (absolute)     baseline   0.0140  current   0.0145    +3.6%  ok
   result: PASS
 
+A BENCH_7-shaped baseline additionally carries the float-kernels
+section (ISSUE 7); every bench it records gets its unboxed-vs-boxed
+speedup gated, alongside the stream check — sections are detected by
+presence, so the BENCH_4-shaped baseline above keeps working unchanged:
+
+  $ cat > baseline7.json <<'EOF'
+  > {
+  >   "snapshot": 7,
+  >   "results": {
+  >     "stream-overhead/chain3": {
+  >       "pull_trickle": { "time_s": 0.0240 },
+  >       "push_fused": { "time_s": 0.0140 },
+  >       "speedup_push_vs_pull": 1.72
+  >     },
+  >     "float-kernels": {
+  >       "sum": { "speedup_unboxed_vs_boxed": 2.50 },
+  >       "dot": { "speedup_unboxed_vs_boxed": 3.00 }
+  >     }
+  >   }
+  > }
+  > EOF
+  $ cat > good7.csv <<'EOF'
+  > section,bench,version,procs,metric,value
+  > stream-overhead,chain3,pull,2,time_s,0.0250
+  > stream-overhead,chain3,push,2,time_s,0.0145
+  > float-kernels,sum,boxed,2,time_s,0.0500
+  > float-kernels,sum,unboxed,2,time_s,0.0200
+  > float-kernels,dot,boxed,2,time_s,0.0600
+  > float-kernels,dot,unboxed,2,time_s,0.0199
+  > EOF
+  $ bench_compare --baseline baseline7.json --csv good7.csv
+  bench_compare: baseline snapshot 7 (baseline7.json), tolerance 15%
+    stream-overhead push-vs-pull speedup       baseline   1.7200  current   1.7241    +0.2%  ok
+    float-kernels sum unboxed-vs-boxed speedup baseline   2.5000  current   2.5000    +0.0%  ok
+    float-kernels dot unboxed-vs-boxed speedup baseline   3.0000  current   3.0151    +0.5%  ok
+  result: PASS
+
+Doubling one kernel's unboxed time (a boxing regression slipping back
+in) halves that kernel's speedup and fails the gate, while the other
+checks still report their margins:
+
+  $ sed 's/sum,unboxed,2,time_s,0.0200/sum,unboxed,2,time_s,0.0400/' good7.csv > slow7.csv
+  $ bench_compare --baseline baseline7.json --csv slow7.csv
+  bench_compare: baseline snapshot 7 (baseline7.json), tolerance 15%
+    stream-overhead push-vs-pull speedup       baseline   1.7200  current   1.7241    +0.2%  ok
+    float-kernels sum unboxed-vs-boxed speedup baseline   2.5000  current   1.2500   -50.0%  REGRESSION
+    float-kernels dot unboxed-vs-boxed speedup baseline   3.0000  current   3.0151    +0.5%  ok
+  result: FAIL
+  [1]
+
+A baseline with no known gated section is a usage error, never a
+silent pass:
+
+  $ cat > nosection.json <<'EOF'
+  > { "snapshot": 7, "results": { "misc": {} } }
+  > EOF
+  $ bench_compare --baseline nosection.json --csv good7.csv
+  bench_compare: baseline: results contains no known gated section (stream-overhead/chain3 or float-kernels)
+  [2]
+
 Malformed inputs are usage errors (exit 2), distinct from regressions:
 
   $ echo 'not json' > bad.json

@@ -1,0 +1,25 @@
+Float-lane execution-path counters (docs/STREAMS.md "Unboxed float
+lane").
+
+`bds_probe floats` drives three fixed float pipelines and reports, per
+pipeline, how many per-block loops ran on the monomorphic unboxed fast
+path vs the generic boxed fallback.  With the block grid pinned
+(n=8000, block size 1000 -> 8 blocks) the counts are exact.
+
+A RAD map|float_sum chain hands its pure index function straight to
+Float_seq: one fast-path loop per block, ZERO boxed fallbacks (the
+ISSUE 7 acceptance criterion for fused float chains).
+
+Summing a scan_incl output is the honest counter-case: the scan's
+block streams are stateful (no pure index function), so each of the 8
+blocks falls back to the generic boxed fold — visible here and in
+`bds_probe stats` as float_boxed_fallback.
+
+A materialised Float_seq dot stays unboxed end to end: force runs one
+fast-path loop per block, then dot one more (16 total, zero
+fallbacks):
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_BLOCK_SIZE=1000 bds_probe floats
+  map-sum: value=15998000.0 float_fast_path=8 float_boxed_fallback=0
+  scan-sum: value=85333332000.0 float_fast_path=0 float_boxed_fallback=8
+  floatarray-dot: value=140000.0 float_fast_path=16 float_boxed_fallback=0

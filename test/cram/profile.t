@@ -1,16 +1,22 @@
 The work/span profiler through bds_probe (docs/OBSERVABILITY.md
 "Profiling").  `bds_probe report` force-enables profiling, runs a
-map|scan|reduce pipeline (plus a filter|to_array tail) and prints the
-per-op report.  Times and counts depend on the host, so they are
-normalised: durations to T, other numbers to N/F.  The op set, the
-column layout and the name-sorted row order are the interface.
+map|scan|reduce pipeline (plus a filter|to_array tail, a float_sum over
+the unboxed float lane, and a max_by/min_by pair) and prints the per-op
+report.  Times and counts depend on the host, so they are normalised:
+durations to T, other numbers to N/F.  The op set, the column layout
+and the name-sorted row order are the interface — in particular,
+float_sum, max_by and min_by appear under their own labels (max_by was
+once misattributed to reduce; ISSUE 7).
 
   $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe report \
   >   | sed -E 's/[0-9]+\.?[0-9]*(ns|us|ms|s)\b/T/g; s/[0-9]+\.[0-9]+/F/g; s/[0-9]+/N/g'
   profile report (N workers)
   op calls chunks pN pN work span parallelism utilization
   filter N N T T T T F F
+  float_sum N N T T T T F F
   map N N T T T T F F
+  max_by N N T T T T F F
+  min_by N N T T T T F F
   reduce N N T T T T F F
   scan N N T T T T F F
   tabulate N N T T T T F F
@@ -25,7 +31,7 @@ consume:
 
   $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe report --json \
   >   | sed -E 's/:-?[0-9]+\.?[0-9]*/:N/g'
-  {"workers":N,"ops":[{"name":"filter","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"map","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"reduce","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"scan","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"tabulate","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"to_array","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N}]}
+  {"workers":N,"ops":[{"name":"filter","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"float_sum","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"map","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"max_by","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"min_by","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"reduce","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"scan","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"tabulate","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N},{"name":"to_array","calls":N,"chunks":N,"wall_ns":N,"work_ns":N,"span_ns":N,"p50_ns":N,"p99_ns":N,"max_chunk_ns":N,"parallelism":N,"utilization":N,"tiny_fraction":N}]}
 
 Forcing tiny blocks trips the Cilkview-style grain diagnostic (the
 warning names the knobs to raise).  Which ops cross the 25% threshold

@@ -1,0 +1,224 @@
+(* The unboxed float lane (Float_seq, Seq.float_sum, Stream.sum_floats):
+   the fast path must compute the same answers as the generic boxed
+   pipelines — exactly on integer-valued data (where float addition is
+   exact, so block splits cannot change the result), and within a
+   summation-order error bound on arbitrary data — across block
+   policies, grain overrides and 1/2/4 domains. *)
+
+module FS = Bds.Float_seq
+module S = Bds.Seq
+module Runtime = Bds_runtime.Runtime
+open Bds_test_util
+
+let () = init ()
+
+(* ------------------------------------------------------------------ *)
+(* References (sequential left folds over plain arrays) *)
+
+let ref_sum a = Array.fold_left ( +. ) 0.0 a
+
+let ref_dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let ref_scan_excl a =
+  let n = Array.length a in
+  let out = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    out.(i) <- !acc;
+    acc := !acc +. a.(i)
+  done;
+  (out, !acc)
+
+(* Integer-valued floats: every intermediate stays well under 2^53, so
+   addition is exact and any block split / accumulator split yields the
+   bit-identical result. *)
+let int_valued n = Array.init n (fun i -> float_of_int ((i * 7 mod 201) - 100))
+
+(* Summation-order bound for arbitrary data: both sides reassociate at
+   most [n] additions of terms bounded by [sum |x|]. *)
+let close ~n ~scale got want =
+  let tol = 4.0 *. float_of_int (n + 1) *. epsilon_float *. (scale +. 1.0) in
+  Float.abs (got -. want) <= tol
+
+let sum_abs = Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Basics *)
+
+let test_basics () =
+  Alcotest.(check int) "empty length" 0 (FS.length FS.empty);
+  Alcotest.(check (float 0.0)) "empty sum" 0.0 (FS.sum FS.empty);
+  Alcotest.(check (float 0.0)) "empty dot" 0.0 (FS.dot FS.empty FS.empty);
+  Alcotest.(check (float 0.0)) "empty reduce is z" 3.5
+    (FS.reduce ( +. ) 3.5 FS.empty);
+  let t = FS.tabulate 10 float_of_int in
+  Alcotest.(check (float 0.0)) "get" 7.0 (FS.get t 7);
+  Alcotest.(check (float 0.0)) "map is delayed composition" 14.0
+    (FS.get (FS.map (fun x -> 2.0 *. x) t) 7);
+  Alcotest.(check (float 0.0)) "map2" 21.0
+    (FS.get (FS.map2 ( +. ) t (FS.map (fun x -> 2.0 *. x) t)) 7);
+  let a = int_valued 1000 in
+  Alcotest.(check (array (float 0.0))) "of_array/to_array roundtrip" a
+    (FS.to_array (FS.of_array a));
+  Alcotest.(check (array (float 0.0))) "force fixes the values" a
+    (FS.to_array (FS.force (FS.tabulate 1000 (fun i -> a.(i)))));
+  Alcotest.check_raises "tabulate negative" (Invalid_argument "Float_seq.tabulate")
+    (fun () -> ignore (FS.tabulate (-1) float_of_int));
+  Alcotest.check_raises "map2 mismatch"
+    (Invalid_argument "Float_seq.map2: length mismatch") (fun () ->
+      ignore (FS.map2 ( +. ) t (FS.tabulate 3 float_of_int)));
+  Alcotest.check_raises "dot mismatch"
+    (Invalid_argument "Float_seq.dot: length mismatch") (fun () ->
+      ignore (FS.dot t (FS.tabulate 3 float_of_int)))
+
+(* ------------------------------------------------------------------ *)
+(* Exactness on integer-valued data, across block policies: Mat and Fn
+   variants of every eager consumer, against sequential references. *)
+
+let test_exact_across_policies () =
+  let n = 10_000 in
+  let a = int_valued n and b = Array.init n (fun i -> float_of_int (i mod 13 - 6)) in
+  let want_sum = ref_sum a and want_dot = ref_dot a b in
+  let want_scan, want_total = ref_scan_excl a in
+  for_all_policies (fun name ->
+      let mat = FS.of_array a in
+      let fn = FS.tabulate n (fun i -> a.(i)) in
+      Alcotest.(check (float 0.0)) (name ^ " sum mat") want_sum (FS.sum mat);
+      Alcotest.(check (float 0.0)) (name ^ " sum fn") want_sum (FS.sum fn);
+      Alcotest.(check (float 0.0)) (name ^ " dot mat-mat") want_dot
+        (FS.dot mat (FS.of_array b));
+      Alcotest.(check (float 0.0)) (name ^ " dot fn") want_dot
+        (FS.dot fn (FS.tabulate n (fun i -> b.(i))));
+      let got_scan, got_total = FS.scan fn in
+      Alcotest.(check (float 0.0)) (name ^ " scan total") want_total got_total;
+      Alcotest.(check (array (float 0.0))) (name ^ " scan") want_scan
+        (FS.to_array got_scan);
+      let incl = FS.to_array (FS.scan_incl mat) in
+      Alcotest.(check (float 0.0)) (name ^ " scan_incl last") want_total
+        incl.(n - 1);
+      (* reduce with a non-commutative-sensitive op: max needs no
+         tolerance at all. *)
+      let want_max = Array.fold_left Float.max neg_infinity a in
+      Alcotest.(check (float 0.0)) (name ^ " reduce max") want_max
+        (FS.reduce Float.max neg_infinity mat))
+
+(* The rerouted [Seq.float_sum] (both RAD and BID representations) and
+   the delayed pipeline it fuses must match the boxed generic reduce. *)
+let test_seq_float_sum_exact () =
+  let n = 30_000 in
+  for_all_policies (fun name ->
+      let rad = S.map (fun i -> float_of_int (i mod 101 - 50)) (S.iota n) in
+      let boxed = S.reduce ( +. ) 0.0 rad in
+      Alcotest.(check (float 0.0)) (name ^ " rad") boxed (S.float_sum rad);
+      (* BID: a filter forces real blocks; also exercises the
+         Stream.sum_floats fallback when block streams are stateful. *)
+      let bid =
+        S.map float_of_int (S.filter (fun i -> i mod 3 <> 0) (S.iota n))
+      in
+      Alcotest.(check (float 0.0)) (name ^ " bid") (S.reduce ( +. ) 0.0 bid)
+        (S.float_sum bid);
+      (* Scan output: per-block stateful streams, boxed-fallback path. *)
+      let sc = S.scan_incl ( +. ) 0.0 (S.map float_of_int (S.iota 1000)) in
+      Alcotest.(check (float 0.0)) (name ^ " scan output")
+        (S.reduce ( +. ) 0.0 sc) (S.float_sum sc))
+
+(* ------------------------------------------------------------------ *)
+(* Grain overrides x 1/2/4 domains (the ISSUE 7 sweep): still exact on
+   integer-valued data, whatever the leaf decomposition. *)
+
+let test_grain_domains_sweep () =
+  let n = 50_000 in
+  let a = int_valued n in
+  let want_sum = ref_sum a in
+  let _, want_total = ref_scan_excl a in
+  Fun.protect
+    ~finally:(fun () -> Runtime.set_num_domains Bds_test_util.domains)
+    (fun () ->
+      List.iter
+        (fun d ->
+          Runtime.set_num_domains d;
+          List.iter
+            (fun g ->
+              with_grain g (fun () ->
+                  let tag =
+                    Printf.sprintf "d=%d grain=%s" d
+                      (match g with Some v -> string_of_int v | None -> "auto")
+                  in
+                  let mat = FS.of_array a in
+                  Alcotest.(check (float 0.0)) (tag ^ " sum") want_sum
+                    (FS.sum mat);
+                  let _, total = FS.scan mat in
+                  Alcotest.(check (float 0.0)) (tag ^ " scan total") want_total
+                    total;
+                  Alcotest.(check (float 0.0)) (tag ^ " seq float_sum")
+                    want_sum
+                    (S.float_sum (S.tabulate n (fun i -> a.(i))))))
+            [ Some 1; Some 97; None ])
+        [ 1; 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* Arbitrary floats: unboxed vs boxed within the summation-order bound. *)
+
+let float_array_gen =
+  QCheck2.Gen.(array_size (int_bound 400) (float_range (-1000.0) 1000.0))
+
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"Float_seq.sum ~ sequential sum" ~count:300 float_array_gen
+      (fun a ->
+        let n = Array.length a in
+        close ~n ~scale:(sum_abs a) (FS.sum (FS.of_array a)) (ref_sum a));
+    Test.make ~name:"Seq.float_sum ~ boxed reduce" ~count:300 float_array_gen
+      (fun a ->
+        let n = Array.length a in
+        let s = S.of_array a in
+        close ~n ~scale:(sum_abs a) (S.float_sum s) (S.reduce ( +. ) 0.0 s));
+    Test.make ~name:"Float_seq.dot ~ sequential dot" ~count:300
+      Gen.(pair float_array_gen (float_range (-10.0) 10.0))
+      (fun (a, k) ->
+        let n = Array.length a in
+        let b = Array.map (fun x -> k -. x) a in
+        let scale =
+          Array.fold_left (fun acc x -> acc +. Float.abs (x *. (k -. x))) 0.0 a
+        in
+        close ~n ~scale (FS.dot (FS.of_array a) (FS.of_array b)) (ref_dot a b));
+    Test.make ~name:"Float_seq.scan ~ sequential scan" ~count:200
+      float_array_gen (fun a ->
+        let n = Array.length a in
+        let want, want_total = ref_scan_excl a in
+        let got, got_total = FS.scan (FS.of_array a) in
+        let got = FS.to_array got in
+        let scale = sum_abs a in
+        close ~n ~scale got_total want_total
+        && Array.for_all2 (fun g w -> close ~n ~scale g w) got want);
+  ]
+
+(* Sanity for the tolerance itself: a pipeline where boxed and unboxed
+   must agree exactly (single element — no reassociation possible). *)
+let test_single_element_exact () =
+  let x = 0.1 in
+  Alcotest.(check (float 0.0)) "singleton sum" x (FS.sum (FS.of_array [| x |]));
+  Alcotest.(check (float 0.0)) "singleton float_sum" x
+    (S.float_sum (S.of_array [| x |]))
+
+let () =
+  Alcotest.run "float_seq"
+    [
+      ( "float lane",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "exact across policies" `Quick
+            test_exact_across_policies;
+          Alcotest.test_case "Seq.float_sum exact" `Quick
+            test_seq_float_sum_exact;
+          Alcotest.test_case "grain x domains sweep" `Quick
+            test_grain_domains_sweep;
+          Alcotest.test_case "single element exact" `Quick
+            test_single_element_exact;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]

@@ -128,9 +128,16 @@ let test_integrate () =
   float_eq "array" expect (K.Integrate.Array_version.integrate n);
   float_eq "rad" expect (K.Integrate.Rad_version.integrate n);
   float_eq "delay" expect (K.Integrate.Delay_version.integrate n);
+  (* The unboxed block loop inlines the integrand; same sums, same
+     block-split reassociation as the boxed lane. *)
+  float_eq "unboxed" expect (K.Integrate.integrate_unboxed n);
+  float_eq "unboxed n=1" (K.Integrate.reference 1) (K.Integrate.integrate_unboxed 1);
   (* Midpoint rule converges to the closed form. *)
   Alcotest.(check bool) "accuracy" true
     (Float.abs (K.Integrate.Delay_version.integrate 1_000_000 -. K.Integrate.exact ())
+    < 1e-3);
+  Alcotest.(check bool) "unboxed accuracy" true
+    (Float.abs (K.Integrate.integrate_unboxed 1_000_000 -. K.Integrate.exact ())
     < 1e-3)
 
 (* ---------------- linearrec ---------------- *)
@@ -160,6 +167,7 @@ let test_linefit () =
       ("array", K.Linefit.Array_version.fit pts);
       ("rad", K.Linefit.Rad_version.fit pts);
       ("delay", K.Linefit.Delay_version.fit pts);
+      ("unboxed", K.Linefit.fit_unboxed pts);
     ];
   (* The fit recovers the generating line. *)
   Alcotest.(check bool) "slope near 2.5" true (Float.abs (es -. 2.5) < 0.05);
@@ -180,6 +188,23 @@ let test_mcss () =
     (K.Mcss.Delay_version.mcss (Array.make 100 (-5)));
   Alcotest.(check int) "all positive" 500 (K.Mcss.Delay_version.mcss (Array.make 100 5));
   Alcotest.(check int) "known" 6 (K.Mcss.Delay_version.mcss [| -2; 1; -3; 4; -1; 2; 1; -5; 4 |])
+
+let test_mcss_floats () =
+  List.iter
+    (fun n ->
+      if n > 0 then begin
+        let a = K.Mcss.generate_floats ~seed:(n + 7) n in
+        let expect = K.Mcss.reference_floats a in
+        float_eq "boxed" expect (K.Mcss.mcss_floats_boxed a);
+        float_eq "unboxed" expect (K.Mcss.mcss_floats a)
+      end)
+    sizes;
+  float_eq "known" 6.0
+    (K.Mcss.mcss_floats [| -2.; 1.; -3.; 4.; -1.; 2.; 1.; -5.; 4. |]);
+  (* All-negative input: the empty subsequence wins (0, as in the int
+     kernel). *)
+  float_eq "all negative" (K.Mcss.reference_floats (Array.make 100 (-5.0)))
+    (K.Mcss.mcss_floats (Array.make 100 (-5.0)))
 
 (* ---------------- quickhull ---------------- *)
 
@@ -317,6 +342,7 @@ let () =
           Alcotest.test_case "linearrec" `Quick test_linearrec;
           Alcotest.test_case "linefit" `Quick test_linefit;
           Alcotest.test_case "mcss" `Quick test_mcss;
+          Alcotest.test_case "mcss floats" `Quick test_mcss_floats;
           Alcotest.test_case "quickhull" `Quick test_quickhull;
           Alcotest.test_case "sparse-mxv" `Quick test_sparse_mxv;
           Alcotest.test_case "wc" `Quick test_wc;

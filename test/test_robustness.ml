@@ -152,6 +152,42 @@ let test_cancellation_mid_block_push () =
             true
             (touches <= 1300)))
 
+let test_cancellation_mid_block_unboxed () =
+  (* The float lane's monomorphic loops (Float_seq) share the push
+     lane's cadence: one ambient poll per 64-element chunk, inside the
+     unboxed accumulator loop.  Same setup as the push-fold test — one
+     worker, one 100k-element block — so block-boundary polling alone
+     could not fire before the end; stopping within ~one chunk of the
+     poisoned element proves the inner loop itself polls. *)
+  Fun.protect
+    ~finally:(fun () -> Runtime.set_num_domains Bds_test_util.domains)
+    (fun () ->
+      Runtime.set_num_domains 1;
+      with_policy (Bds.Block.Fixed 100_000) (fun () ->
+          let n = 100_000 in
+          let touches = ref 0 in
+          let poison i =
+            incr touches;
+            if i = 1234 then (
+              match Bds_runtime.Cancel.ambient () with
+              | Some tok ->
+                Bds_runtime.Cancel.cancel_with tok (Kernel_bug 11)
+                  (Printexc.get_callstack 0)
+              | None -> Alcotest.fail "no ambient token in unboxed loop");
+            float_of_int i
+          in
+          Alcotest.check_raises "recorded failure propagates" (Kernel_bug 11)
+            (fun () -> ignore (Bds.Float_seq.sum (Bds.Float_seq.tabulate n poison)));
+          let touches = !touches in
+          Alcotest.(check bool)
+            (Printf.sprintf "reached the cancel point (%d touches)" touches)
+            true (touches > 1234);
+          Alcotest.(check bool)
+            (Printf.sprintf "stops within one poll chunk (%d touches <= 1300)"
+               touches)
+            true
+            (touches <= 1300)))
+
 (* ------------------------------------------------------------------ *)
 (* Chaos injection                                                     *)
 
@@ -365,6 +401,8 @@ let () =
             test_cancellation_in_scan_phase1;
           Alcotest.test_case "push fold stops mid-block" `Quick
             test_cancellation_mid_block_push;
+          Alcotest.test_case "unboxed float loop stops mid-block" `Quick
+            test_cancellation_mid_block_unboxed;
         ] );
       ( "chaos injection",
         [

@@ -95,6 +95,99 @@ let test_group_by () =
            (-1) vs))
     groups
 
+(* ---------------- unboxed float sort ---------------- *)
+
+let float_sort_ref a =
+  let c = Array.copy a in
+  Array.stable_sort Float.compare c;
+  c
+
+let check_float_array name expect got =
+  Alcotest.(check int) (name ^ " length") (Array.length expect) (Array.length got);
+  Array.iteri
+    (fun i x ->
+      if not (Float.equal x got.(i)) then
+        Alcotest.failf "%s: index %d differs (%h vs %h)" name i got.(i) x)
+    expect
+
+let test_sort_floats_basic () =
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun i -> float_of_int ((i * 7919) mod 1001) /. 8.0) in
+      check_float_array (Printf.sprintf "n=%d" n) (float_sort_ref a)
+        (Psort.sort_floats a);
+      (* Input untouched; in-place variant sorts for real. *)
+      if n > 0 then
+        Alcotest.(check (float 0.0)) "input intact"
+          (float_of_int ((n - 1) * 7919 mod 1001) /. 8.0)
+          a.(n - 1);
+      let c = Array.copy a in
+      Psort.sort_floats_in_place c;
+      check_float_array (Printf.sprintf "in place n=%d" n) (float_sort_ref a) c)
+    [ 0; 1; 2; 3; 5; 100; 4096; 4097; 100_000 ];
+  (* Negative zero and duplicates: Float.compare orders -0. before 0.,
+     the primitive <= in the merge does not distinguish them — both are
+     valid sorted orders under <=, so compare magnitudes only. *)
+  let z = Psort.sort_floats [| 0.0; -0.0; 1.0; -0.0; 0.0 |] in
+  Alcotest.(check bool) "zeros sorted" true
+    (Psort.is_sorted Float.compare (Array.map Float.abs z));
+  (* Infinities order with everything. *)
+  let inf = [| infinity; neg_infinity; 0.0; 1e308; -1e308 |] in
+  check_float_array "infinities" (float_sort_ref inf) (Psort.sort_floats inf)
+
+let test_sort_floats_grain_and_tiles () =
+  let a = Bds_data.Gen.floats ~seed:42 ~lo:(-500.0) ~hi:500.0 60_000 in
+  let expect = float_sort_ref a in
+  (* Sweep the sequential cutoff AND the merge tile so tile boundaries
+     land everywhere relative to run boundaries: tile=1 makes every
+     output element its own merge-path search; a huge tile degenerates
+     to one sequential merge. *)
+  let old_tile = Bds_runtime.Grain.merge_tile () in
+  Fun.protect
+    ~finally:(fun () -> Bds_runtime.Grain.set_merge_tile old_tile)
+    (fun () ->
+      List.iter
+        (fun (grain, tile) ->
+          Bds_runtime.Grain.set_merge_tile tile;
+          check_float_array
+            (Printf.sprintf "grain=%d tile=%d" grain tile)
+            expect
+            (Psort.sort_floats ~grain a))
+        [ (16, 1); (16, 7); (100, 64); (1000, 4096); (100_000, 1_000_000); (64, 1023) ]);
+  Alcotest.check_raises "tile >= 1"
+    (Invalid_argument "Grain.set_merge_tile: tile must be >= 1") (fun () ->
+      Bds_runtime.Grain.set_merge_tile 0)
+
+let test_merge_floats () =
+  let a = Array.init 1000 (fun i -> float_of_int (2 * i)) in
+  let b = Array.init 500 (fun i -> float_of_int ((3 * i) + 1)) in
+  let expect = float_sort_ref (Array.append a b) in
+  check_float_array "merge" expect (Psort.merge_floats a b);
+  check_float_array "merge empty left" a (Psort.merge_floats [||] a);
+  check_float_array "merge empty right" a (Psort.merge_floats a [||]);
+  (* All-equal inputs stress the tie-handling in the merge path. *)
+  let e = Array.make 5000 3.5 in
+  check_float_array "all equal" (Array.make 10_000 3.5)
+    (Psort.merge_floats e e)
+
+let float_qcheck_tests =
+  let open QCheck2 in
+  let float_array = Gen.(array_size (int_bound 300) (float_range (-100.0) 100.0)) in
+  [
+    Test.make ~name:"sort_floats = stable_sort Float.compare" ~count:300
+      Gen.(pair float_array (int_range 1 200))
+      (fun (a, grain) ->
+        (* Float.compare distinguishes -0./0. where <= does not; keep
+           the generator away from signed zeros (float_range above never
+           produces -0.) so array equality is the right check. *)
+        Psort.sort_floats ~grain a = float_sort_ref a);
+    Test.make ~name:"merge_floats of sorted = sorted concat" ~count:300
+      Gen.(pair float_array float_array)
+      (fun (a, b) ->
+        let a = float_sort_ref a and b = float_sort_ref b in
+        Psort.merge_floats a b = float_sort_ref (Array.append a b));
+  ]
+
 let qcheck_tests =
   let open QCheck2 in
   [
@@ -232,7 +325,16 @@ let () =
           Alcotest.test_case "custom order" `Quick test_custom_order;
           Alcotest.test_case "group_by" `Quick test_group_by;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+      ( "sort_floats",
+        [
+          Alcotest.test_case "basic" `Quick test_sort_floats_basic;
+          Alcotest.test_case "grain / merge tiles" `Quick
+            test_sort_floats_grain_and_tiles;
+          Alcotest.test_case "merge_floats" `Quick test_merge_floats;
+        ] );
+      ( "properties",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          (qcheck_tests @ float_qcheck_tests) );
       ( "extension kernels",
         [
           Alcotest.test_case "inverted index" `Quick test_inverted_index;
