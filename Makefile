@@ -63,7 +63,8 @@ bench:
 bench-quick:
 	dune exec bench/main.exe -- --quick
 
-# Perf-regression gate: stream-overhead bench vs BENCH_4.json (ratio
+# Perf-regression gate: stream-overhead + float-kernels bench vs
+# BENCH_8.json (ratio
 # metrics only; see scripts/bench_compare for knobs).
 bench-compare:
 	scripts/bench_compare

@@ -700,7 +700,69 @@ let stream_overhead cfg =
             [ "push (fused fold)"; Measure.pp_time t_push;
               Printf.sprintf "%.2f" (per_elem t_push);
               Tables.ratio t_pull t_push ];
-          ])
+          ]);
+  (* Seq-level filter/flatten chains: the skip-push filter and
+     nested-push flatten expose their outputs as delayed region views,
+     so a chain consumed once never materialises an intermediate.
+     "materialized" forces each intermediate to its memo array before
+     the next stage (the pre-fusion shape: pack, then reread);
+     "fused" consumes the delayed views directly.  The gated quantity
+     is again the within-run ratio.  The trickle_fallbacks delta is
+     recorded across the fused run and must be zero — a nonzero count
+     means a region view silently fell back to a trickle-derived
+     fold. *)
+  let chain_bench name ~materialized ~fused =
+    assert (materialized () = fused ());
+    Measure.with_domains cfg.procs (fun () ->
+        let t_mat =
+          Measure.time ~repeat:cfg.repeat (fun () -> ignore (materialized ()))
+        in
+        let before = Telemetry.snapshot () in
+        let t_fused =
+          Measure.time ~repeat:cfg.repeat (fun () -> ignore (fused ()))
+        in
+        let fallbacks =
+          (Telemetry.diff ~before ~after:(Telemetry.snapshot ()))
+            .Telemetry.s_trickle_fallbacks
+        in
+        List.iter
+          (fun (version, t) ->
+            record ~section:"stream-overhead" ~bench:name ~version
+              ~procs:cfg.procs ~metric:"time_s" t)
+          [ ("materialized", t_mat); ("fused", t_fused) ];
+        record ~section:"stream-overhead" ~bench:name ~version:"fused"
+          ~procs:cfg.procs ~metric:"speedup_fused_vs_materialized"
+          (t_mat /. t_fused);
+        record ~section:"stream-overhead" ~bench:name ~version:"fused"
+          ~procs:cfg.procs ~metric:"trickle_fallbacks" (float_of_int fallbacks);
+        Tables.print
+          ~title:
+            (Printf.sprintf
+               "Seq chain: materialized intermediates vs fused regions on %s (P=%d)"
+               name cfg.procs)
+          ~headers:[ "version"; "time"; "speedup"; "trickle_fallbacks" ]
+          ~rows:
+            [
+              [ "materialized"; Measure.pp_time t_mat; "1.00x"; "-" ];
+              [ "fused"; Measure.pp_time t_fused; Tables.ratio t_mat t_fused;
+                string_of_int fallbacks ];
+            ])
+  in
+  let module S = Bds.Seq in
+  let p x = x land 3 <> 0 in
+  let input () = S.tabulate m (fun i -> (i * 7) land 1023) in
+  chain_bench "filter-chain"
+    ~materialized:(fun () ->
+      S.reduce ( + ) 0 (S.force (S.filter p (S.force (S.filter p (input ()))))))
+    ~fused:(fun () -> S.reduce ( + ) 0 (S.filter p (S.filter p (input ()))));
+  let mf = m / 4 in
+  let expand x = S.tabulate 4 (fun j -> x + j) in
+  chain_bench "flatten-chain"
+    ~materialized:(fun () ->
+      S.reduce ( + ) 0
+        (S.force (S.filter p (S.force (S.flat_map expand (S.iota mf))))))
+    ~fused:(fun () ->
+      S.reduce ( + ) 0 (S.filter p (S.flat_map expand (S.iota mf))))
 
 (* ------------------------------------------------------------------ *)
 (* Float kernels: boxed vs unboxed lane (--only float-kernels).

@@ -74,14 +74,17 @@ let blocks () =
   Printf.printf "sum=%d\n" (Atomic.get total);
   Runtime.shutdown ()
 
-(* Drive two fixed Seq pipelines and report, for each, the stream
+(* Drive fixed Seq pipelines and report, for each, the stream
    execution-path counters its blocks bumped (docs/STREAMS.md).  With
    BDS_BLOCK_SIZE pinned the counts are exact: every Stream consumer
    bumps fused_folds when its fold bottoms out in a native push loop and
-   trickle_fallbacks when the fold was derived from a trickle function
-   (get_region blocks, i.e. post-filter/flatten sequences).  The cram
-   test asserts that a plain map-reduce pipeline reports zero trickle
-   fallbacks. *)
+   trickle_fallbacks when the fold was derived from a trickle function.
+   Since the skip-push filter and nested-push flatten landed, whole
+   filter/flatten chains are push-fused end to end: the cram test
+   asserts ZERO trickle fallbacks on every pipeline below.  The
+   shared-consumer scenario consumes one BID twice and reports the
+   shared_forces counter (exactly one memo force for the second
+   consumer, docs/STREAMS.md "Shared consumers"). *)
 let streams () =
   let n = 8_000 in
   let report label before sum =
@@ -96,13 +99,32 @@ let streams () =
   let scanned = Bds.Seq.scan_incl ( + ) 0 input in
   let sum = Bds.Seq.reduce ( + ) 0 (Bds.Seq.map (fun x -> 2 * x) scanned) in
   report "map-reduce" b0 sum;
-  (* Filtered reduce: packing each input block is push-fused, but the
-     filtered sequence's blocks are get_region streams (they straddle
-     packed subsequences), so reducing them falls back to the trickle. *)
+  (* Filtered reduce: the survivor-mask pass folds each input block,
+     then reduce drives each output block as a selected_region over the
+     re-planned input — skip-push, no trickle. *)
   let b1 = Telemetry.snapshot () in
   let kept = Bds.Seq.filter (fun x -> x land 1 = 0) input in
   let sum2 = Bds.Seq.reduce ( + ) 0 kept in
   report "filter-reduce" b1 sum2;
+  (* Flatten chain: flat_map materialises the inner sequences once,
+     then reduce drives each output block as an of_segments region —
+     nested push, no trickle.  A filter after the flatten re-enters the
+     skip-push path on region blocks. *)
+  let b2 = Telemetry.snapshot () in
+  let flat = Bds.Seq.flat_map (fun x -> Bds.Seq.tabulate 2 (fun j -> x + j)) input in
+  let sum3 = Bds.Seq.reduce ( + ) 0 (Bds.Seq.filter (fun x -> x land 1 = 0) flat) in
+  report "flatten-filter-reduce" b2 sum3;
+  (* Shared consumer: two reduces over one scan output.  The first
+     drives the plan; the second finds the BID already consumed, forces
+     the memo (one shared_forces bump) and reduces the memo slices. *)
+  let b3 = Telemetry.snapshot () in
+  let shared = Bds.Seq.scan_incl ( + ) 0 input in
+  let r1 = Bds.Seq.reduce ( + ) 0 shared in
+  let r2 = Bds.Seq.reduce max min_int shared in
+  let d = Telemetry.diff ~before:b3 ~after:(Telemetry.snapshot ()) in
+  Printf.printf
+    "shared-consumer: sum=%d max=%d shared_forces=%d trickle_fallbacks=%d\n" r1
+    r2 d.Telemetry.s_shared_forces d.Telemetry.s_trickle_fallbacks;
   Runtime.shutdown ()
 
 (* Drive fixed float pipelines and report the float-lane execution-path

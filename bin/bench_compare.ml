@@ -1,9 +1,10 @@
 (* Perf-regression gate: compare a fresh benchmark CSV (bench/main.exe
-   --csv) against the committed baseline snapshot (BENCH_7.json).
+   --csv) against the committed baseline snapshot (BENCH_8.json).
 
    The host is a shared container whose absolute wall-clock drifts by
    tens of percent between runs, so the gate judges *within-run ratios*
    by default: the push-vs-pull speedup of the stream-overhead chain,
+   the fused-vs-materialized speedup of the Seq filter/flatten chains,
    and the unboxed-vs-boxed speedup of every float-kernels bench — each
    divides two times measured seconds apart on the same machine, which
    is stable (see the snapshots' host_note).  A section is gated when it
@@ -163,6 +164,58 @@ let build_checks ~absolute json rows =
               };
             ])
   in
+  (* Seq filter/flatten chains: gate the fused-vs-materialized speedup
+     of each chain bench the baseline records (present since BENCH_8). *)
+  let chain_checks bench =
+    let chain = [ "results"; "stream-overhead/" ^ bench ] in
+    match J.path chain json with
+    | None -> Ok []
+    | Some _ ->
+      let* base_speedup =
+        baseline_float json (chain @ [ "speedup_fused_vs_materialized" ])
+      in
+      let time = csv_time ~section:"stream-overhead" ~bench in
+      let* t_mat = time "materialized" in
+      let* t_fused = time "fused" in
+      let ratio_checks =
+        [
+          {
+            name =
+              Printf.sprintf "stream-overhead %s fused-vs-materialized speedup"
+                bench;
+            dir = Higher_better;
+            baseline = base_speedup;
+            current = t_mat /. t_fused;
+          };
+        ]
+      in
+      if not absolute then Ok ratio_checks
+      else
+        let* base_mat =
+          baseline_float json (chain @ [ "materialized"; "time_s" ])
+        in
+        let* base_fused = baseline_float json (chain @ [ "fused"; "time_s" ]) in
+        Ok
+          (ratio_checks
+          @ [
+              {
+                name =
+                  Printf.sprintf "stream-overhead %s materialized time_s (absolute)"
+                    bench;
+                dir = Lower_better;
+                baseline = base_mat;
+                current = t_mat;
+              };
+              {
+                name =
+                  Printf.sprintf "stream-overhead %s fused time_s (absolute)"
+                    bench;
+                dir = Lower_better;
+                baseline = base_fused;
+                current = t_fused;
+              };
+            ])
+  in
   (* float-kernels: gate the unboxed-vs-boxed speedup of every bench the
      baseline records (present since BENCH_7). *)
   let float_checks () =
@@ -203,26 +256,29 @@ let build_checks ~absolute json rows =
     | Some _ -> Error "baseline: results.float-kernels is not an object"
   in
   let* sc = stream_checks () in
+  let* filter_c = chain_checks "filter-chain" in
+  let* flatten_c = chain_checks "flatten-chain" in
   let* fc = float_checks () in
-  match sc @ fc with
+  match sc @ filter_c @ flatten_c @ fc with
   | [] ->
     Error
       "baseline: results contains no known gated section \
-       (stream-overhead/chain3 or float-kernels)"
+       (stream-overhead/chain3, stream-overhead/filter-chain, \
+       stream-overhead/flatten-chain or float-kernels)"
   | checks -> Ok checks
 
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let () =
-  let baseline = ref "BENCH_7.json" in
+  let baseline = ref "BENCH_8.json" in
   let csv = ref "" in
   let tolerance = ref 15.0 in
   let absolute = ref false in
   let usage = "bench_compare --csv FILE [--baseline FILE] [--max-regress PCT] [--absolute]" in
   Arg.parse
     [
-      ("--baseline", Arg.Set_string baseline, "FILE Baseline snapshot JSON (default BENCH_7.json)");
+      ("--baseline", Arg.Set_string baseline, "FILE Baseline snapshot JSON (default BENCH_8.json)");
       ("--csv", Arg.Set_string csv, "FILE Fresh bench CSV (bench/main.exe --csv)");
       ("--max-regress", Arg.Set_float tolerance, "PCT Allowed regression percent (default 15)");
       ("--absolute", Arg.Set absolute, " Also gate absolute times (noisy hosts: leave off)");

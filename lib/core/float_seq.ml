@@ -282,6 +282,127 @@ let reduce f z t =
     !acc
   end
 
+(* One-pass dual reduction: both accumulators live in the same loop, so
+   the input is read once where chaining two [sum]/[dot] calls would
+   read it twice.  [f1]/[f2] are arbitrary closures — their results box
+   at the call boundary (cf. [reduce]) — but the accumulator adds stay
+   unboxed and the [Mat]x[Mat] case reads with [unsafe_get]. *)
+let fold2 ~f1 ~f2 x y =
+  let n = length x in
+  if length y <> n then invalid_arg "Float_seq.fold2: length mismatch";
+  Profile.with_op "float_dot" @@ fun () ->
+  if n = 0 then (0.0, 0.0)
+  else begin
+    let g = Runtime.block_grid n in
+    let nb = g.Grain.num_blocks in
+    let p1 = Float.Array.create nb and p2 = Float.Array.create nb in
+    let gx = getter x and gy = getter y in
+    Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb (fun j ->
+        Telemetry.incr_float_fast_path ();
+        let lo, hi = Grain.bounds g j in
+        let s1 = ref 0.0 and s2 = ref 0.0 in
+        let i = ref lo in
+        (match (x, y) with
+        | Mat a, Mat b ->
+          while !i < hi do
+            Cancel.poll ();
+            let stop = min hi (!i + poll_chunk) in
+            for k = !i to stop - 1 do
+              let xv = Float.Array.unsafe_get a k in
+              let yv = Float.Array.unsafe_get b k in
+              s1 := !s1 +. f1 xv yv;
+              s2 := !s2 +. f2 xv yv
+            done;
+            i := stop
+          done
+        | _ ->
+          while !i < hi do
+            Cancel.poll ();
+            let stop = min hi (!i + poll_chunk) in
+            for k = !i to stop - 1 do
+              let xv = gx k and yv = gy k in
+              s1 := !s1 +. f1 xv yv;
+              s2 := !s2 +. f2 xv yv
+            done;
+            i := stop
+          done);
+        Float.Array.unsafe_set p1 j !s1;
+        Float.Array.unsafe_set p2 j !s2);
+    let a1 = ref 0.0 and a2 = ref 0.0 in
+    for j = 0 to nb - 1 do
+      a1 := !a1 +. Float.Array.unsafe_get p1 j;
+      a2 := !a2 +. Float.Array.unsafe_get p2 j
+    done;
+    (!a1, !a2)
+  end
+
+(* Pack survivors into fresh unboxed storage: per block, a count+pack
+   pass into a block-local floatarray (the predicate runs exactly once
+   per element), then a sequential offsets scan over the per-block
+   counts, then a parallel unboxed blit into the exact-size output —
+   the same 3-phase shape as [Seq.filter]'s mask pass, but eager, since
+   the float lane has no delayed region views to keep. *)
+let filter p t =
+  Profile.with_op "float_filter" @@ fun () ->
+  let n = length t in
+  if n = 0 then empty
+  else begin
+    let g = Runtime.block_grid n in
+    let nb = g.Grain.num_blocks in
+    let get = getter t in
+    let bufs = Array.make nb (Float.Array.create 0) in
+    let counts = Array.make nb 0 in
+    Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb (fun j ->
+        Telemetry.incr_float_fast_path ();
+        let lo, hi = Grain.bounds g j in
+        let buf = Float.Array.create (hi - lo) in
+        let c = ref 0 in
+        let i = ref lo in
+        (match t with
+        | Mat a ->
+          while !i < hi do
+            Cancel.poll ();
+            let stop = min hi (!i + poll_chunk) in
+            for k = !i to stop - 1 do
+              let v = Float.Array.unsafe_get a k in
+              if p v then begin
+                Float.Array.unsafe_set buf !c v;
+                incr c
+              end
+            done;
+            i := stop
+          done
+        | Fn _ ->
+          while !i < hi do
+            Cancel.poll ();
+            let stop = min hi (!i + poll_chunk) in
+            for k = !i to stop - 1 do
+              let v = get k in
+              if p v then begin
+                Float.Array.unsafe_set buf !c v;
+                incr c
+              end
+            done;
+            i := stop
+          done);
+        bufs.(j) <- buf;
+        counts.(j) <- !c);
+    let offsets = Array.make nb 0 in
+    let total = ref 0 in
+    for j = 0 to nb - 1 do
+      offsets.(j) <- !total;
+      total := !total + counts.(j)
+    done;
+    if !total = 0 then empty
+    else begin
+      let out = Float.Array.create !total in
+      Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb (fun j ->
+          Telemetry.incr_float_fast_path ();
+          Float.Array.blit bufs.(j) 0 out offsets.(j) counts.(j));
+      Mat out
+    end
+  end
+
 let to_floatarray t =
   match t with
   | Mat a -> a

@@ -64,6 +64,27 @@ val dot : t -> t -> float
     {!sum}/{!dot} are the fully unboxed reductions. *)
 val reduce : (float -> float -> float) -> float -> t -> float
 
+(** One-pass dual reduction over paired elements: returns
+    [(sum_i f1 x_i y_i, sum_i f2 x_i y_i)].  Both accumulators live in
+    the same per-block loop, so the inputs are read once where two
+    chained {!sum}/{!dot} calls would read them twice (the kernels'
+    second-moment passes).  [f1]/[f2] box at the call boundary like
+    {!reduce}'s [f]; association order is per-block partials combined
+    left-to-right.  Raises on length mismatch. *)
+val fold2 :
+  f1:(float -> float -> float) ->
+  f2:(float -> float -> float) ->
+  t ->
+  t ->
+  float * float
+
+(** Eager parallel filter: packs the survivors into fresh unboxed
+    storage (a [Mat]), preserving order.  The predicate runs exactly
+    once per element (count+pack per block, offsets scan, parallel
+    blit).  Unlike [Seq.filter] the result is materialised — the float
+    lane keeps no delayed region views. *)
+val filter : (float -> bool) -> t -> t
+
 (** Exclusive parallel prefix sums, returning (prefixes, total).
     Specialised to [( +. )] so all three phases stay unboxed; the output
     is materialised eagerly (a [Mat]) rather than delayed like

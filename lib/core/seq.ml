@@ -14,19 +14,32 @@
    necessary" — forces at most once. *)
 
 module Stream = Bds_stream.Stream
+module Buffer_ext = Bds_stream.Buffer_ext
 module Parray = Bds_parray.Parray
 module Runtime = Bds_runtime.Runtime
 module Cancel = Bds_runtime.Cancel
 module Profile = Bds_runtime.Profile
+module Telemetry = Bds_runtime.Telemetry
 
 type 'a bid = {
   b_len : int;
   b_size : int;  (** block size B; blocks 0 .. ceil(len/B)-1 *)
-  block : int -> 'a Stream.t;
+  plan : unit -> int -> 'a Stream.t;
+      (** per-drive block plan: called once per consumer drive (never
+          per block), so the plan can route through a parent's memo
+          published since construction and account the parent's
+          consumption exactly once.  The returned function produces the
+          delayed stream for each block. *)
   memo : 'a array option Atomic.t;
       (** cached result of forcing, published by CAS (first writer wins)
           so that a reader domain observing [Some a] is synchronized with
           the writes that filled [a] *)
+  consumed : int Atomic.t;
+      (** shared-consumer accounting: 0 = never driven, 1 = driven once
+          (producer has run), 2 = a second consumer arrived before the
+          memo existed and forced it ([shared_forces] bumped by the
+          1->2 winner, so at most once per BID value).  Only meaningful
+          while [memo] is [None]; memoised BIDs are free to re-read. *)
 }
 
 type 'a t =
@@ -71,6 +84,96 @@ let apply_bid_blocks b body =
 
 let unopt = function Some v -> v | None -> assert false
 
+(* ------------------------------------------------------------------ *)
+(* Shared-consumer memo plan
+
+   A BID's producer must not run once per downstream consumer.  Every
+   eager op acquires the block function through [drive], exactly once
+   per drive and outside the parallel region:
+
+   - memo already published     -> cheap [of_array_slice] views, free;
+   - first consumer (CAS 0->1)  -> run the plan, stream the producer;
+   - any later consumer         -> the producer has already run once,
+     so force the BID into its memo (CAS-published, first writer wins)
+     and reroute this and all future consumers through the cached
+     array.  The 1->2 CAS winner bumps [shared_forces] — at most once
+     per BID value — which is how the telemetry proves no producer ran
+     more than necessary.
+
+   [replan] is the consumption-blind variant for re-drives that are
+   part of one conceptual consumption and already priced by the cost
+   semantics (a scan's delayed phase 3, a filter's emission pass): it
+   reroutes through the memo when one exists but neither counts as a
+   new consumer nor triggers a force. *)
+
+let memo_blocks b a j =
+  let lo = j * b.b_size in
+  Stream.of_array_slice a lo (min b.b_size (b.b_len - lo))
+
+(* toArray over a block function (the paper's [applySeq (zip (I, S))]
+   with the index fused in).  Block 0's first element doubles as the
+   allocation witness; its partially-consumed trickle function is
+   resumed inside the parallel apply, so every element is evaluated
+   exactly once (as the cost semantics of [force] requires). *)
+let array_of_bid b blocks =
+  if b.b_len = 0 then [||]
+  else begin
+    let nb = num_blocks_of b in
+    let next0 = Stream.start (blocks 0) in
+    let first = next0 () in
+    let out = Array.make b.b_len first in
+    Runtime.apply_blocks ~bounds:(block_bounds b) ~nb (fun j ->
+        if j = 0 then begin
+          let len0 = min b.b_size b.b_len in
+          for k = 1 to len0 - 1 do
+            Array.unsafe_set out k (next0 ())
+          done
+        end
+        else begin
+          let lo, _ = block_bounds b j in
+          Stream.iteri (fun k v -> Array.unsafe_set out (lo + k) v) (blocks j)
+        end);
+    out
+  end
+
+(* Force into the memo, first CAS-publisher wins (a plain store would be
+   a real race under the OCaml memory model: a reader could observe
+   [Some a] without the writes that filled [a], and concurrent forcers
+   would each keep their own copy, so repeated [get]s on a shared BID
+   could disagree on identity). *)
+let force_memo b =
+  match Atomic.get b.memo with
+  | Some a -> a
+  | None ->
+    let a = array_of_bid b (b.plan ()) in
+    if Atomic.compare_and_set b.memo None (Some a) then a
+    else (match Atomic.get b.memo with Some a' -> a' | None -> a)
+
+(* Record one consumption; returns [true] if this drive found the
+   producer already consumed (so the caller must route through the
+   memo).  The 1->2 winner bumps [shared_forces]. *)
+let[@inline] note_consumed b =
+  match Atomic.get b.memo with
+  | Some _ -> false
+  | None ->
+    if Atomic.compare_and_set b.consumed 0 1 then false
+    else begin
+      if Atomic.compare_and_set b.consumed 1 2 then
+        Telemetry.incr_shared_forces ();
+      true
+    end
+
+let drive b =
+  match Atomic.get b.memo with
+  | Some a -> memo_blocks b a
+  | None -> if note_consumed b then memo_blocks b (force_memo b) else b.plan ()
+
+let replan b =
+  match Atomic.get b.memo with Some a -> memo_blocks b a | None -> b.plan ()
+
+let fresh_bid ~b_len ~b_size plan =
+  { b_len; b_size; plan; memo = Atomic.make None; consumed = Atomic.make 0 }
+
 (* Per-block stream reductions as heavy block bodies.  The option array
    avoids an allocation witness, so block 0 participates in the parallel
    phase like every other block; each per-block sum is seeded from the
@@ -78,8 +181,9 @@ let unopt = function Some v -> v | None -> assert false
    needed inside a block either.  Callers fold/scan the option array
    directly — no intermediate unwrapped copy. *)
 let block_sums_bid f b =
+  let blocks = drive b in
   let sums = Array.make (num_blocks_of b) None in
-  apply_bid_blocks b (fun j -> sums.(j) <- Some (Stream.reduce1 f (b.block j)));
+  apply_bid_blocks b (fun j -> sums.(j) <- Some (Stream.reduce1 f (blocks j)));
   sums
 
 (* Sequential fold of an option array of per-block sums, [z] on the left. *)
@@ -108,16 +212,10 @@ let scan_sums f z sums =
 let bid_of_seq_with bsize = function
   | Bid b -> b
   | Rad { r_len; get } ->
-    {
-      b_len = r_len;
-      b_size = bsize;
-      block =
-        (fun j ->
-          let lo = j * bsize in
-          let len = min bsize (r_len - lo) in
-          Stream.tabulate len (fun k -> get (lo + k)));
-      memo = Atomic.make None;
-    }
+    fresh_bid ~b_len:r_len ~b_size:bsize (fun () j ->
+        let lo = j * bsize in
+        let len = min bsize (r_len - lo) in
+        Stream.tabulate len (fun k -> get (lo + k)))
 
 let bid_of_seq s = bid_of_seq_with (Block.size (length s)) s
 
@@ -135,55 +233,25 @@ let bid_of_seq s = bid_of_seq_with (Block.size (length s)) s
 let iter f s =
   Profile.with_op "iter" (fun () ->
       let b = bid_of_seq s in
-      apply_bid_blocks b (fun j -> Stream.iter f (b.block j)))
+      let blocks = drive b in
+      apply_bid_blocks b (fun j -> Stream.iter f (blocks j)))
 
-(* toArray.  For a RAD this is a plain parallel tabulate; for a BID we
-   traverse each block's stream, writing at the block's base offset (this
-   is the paper's [applySeq (zip (I, S))] with the index fused in). *)
-let to_array_nomemo = function
-  | Rad { r_len; get } -> Parray.tabulate r_len get
-  | Bid b ->
-    if b.b_len = 0 then [||]
-    else begin
-      let nb = num_blocks_of b in
-      (* Block 0's first element doubles as the allocation witness; its
-         partially-consumed trickle function is resumed inside the
-         parallel apply, so every element is evaluated exactly once (as
-         the cost semantics of [force] requires). *)
-      let next0 = Stream.start (b.block 0) in
-      let first = next0 () in
-      let out = Array.make b.b_len first in
-      Runtime.apply_blocks ~bounds:(block_bounds b) ~nb (fun j ->
-          if j = 0 then begin
-            let len0 = min b.b_size b.b_len in
-            for k = 1 to len0 - 1 do
-              Array.unsafe_set out k (next0 ())
-            done
-          end
-          else begin
-            let lo, _ = block_bounds b j in
-            Stream.iteri (fun k v -> Array.unsafe_set out (lo + k) v) (b.block j)
-          end);
-      out
-    end
-
+(* toArray.  For a RAD this is a plain parallel tabulate; for a BID the
+   result is the CAS-published memo ([force_memo], via [array_of_bid]),
+   so repeated forces of a shared BID settle on one physical array.  The
+   consumption accounting runs first: a to_array is a consumer like any
+   other, so a BID that was already streamed once records the shared
+   force here too. *)
 let to_array s =
   Profile.with_op "to_array" (fun () ->
-  match s with
-  | Rad _ -> to_array_nomemo s
-  | Bid b -> (
-      match Atomic.get b.memo with
-      | Some a -> a
-      | None ->
-        let a = to_array_nomemo s in
-        (* Publish by CAS: the first forcer wins and every domain settles
-           on one physical array.  A plain mutable store here would be a
-           real (not benign) race under the OCaml memory model — a reader
-           could observe [Some a] without the writes that filled [a] —
-           and concurrent forcers would each keep their own copy, so
-           repeated [get]s on a shared BID could disagree on identity. *)
-        if Atomic.compare_and_set b.memo None (Some a) then a
-        else (match Atomic.get b.memo with Some a' -> a' | None -> a)))
+      match s with
+      | Rad { r_len; get } -> Parray.tabulate r_len get
+      | Bid b ->
+        (match Atomic.get b.memo with
+         | Some a -> a
+         | None ->
+           ignore (note_consumed b : bool);
+           force_memo b))
 
 (* RADfromSeq / force *)
 let rad_of_seq = function
@@ -201,53 +269,33 @@ let get s i =
 (* ------------------------------------------------------------------ *)
 (* Delayed operations (Figure 10)                                      *)
 
-(* If a BID has already been forced, derive further delayed operations
-   from the memoised array rather than re-driving the original block
-   streams (which may re-run arbitrary element functions — e.g. a scan's
-   phase 3).  The block grid is preserved so the result is still a BID
-   with the same shape, only with trivially cheap blocks. *)
-let refresh_bid b =
-  match Atomic.get b.memo with
-  | None -> b
-  | Some a ->
-    {
-      b with
-      block =
-        (fun j ->
-          let lo = j * b.b_size in
-          Stream.of_array_slice a lo (min b.b_size (b.b_len - lo)));
-    }
+(* Derived BIDs capture their parent and build the block function at
+   drive time ([plan] runs once per consumer drive): the parent is
+   acquired through [drive], so a parent memo published since
+   construction is picked up, and a parent whose producer already ran
+   for another consumer is shared-forced instead of re-run.  (This
+   replaces the old construction-time [refresh_bid], which could only
+   see a memo that existed when the derived BID was built.) *)
+let derived_bid b g =
+  fresh_bid ~b_len:b.b_len ~b_size:b.b_size (fun () ->
+      let p = drive b in
+      fun j -> g (p j) j)
 
 let map g s =
   Profile.with_op "map" (fun () ->
       match s with
       | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g (get i)) }
-      | Bid b ->
-        let b = refresh_bid b in
-        Bid
-          {
-            b_len = b.b_len;
-            b_size = b.b_size;
-            block = (fun j -> Stream.map g (b.block j));
-            memo = Atomic.make None;
-          })
+      | Bid b -> Bid (derived_bid b (fun st _ -> Stream.map g st)))
 
 let mapi g s =
   Profile.with_op "map" (fun () ->
       match s with
       | Rad { r_len; get } -> Rad { r_len; get = (fun i -> g i (get i)) }
       | Bid b ->
-        let b = refresh_bid b in
         Bid
-          {
-            b_len = b.b_len;
-            b_size = b.b_size;
-            block =
-              (fun j ->
-                let lo = j * b.b_size in
-                Stream.mapi (fun k v -> g (lo + k) v) (b.block j));
-            memo = Atomic.make None;
-          })
+          (derived_bid b (fun st j ->
+               let lo = j * b.b_size in
+               Stream.mapi (fun k v -> g (lo + k) v) st)))
 
 let zip_with f s1 s2 =
   if length s1 <> length s2 then invalid_arg "Seq.zip: length mismatch";
@@ -264,15 +312,12 @@ let zip_with f s1 s2 =
       | Rad _, Bid b2 -> (bid_of_seq_with b2.b_size s1, s2)
       | Rad _, Rad _ -> assert false
     in
-    let b1 = refresh_bid b1 in
-    let b2 = refresh_bid (bid_of_seq_with b1.b_size s2) in
+    let b2 = bid_of_seq_with b1.b_size s2 in
     Bid
-      {
-        b_len = b1.b_len;
-        b_size = b1.b_size;
-        block = (fun j -> Stream.zip_with f (b1.block j) (b2.block j));
-        memo = Atomic.make None;
-      }
+      (fresh_bid ~b_len:b1.b_len ~b_size:b1.b_size (fun () ->
+           let p1 = drive b1 in
+           let p2 = drive b2 in
+           fun j -> Stream.zip_with f (p1 j) (p2 j)))
 
 let zip s1 s2 = zip_with (fun a b -> (a, b)) s1 s2
 
@@ -305,7 +350,9 @@ let reduce f z s =
 (* Three-phase scan (Figure 10 lines 33-40): phases 1 and 2 are eager,
    phase 3 is delayed in the output BID.  Note the delayed phase 3
    re-drives the input blocks; this is the "evaluated twice" cost that the
-   cost semantics (Figure 11) exposes. *)
+   cost semantics (Figure 11) exposes — the re-drive goes through
+   [replan] (memo-aware, consumption-blind): it is part of the scan's
+   own already-priced cost, not a second consumer of the input. *)
 let scan f z s =
   Profile.with_op "scan" (fun () ->
       let n = length s in
@@ -316,12 +363,9 @@ let scan f z s =
         let offsets, total = scan_sums f z sums in
         let out =
           Bid
-            {
-              b_len = n;
-              b_size = b.b_size;
-              block = (fun j -> Stream.scan f offsets.(j) (b.block j));
-              memo = Atomic.make None;
-            }
+            (fresh_bid ~b_len:n ~b_size:b.b_size (fun () ->
+                 let p = replan b in
+                 fun j -> Stream.scan f offsets.(j) (p j)))
         in
         (out, total)
       end)
@@ -335,22 +379,14 @@ let scan_incl f z s =
         let sums = block_sums_bid f b in
         let offsets, _ = scan_sums f z sums in
         Bid
-          {
-            b_len = n;
-            b_size = b.b_size;
-            block = (fun j -> Stream.scan_incl f offsets.(j) (b.block j));
-            memo = Atomic.make None;
-          }
+          (fresh_bid ~b_len:n ~b_size:b.b_size (fun () ->
+               let p = replan b in
+               fun j -> Stream.scan_incl f offsets.(j) (p j)))
       end)
 
-(* getRegion (Figure 10 lines 41-43): the block of the output starting at
-   position [pos] walks left-to-right across adjacent subsequences.  The
-   subsequence containing [pos] is located by binary search on [offsets];
-   elements are fetched by [elem j k] (element k of subsequence j). *)
-let get_region ~offsets ~lengths ~elem ~total ~bsize i =
-  let pos = i * bsize in
-  let len = min bsize (total - pos) in
-  (* Largest j with offsets.(j) <= pos. *)
+(* Largest j with offsets.(j) <= pos: locates the subsequence containing
+   output position [pos] (getRegion's binary search, Figure 10 line 42). *)
+let offset_search offsets pos =
   let rec search lo hi =
     if lo >= hi then lo
     else begin
@@ -358,57 +394,131 @@ let get_region ~offsets ~lengths ~elem ~total ~bsize i =
       if offsets.(mid) <= pos then search mid hi else search lo (mid - 1)
     end
   in
-  let j0 = search 0 (Array.length offsets - 1) in
-  Stream.make ~length:len
-    ~start:(fun () ->
-      let j = ref j0 in
-      let k = ref (pos - offsets.(j0)) in
-      fun () ->
-        while !k >= lengths.(!j) do
-          incr j;
-          k := 0
-        done;
-        let v = elem !j !k in
-        incr k;
-        v)
+  search 0 (Array.length offsets - 1)
 
-(* Block-based filter (Figure 10 lines 48-53): eagerly pack each input
-   block into a compact array, then expose the packed blocks as a BID via
-   getRegion — the surviving elements are never copied into one contiguous
-   output array. *)
-let filter_with pack s =
+(* getRegion (Figure 10 lines 41-43) as a nested-push stream: the block
+   of the output starting at position [pos] walks left-to-right across
+   adjacent subsequences, with the boundary located by binary search on
+   [offsets] only once per block (the parallel split point) — inside the
+   block a native outer/inner loop pair does the walking, so consumers
+   of region blocks are fused instead of trickle fallbacks. *)
+let region_block ~offsets ~seg_len ~elem ~total ~bsize i =
+  let pos = i * bsize in
+  let len = min bsize (total - pos) in
+  let j0 = offset_search offsets pos in
+  Stream.of_segments ~length:len ~seg_len ~elem ~start_seg:j0
+    ~start_ofs:(pos - offsets.(j0))
+
+(* Two-level packed results ([filter_op], [partition]): expose [packed]
+   — one compact array per input block — as a BID of nested-push region
+   blocks without copying into one contiguous array. *)
+let packed_bid (packed : 'a array array) =
+  let lengths = Array.map Array.length packed in
+  let offsets, total = Parray.scan_seq ( + ) 0 lengths in
+  if total = 0 then empty
+  else begin
+    let bsize = Block.size total in
+    Bid
+      (fresh_bid ~b_len:total ~b_size:bsize (fun () ->
+           region_block ~offsets
+             ~seg_len:(fun j -> Array.length packed.(j))
+             ~elem:(fun j k -> packed.(j).(k))
+             ~total ~bsize))
+  end
+
+(* Skip-based delayed filter (replacing the eager per-block pack of
+   Figure 10 lines 48-53): phase 1 runs the predicate exactly once per
+   element, recording per input block a survivor *bitmask* and count
+   (one fused pass, one bit per element — survivor values are never
+   copied); the counts are prefix-summed into output offsets.  The
+   output BID's blocks are [Stream.selected_region] views that re-drive
+   the input through a pure bitmask lookup inside the input's own fold
+   loop, skipping into position — emitting zero elements per
+   non-survivor instead of packing.  Like scan's phase 3, emission
+   re-drives the input's element functions (the "evaluated twice" cost
+   the cost semantics already price) through [replan]: a memo published
+   on the input reroutes emission automatically, and the output BID's
+   own shared-consumer accounting bounds repeated emission.  The
+   predicate itself is never re-run, so effectful predicates keep
+   filter-once semantics. *)
+let[@inline] mask_get mask k =
+  Char.code (Bytes.unsafe_get mask (k lsr 3)) land (1 lsl (k land 7)) <> 0
+
+let[@inline] mask_set mask k =
+  Bytes.unsafe_set mask (k lsr 3)
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get mask (k lsr 3)) lor (1 lsl (k land 7))))
+
+let filter p s =
   Profile.with_op "filter" (fun () ->
       let n = length s in
       if n = 0 then empty
       else begin
         let b = bid_of_seq s in
-        let packed = Array.make (num_blocks_of b) [||] in
-        apply_bid_blocks b (fun j -> packed.(j) <- pack (b.block j));
-        let lengths = Array.map Array.length packed in
-        let offsets, total = Parray.scan_seq ( + ) 0 lengths in
+        let blocks = drive b in
+        let nb = num_blocks_of b in
+        let masks = Array.make nb Bytes.empty in
+        let counts = Array.make nb 0 in
+        apply_bid_blocks b (fun j ->
+            let st = blocks j in
+            let mask = Bytes.make ((Stream.length st + 7) / 8) '\000' in
+            let cnt = ref 0 in
+            Stream.iteri
+              (fun k v ->
+                if p v then begin
+                  mask_set mask k;
+                  incr cnt
+                end)
+              st;
+            masks.(j) <- mask;
+            counts.(j) <- !cnt);
+        let offsets, total = Parray.scan_seq ( + ) 0 counts in
         if total = 0 then empty
         else begin
           let bsize = Block.size total in
           Bid
-            {
-              b_len = total;
-              b_size = bsize;
-              block =
-                get_region ~offsets ~lengths
-                  ~elem:(fun j k -> packed.(j).(k))
-                  ~total ~bsize;
-              memo = Atomic.make None;
-            }
+            (fresh_bid ~b_len:total ~b_size:bsize (fun () ->
+                 let p_in = replan b in
+                 let opt_block j =
+                   let mask = masks.(j) in
+                   Stream.mapi
+                     (fun k v -> if mask_get mask k then Some v else None)
+                     (p_in j)
+                 in
+                 fun i ->
+                   let pos = i * bsize in
+                   let len = min bsize (total - pos) in
+                   let j0 = offset_search offsets pos in
+                   Stream.selected_region ~length:len ~blocks:opt_block
+                     ~start_block:j0 ~skip:(pos - offsets.(j0))))
         end
       end)
 
-let filter p s = filter_with (Stream.pack_to_array p) s
-
-let filter_op p s = filter_with (Stream.pack_op_to_array p) s
+(* filterOp maps as it selects, so the survivor *images* must be stored
+   somewhere — and [select] is the library's effectful-selection idiom
+   (BFS claims vertices with a compare-and-set inside [try_visit]), so
+   it must run exactly once per element and never again.  Each input
+   block therefore still packs its images eagerly (select once, at
+   construction); what changed is the output view: the packed blocks
+   are exposed through nested-push region streams, so downstream
+   consumers fuse instead of falling back to a trickle. *)
+let filter_op select s =
+  Profile.with_op "filter" (fun () ->
+      if length s = 0 then empty
+      else begin
+        let b = bid_of_seq s in
+        let blocks = drive b in
+        let packed = Array.make (num_blocks_of b) [||] in
+        apply_bid_blocks b (fun j ->
+            packed.(j) <- Stream.pack_op_to_array select (blocks j));
+        packed_bid packed
+      end)
 
 (* Flatten (Figure 10 lines 44-47): block the *output* index space; each
    output block walks across adjacent inner sequences (Figure 3).  Inner
-   sequences must be random access, so BID inners are forced (line 45). *)
+   sequences must be random access, so BID inners are forced (line 45);
+   the output blocks are nested-push region streams, so flatten /
+   flat_map / concat chains fuse with their consumers end-to-end. *)
 let flatten (s : 'a t t) =
   Profile.with_op "flatten" (fun () ->
       let outer = to_array s in
@@ -424,12 +534,10 @@ let flatten (s : 'a t t) =
           | Bid _ -> assert false
         in
         Bid
-          {
-            b_len = total;
-            b_size = bsize;
-            block = get_region ~offsets ~lengths ~elem ~total ~bsize;
-            memo = Atomic.make None;
-          }
+          (fresh_bid ~b_len:total ~b_size:bsize (fun () ->
+               region_block ~offsets
+                 ~seg_len:(fun j -> lengths.(j))
+                 ~elem ~total ~bsize))
       end)
 
 (* ------------------------------------------------------------------ *)
@@ -456,15 +564,11 @@ let take s n =
     else if n = 0 then empty
     else
       Bid
-        {
-          b_len = n;
-          b_size = b.b_size;
-          block =
-            (fun j ->
-              let lo = j * b.b_size in
-              Stream.take (min b.b_size (n - lo)) (b.block j));
-          memo = Atomic.make None;
-        }
+        (fresh_bid ~b_len:n ~b_size:b.b_size (fun () ->
+             let p = drive b in
+             fun j ->
+               let lo = j * b.b_size in
+               Stream.take (min b.b_size (n - lo)) (p j)))
 
 let drop s n = slice s n (length s - n)
 
@@ -472,7 +576,8 @@ let drop s n = slice s n (length s - n)
    [f j stream] in parallel over the block index space. *)
 let iter_block_streams f s =
   let b = bid_of_seq s in
-  apply_bid_blocks b (fun j -> f j (b.block j))
+  let blocks = drive b in
+  apply_bid_blocks b (fun j -> f j (blocks j))
 
 let block_size_of s =
   match s with Rad _ -> Block.size (length s) | Bid b -> b.b_size
@@ -495,9 +600,10 @@ let append s1 s2 =
 let iteri f s =
   Profile.with_op "iter" (fun () ->
       let b = bid_of_seq s in
+      let blocks = drive b in
       apply_bid_blocks b (fun j ->
           let lo, _ = block_bounds b j in
-          Stream.iteri (fun k v -> f (lo + k) v) (b.block j)))
+          Stream.iteri (fun k v -> f (lo + k) v) (blocks j)))
 
 let to_list s = Array.to_list (to_array s)
 
@@ -532,9 +638,10 @@ let float_sum s =
       let nb = num_blocks_of b in
       if nb = 0 then 0.0
       else begin
+        let blocks = drive b in
         let partial = Float.Array.create nb in
         apply_bid_blocks b (fun j ->
-            Float.Array.unsafe_set partial j (Stream.sum_floats (b.block j)));
+            Float.Array.unsafe_set partial j (Stream.sum_floats (blocks j)));
         let acc = ref 0.0 in
         for j = 0 to nb - 1 do
           acc := !acc +. Float.Array.unsafe_get partial j
@@ -588,10 +695,11 @@ let exists p s =
   if length s = 0 then false
   else begin
     let b = bid_of_seq s in
+    let blocks = drive b in
     try
       apply_bid_blocks b (fun j ->
           let lo, hi = block_bounds b j in
-          let next = Stream.start (b.block j) in
+          let next = Stream.start (blocks j) in
           for k = 0 to hi - lo - 1 do
             if k land 63 = 0 then Cancel.poll ();
             if p (next ()) then raise Found
@@ -618,11 +726,12 @@ let find_mapi_leftmost (f : int -> 'a -> 'b option) s =
       let cur = Atomic.get best in
       if pos < cur && not (Atomic.compare_and_set best cur pos) then cas_min pos
     in
+    let blocks = drive b in
     let results = Array.make (num_blocks_of b) None in
     apply_bid_blocks b (fun j ->
         let lo, hi = block_bounds b j in
         if Atomic.get best > lo then begin
-          let next = Stream.start (b.block j) in
+          let next = Stream.start (blocks j) in
           try
             for k = 0 to hi - lo - 1 do
               if k land 63 = 0 then begin
@@ -653,9 +762,32 @@ let concat seqs = flatten (of_list seqs)
 
 let flat_map f s = flatten (map f s)
 
-(* Both halves are packed in one conceptual pass each; the input is
-   driven twice (force first if its delayed work is expensive). *)
-let partition p s = (filter p s, filter (fun x -> not (p x)) s)
+(* One parallel pass: each block pushes every element into exactly one
+   of two per-block buffers, so the predicate (and the input's delayed
+   work) runs once per element — not twice, as the old
+   filter-plus-complement-filter did.  Both halves come back as BIDs of
+   nested-push region views over the packed buffers (no contiguous
+   copy). *)
+let partition p s =
+  Profile.with_op "partition" (fun () ->
+      if length s = 0 then (empty, empty)
+      else begin
+        let b = bid_of_seq s in
+        let blocks = drive b in
+        let nb = num_blocks_of b in
+        let yes = Array.make nb [||] in
+        let no = Array.make nb [||] in
+        apply_bid_blocks b (fun j ->
+            let ybuf = Buffer_ext.create () in
+            let nbuf = Buffer_ext.create () in
+            Stream.iter
+              (fun v ->
+                if p v then Buffer_ext.push ybuf v else Buffer_ext.push nbuf v)
+              (blocks j);
+            yes.(j) <- Buffer_ext.to_array ybuf;
+            no.(j) <- Buffer_ext.to_array nbuf);
+        (packed_bid yes, packed_bid no)
+      end)
 
 (* Adjacent pairs (s_i, s_{i+1}); O(1) on RADs, forces BIDs (offset-by-one
    views cannot share the block grid). *)

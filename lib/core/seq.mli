@@ -71,16 +71,26 @@ val scan : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a t * 'a
 (** Inclusive scan (element [i] includes input [i]). *)
 val scan_incl : ('a -> 'a -> 'a) -> 'a -> 'a t -> 'a t
 
-(** [filter p s] packs surviving elements within blocks; the output BID
-    views the packed blocks without a final contiguous copy. *)
+(** [filter p s] runs [p] exactly once per element (an eager parallel
+    pass recording survivors in per-block bitmasks); the output BID's
+    blocks are skip-push regions ([Stream.selected_region]) that
+    re-drive the input through the masks — no packed copy, and the
+    blocks stay fused push views (docs/STREAMS.md "The skip-push
+    protocol"). *)
 val filter : ('a -> bool) -> 'a t -> 'a t
 
-(** filterOp / mapPartial (Figure 1): keep the [Some] images. *)
+(** filterOp / mapPartial (Figure 1): keep the [Some] images.  Unlike
+    {!filter}, the images are packed eagerly per block — [f] is
+    effectful in the paper's BFS idiom (CAS-visit) and must run exactly
+    once — and the output blocks are fused views of the packed rows. *)
 val filter_op : ('a -> 'b option) -> 'a t -> 'b t
 
 (** [flatten s] concatenates the inner sequences, blocking the output index
     space (Figure 3). Eager cost proportional to the outer length (+ the
-    cost of forcing any BID inner sequences); element copies are delayed. *)
+    cost of forcing any BID inner sequences); element copies are delayed.
+    Output blocks are nested-push segment views ([Stream.of_segments]),
+    so downstream stages — including a later {!filter} — fuse
+    end-to-end (docs/STREAMS.md "Nested-push flatten"). *)
 val flatten : 'a t t -> 'a t
 
 (** {1 Forcing and consuming} *)
@@ -168,8 +178,9 @@ val concat : 'a t list -> 'a t
 (** [flat_map f s] = {!flatten} ({!map} [f s]). *)
 val flat_map : ('a -> 'b t) -> 'a t -> 'b t
 
-(** (elements satisfying [p], the rest). Drives the input twice; [force]
-    it first if its delayed work is expensive. *)
+(** (elements satisfying [p], the rest). One pass: the input is driven
+    once and [p] runs exactly once per element, packing both halves
+    per block. *)
 val partition : ('a -> bool) -> 'a t -> 'a t * 'a t
 
 (** Adjacent pairs [(s_i, s_i+1)], length [n-1] (empty if [n <= 1]).

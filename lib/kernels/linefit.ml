@@ -48,50 +48,13 @@ module Grain = Bds_runtime.Grain
 module Telemetry = Bds_runtime.Telemetry
 module Profile = Bds_runtime.Profile
 
-(* Partial (sum dx*dx, sum dx*dy) per block; sequential unboxed combine. *)
-let second_moments (xs : floatarray) (ys : floatarray) ~mx ~my =
-  let n = Float.Array.length xs in
-  Profile.with_op "float_dot" @@ fun () ->
-  let g = Runtime.block_grid n in
-  let nb = g.Grain.num_blocks in
-  let pxx = Float.Array.create nb and pxy = Float.Array.create nb in
-  Runtime.apply_blocks ~bounds:(Grain.bounds g) ~nb (fun j ->
-      Telemetry.incr_float_fast_path ();
-      let lo, hi = Grain.bounds g j in
-      let s0 = ref 0.0 and s1 = ref 0.0 and t0 = ref 0.0 and t1 = ref 0.0 in
-      let i = ref lo in
-      while !i < hi do
-        Cancel.poll ();
-        let stop = min hi (!i + 64) in
-        let k = ref !i in
-        while !k + 1 < stop do
-          let dx0 = Float.Array.unsafe_get xs !k -. mx in
-          let dy0 = Float.Array.unsafe_get ys !k -. my in
-          let dx1 = Float.Array.unsafe_get xs (!k + 1) -. mx in
-          let dy1 = Float.Array.unsafe_get ys (!k + 1) -. my in
-          s0 := !s0 +. (dx0 *. dx0);
-          t0 := !t0 +. (dx0 *. dy0);
-          s1 := !s1 +. (dx1 *. dx1);
-          t1 := !t1 +. (dx1 *. dy1);
-          k := !k + 2
-        done;
-        if !k < stop then begin
-          let dx = Float.Array.unsafe_get xs !k -. mx in
-          let dy = Float.Array.unsafe_get ys !k -. my in
-          s0 := !s0 +. (dx *. dx);
-          t0 := !t0 +. (dx *. dy)
-        end;
-        i := stop
-      done;
-      Float.Array.unsafe_set pxx j (!s0 +. !s1);
-      Float.Array.unsafe_set pxy j (!t0 +. !t1));
-  let sxx = ref 0.0 and sxy = ref 0.0 in
-  for j = 0 to nb - 1 do
-    sxx := !sxx +. Float.Array.unsafe_get pxx j;
-    sxy := !sxy +. Float.Array.unsafe_get pxy j
-  done;
-  (!sxx, !sxy)
-
+(* The second moments are one [Float_seq.fold2] over the coordinate
+   pair: (sum dx*dx, sum dx*dy) in a single read of both inputs, with
+   the Mat x Mat unsafe-read loop and per-block partial combine living
+   in the library instead of a bespoke kernel loop.  The two closure
+   calls per element cost a little over the old hand-unrolled loop;
+   [fit_unboxed] below keeps the dedicated tuple-array loop for the
+   perf-gated path. *)
 let fit_xy (xs : floatarray) (ys : floatarray) : float * float =
   let n = Float.Array.length xs in
   if Float.Array.length ys <> n then invalid_arg "Linefit.fit_xy";
@@ -100,7 +63,14 @@ let fit_xy (xs : floatarray) (ys : floatarray) : float * float =
   let sx = Float_seq.sum (Float_seq.of_floatarray xs) in
   let sy = Float_seq.sum (Float_seq.of_floatarray ys) in
   let mx = sx /. fn and my = sy /. fn in
-  let sxx, sxy = second_moments xs ys ~mx ~my in
+  let sxx, sxy =
+    Float_seq.fold2
+      ~f1:(fun x _ ->
+        let dx = x -. mx in
+        dx *. dx)
+      ~f2:(fun x y -> (x -. mx) *. (y -. my))
+      (Float_seq.of_floatarray xs) (Float_seq.of_floatarray ys)
+  in
   let slope = sxy /. sxx in
   (slope, my -. (slope *. mx))
 

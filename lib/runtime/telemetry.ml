@@ -32,6 +32,11 @@ type counters = {
      the generic boxed fold it falls back to. *)
   mutable float_fast_path : int;
   mutable float_boxed_fallback : int;
+  (* Shared-consumer memo plan (lib/core/seq.ml): a BID whose producer
+     had already been consumed once was forced into its memo so further
+     consumers reroute through the cached array instead of re-running
+     the producer.  At most one bump per BID value over its lifetime. *)
+  mutable shared_forces : int;
   (* Job-service outcome counters (lib/service): every admitted job
      resolves to exactly one terminal outcome, and the service bumps the
      matching counter at that single completion point. *)
@@ -43,13 +48,12 @@ type counters = {
   mutable jobs_retried : int;
   mutable jobs_shed : int;
   mutable jobs_retries_shed : int;
-  (* Padding out to three cache lines (the 20 counters above plus these
+  (* Padding out to three cache lines (the 21 counters above plus these
      pads are 192 bytes of payload): adjacent domains' records can never
      share a line even when the allocator places them back to back. *)
   mutable pad0 : int;
   mutable pad1 : int;
   mutable pad2 : int;
-  mutable pad3 : int;
 }
 
 type snapshot = {
@@ -65,6 +69,7 @@ type snapshot = {
   s_trickle_fallbacks : int;
   s_float_fast_path : int;
   s_float_boxed_fallback : int;
+  s_shared_forces : int;
   s_jobs_admitted : int;
   s_jobs_completed : int;
   s_jobs_cancelled : int;
@@ -93,6 +98,7 @@ let fresh_counters () =
     trickle_fallbacks = 0;
     float_fast_path = 0;
     float_boxed_fallback = 0;
+    shared_forces = 0;
     jobs_admitted = 0;
     jobs_completed = 0;
     jobs_cancelled = 0;
@@ -104,7 +110,6 @@ let fresh_counters () =
     pad0 = 0;
     pad1 = 0;
     pad2 = 0;
-    pad3 = 0;
   }
 
 let key : counters Domain.DLS.key =
@@ -165,6 +170,10 @@ let[@inline] incr_float_boxed_fallback () =
   let c = local () in
   c.float_boxed_fallback <- c.float_boxed_fallback + 1
 
+let[@inline] incr_shared_forces () =
+  let c = local () in
+  c.shared_forces <- c.shared_forces + 1
+
 let[@inline] incr_jobs_admitted () =
   let c = local () in
   c.jobs_admitted <- c.jobs_admitted + 1
@@ -211,6 +220,7 @@ let zero =
     s_trickle_fallbacks = 0;
     s_float_fast_path = 0;
     s_float_boxed_fallback = 0;
+    s_shared_forces = 0;
     s_jobs_admitted = 0;
     s_jobs_completed = 0;
     s_jobs_cancelled = 0;
@@ -241,6 +251,7 @@ let snapshot () =
         s_float_fast_path = acc.s_float_fast_path + c.float_fast_path;
         s_float_boxed_fallback =
           acc.s_float_boxed_fallback + c.float_boxed_fallback;
+        s_shared_forces = acc.s_shared_forces + c.shared_forces;
         s_jobs_admitted = acc.s_jobs_admitted + c.jobs_admitted;
         s_jobs_completed = acc.s_jobs_completed + c.jobs_completed;
         s_jobs_cancelled = acc.s_jobs_cancelled + c.jobs_cancelled;
@@ -282,6 +293,7 @@ let diff_checked ~before ~after =
       s_float_fast_path = d after.s_float_fast_path before.s_float_fast_path;
       s_float_boxed_fallback =
         d after.s_float_boxed_fallback before.s_float_boxed_fallback;
+      s_shared_forces = d after.s_shared_forces before.s_shared_forces;
       s_jobs_admitted = d after.s_jobs_admitted before.s_jobs_admitted;
       s_jobs_completed = d after.s_jobs_completed before.s_jobs_completed;
       s_jobs_cancelled = d after.s_jobs_cancelled before.s_jobs_cancelled;
@@ -311,6 +323,7 @@ let to_assoc s =
     ("trickle_fallbacks", s.s_trickle_fallbacks);
     ("float_fast_path", s.s_float_fast_path);
     ("float_boxed_fallback", s.s_float_boxed_fallback);
+    ("shared_forces", s.s_shared_forces);
     ("jobs_admitted", s.s_jobs_admitted);
     ("jobs_completed", s.s_jobs_completed);
     ("jobs_cancelled", s.s_jobs_cancelled);

@@ -33,6 +33,10 @@ type snapshot = {
   s_float_boxed_fallback : int;
       (** float-reduction loops that fell back to the generic boxed
           fold (non-materialisable producers); one bump per block *)
+  s_shared_forces : int;
+      (** BIDs forced into their memo because a second consumer arrived
+          after the producer had already run once (shared-consumer plan,
+          [Seq]); at most one bump per BID value *)
   s_jobs_admitted : int;  (** jobs accepted by the service admission queue *)
   s_jobs_completed : int;  (** jobs that produced a result *)
   s_jobs_cancelled : int;  (** jobs terminated by an explicit cancel *)
@@ -90,6 +94,13 @@ val incr_trickle_fallbacks : unit -> unit
 
 val incr_float_fast_path : unit -> unit
 val incr_float_boxed_fallback : unit -> unit
+
+(** Bumped by [Seq]'s shared-consumer memo plan: exactly once per BID
+    whose producer would otherwise have run twice (the force that
+    publishes the memo for all further consumers).  See
+    docs/STREAMS.md "Shared consumers". *)
+
+val incr_shared_forces : unit -> unit
 
 (** Bumped by the job service ([lib/service]): exactly one terminal-
     outcome increment per admitted job, plus the admission / retry /

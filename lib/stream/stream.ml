@@ -349,6 +349,157 @@ let take n s =
   if n < 0 then invalid_arg "Stream.take";
   { s with length = min n s.length }
 
+(* Nested-push concatenation of indexed segments, starting
+   mid-subsequence: the region view behind [Seq.flatten] and the packed
+   two-level results ([Seq.partition]).  The fold runs an outer loop
+   over segments and a native chunked inner loop per segment — the
+   nested-push shape of "Fast Collection Operations from Indexed Stream
+   Fusion" — so consumers of region blocks count as fused instead of
+   falling back to a trickle-derived fold.  [seg_len]/[elem] must be
+   pure per position; the caller guarantees at least [length] elements
+   exist from ([start_seg], [start_ofs]) onward. *)
+let of_segments ~length ~seg_len ~elem ~start_seg ~start_ofs =
+  if length < 0 || start_seg < 0 || start_ofs < 0 then
+    invalid_arg "Stream.of_segments";
+  {
+    length;
+    ixfn = None;
+    start =
+      (fun () ->
+        let seg = ref start_seg in
+        let ofs = ref start_ofs in
+        fun () ->
+          while !ofs >= seg_len !seg do
+            incr seg;
+            ofs := 0
+          done;
+          let v = elem !seg !ofs in
+          incr ofs;
+          v);
+    fold =
+      (fun ~stop g z ->
+        let acc = ref z in
+        let emitted = ref 0 in
+        let seg = ref start_seg in
+        let ofs = ref start_ofs in
+        while !emitted < stop do
+          let sl = seg_len !seg in
+          if !ofs >= sl then begin
+            (* Empty (or exhausted) segment: skipping costs one loop
+               iteration, so keep polling even across a run of empties. *)
+            Cancel.poll ();
+            incr seg;
+            ofs := 0
+          end
+          else begin
+            let cur = !seg in
+            let base = !ofs in
+            let avail = min (sl - base) (stop - !emitted) in
+            let i = ref 0 in
+            while !i < avail do
+              Cancel.poll ();
+              let hi = min avail (!i + poll_chunk) in
+              for k = !i to hi - 1 do
+                acc := g !acc (elem cur (base + k))
+              done;
+              i := hi
+            done;
+            ofs := base + avail;
+            emitted := !emitted + avail
+          end
+        done;
+        !acc);
+    fused = true;
+  }
+
+(* [selected_region]'s step function stops the inner block fold early
+   (once the region has emitted [stop] survivors) by raising.  The
+   exception constructor is created per fold invocation ([let
+   exception] below): regions nest — a filter-of-filter block drives an
+   inner region inside the outer one's step function — and a shared
+   constructor would let the innermost region's handler swallow an
+   outer region's stop signal, leaving the outer loop undercounted and
+   walking past its last input block. *)
+
+(* Skip-push filtered region: the block view behind the skip-based
+   [Seq.filter].  Walks the input option-stream blocks from
+   [start_block] inside each input's own (native) fold loop; a [None]
+   element emits nothing — the "skip" arm of the push protocol — a
+   [Some] emits its payload, with the first [skip] survivors dropped so
+   a region can start mid-block.  [fused] mirrors the first input
+   block: when the producer blocks are fused (the common case — memo
+   slices, or tabulate chains the selecting [mapi] composed into),
+   consumers of the region count as fused too, and the cancellation
+   cadence is the input loop's own 64-element poll.  The caller
+   guarantees [skip + length] survivors exist from [start_block]
+   onward. *)
+let selected_region ~length ~(blocks : int -> 'b option t) ~start_block ~skip =
+  if length < 0 || start_block < 0 || skip < 0 then
+    invalid_arg "Stream.selected_region";
+  {
+    length;
+    ixfn = None;
+    start =
+      (fun () ->
+        let blk = ref start_block in
+        let remaining = ref 0 in
+        let next = ref (fun () -> assert false) in
+        let to_skip = ref skip in
+        fun () ->
+          let rec go () =
+            if !remaining = 0 then begin
+              let s = blocks !blk in
+              incr blk;
+              remaining := s.length;
+              next := s.start ();
+              go ()
+            end
+            else begin
+              let v = !next () in
+              decr remaining;
+              match v with
+              | None -> go ()
+              | Some w ->
+                if !to_skip > 0 then begin
+                  decr to_skip;
+                  go ()
+                end
+                else w
+            end
+          in
+          go ());
+    fold =
+      (fun ~stop g z ->
+        if stop <= 0 then z
+        else begin
+          let exception Region_filled in
+          let acc = ref z in
+          let emitted = ref 0 in
+          let to_skip = ref skip in
+          let blk = ref start_block in
+          (try
+             while !emitted < stop do
+               let s = blocks !blk in
+               incr blk;
+               s.fold ~stop:s.length
+                 (fun () v ->
+                   match v with
+                   | None -> ()
+                   | Some w ->
+                     if !to_skip > 0 then decr to_skip
+                     else begin
+                       acc := g !acc w;
+                       incr emitted;
+                       if !emitted >= stop then raise_notrace Region_filled
+                     end)
+                 ()
+             done
+           with Region_filled -> ());
+          !acc
+        end);
+    fused = (if length = 0 then true else (blocks start_block).fused);
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Linear consumers — all push-driven                                  *)
 

@@ -73,6 +73,42 @@ val scan_incl : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a t
 (** [take n s]: the first [min n (length s)] elements; O(1). *)
 val take : int -> 'a t -> 'a t
 
+(** Nested-push concatenation of indexed segments, starting
+    mid-subsequence — the region view behind [Seq.flatten] and the
+    packed two-level results.  [of_segments ~length ~seg_len ~elem
+    ~start_seg ~start_ofs] yields [length] elements by walking segments
+    [start_seg, start_seg+1, ...] in order, beginning at offset
+    [start_ofs] inside the first; element [i] of segment [s] is
+    [elem s i] and segment [s] holds [seg_len s] elements (both must be
+    pure per position).  The fold is a native outer-loop/inner-loop pair
+    keeping the 64-element cancellation cadence, so consumers count as
+    fused.  The caller guarantees enough elements exist; O(1). *)
+val of_segments :
+  length:int ->
+  seg_len:(int -> int) ->
+  elem:(int -> int -> 'a) ->
+  start_seg:int ->
+  start_ofs:int ->
+  'a t
+
+(** Skip-push filtered region — the block view behind the skip-based
+    [Seq.filter].  [selected_region ~length ~blocks ~start_block ~skip]
+    yields the [Some] payloads of the concatenated input option-stream
+    blocks [blocks start_block, blocks (start_block+1), ...], dropping
+    the first [skip] survivors and stopping after [length].  The fold
+    consumes every raw input element inside the input block's own fold
+    loop (emitting zero elements for a [None] is the "skip" arm of the
+    push protocol), so when the inputs are fused the region is too —
+    {!is_fused} mirrors [blocks start_block] — and the cancellation
+    cadence is the input loop's.  The caller guarantees [skip + length]
+    survivors exist from [start_block] onward; O(1). *)
+val selected_region :
+  length:int ->
+  blocks:(int -> 'b option t) ->
+  start_block:int ->
+  skip:int ->
+  'b t
+
 (** {1 Linear consumers}
 
     All of these drive the push path ({!fold}) and bump the

@@ -105,6 +105,64 @@ checks still report their margins:
   result: FAIL
   [1]
 
+A BENCH_8-shaped baseline additionally carries the Seq chain benches
+(ISSUE 8): each chain it records gets its fused-vs-materialized
+speedup gated.  As with float-kernels, detection is by presence, so
+this baseline carries only the chains — no chain3, no kernels:
+
+  $ cat > baseline8.json <<'EOF'
+  > {
+  >   "snapshot": 8,
+  >   "results": {
+  >     "stream-overhead/filter-chain": {
+  >       "materialized": { "time_s": 0.1400 },
+  >       "fused": { "time_s": 0.1000 },
+  >       "speedup_fused_vs_materialized": 1.30
+  >     },
+  >     "stream-overhead/flatten-chain": {
+  >       "materialized": { "time_s": 0.2400 },
+  >       "fused": { "time_s": 0.2400 },
+  >       "speedup_fused_vs_materialized": 0.95
+  >     }
+  >   }
+  > }
+  > EOF
+  $ cat > good8.csv <<'EOF'
+  > section,bench,version,procs,metric,value
+  > stream-overhead,filter-chain,materialized,2,time_s,0.1430
+  > stream-overhead,filter-chain,fused,2,time_s,0.1100
+  > stream-overhead,flatten-chain,materialized,2,time_s,0.2350
+  > stream-overhead,flatten-chain,fused,2,time_s,0.2400
+  > EOF
+  $ bench_compare --baseline baseline8.json --csv good8.csv
+  bench_compare: baseline snapshot 8 (baseline8.json), tolerance 15%
+    stream-overhead filter-chain fused-vs-materialized speedup baseline   1.3000  current   1.3000    -0.0%  ok
+    stream-overhead flatten-chain fused-vs-materialized speedup baseline   0.9500  current   0.9792    +3.1%  ok
+  result: PASS
+
+A chain whose fused path quietly falls back to materialized-like cost
+(say the filter stops push-composing) loses its speedup and fails:
+
+  $ sed 's/filter-chain,fused,2,time_s,0.1100/filter-chain,fused,2,time_s,0.1430/' good8.csv > slow8.csv
+  $ bench_compare --baseline baseline8.json --csv slow8.csv
+  bench_compare: baseline snapshot 8 (baseline8.json), tolerance 15%
+    stream-overhead filter-chain fused-vs-materialized speedup baseline   1.3000  current   1.0000   -23.1%  REGRESSION
+    stream-overhead flatten-chain fused-vs-materialized speedup baseline   0.9500  current   0.9792    +3.1%  ok
+  result: FAIL
+  [1]
+
+--absolute gates the chains' raw times too:
+
+  $ bench_compare --baseline baseline8.json --csv good8.csv --absolute
+  bench_compare: baseline snapshot 8 (baseline8.json), tolerance 15%
+    stream-overhead filter-chain fused-vs-materialized speedup baseline   1.3000  current   1.3000    -0.0%  ok
+    stream-overhead filter-chain materialized time_s (absolute) baseline   0.1400  current   0.1430    +2.1%  ok
+    stream-overhead filter-chain fused time_s (absolute) baseline   0.1000  current   0.1100   +10.0%  ok
+    stream-overhead flatten-chain fused-vs-materialized speedup baseline   0.9500  current   0.9792    +3.1%  ok
+    stream-overhead flatten-chain materialized time_s (absolute) baseline   0.2400  current   0.2350    -2.1%  ok
+    stream-overhead flatten-chain fused time_s (absolute) baseline   0.2400  current   0.2400    +0.0%  ok
+  result: PASS
+
 A baseline with no known gated section is a usage error, never a
 silent pass:
 
@@ -112,7 +170,7 @@ silent pass:
   > { "snapshot": 7, "results": { "misc": {} } }
   > EOF
   $ bench_compare --baseline nosection.json --csv good7.csv
-  bench_compare: baseline: results contains no known gated section (stream-overhead/chain3 or float-kernels)
+  bench_compare: baseline: results contains no known gated section (stream-overhead/chain3, stream-overhead/filter-chain, stream-overhead/flatten-chain or float-kernels)
   [2]
 
 Malformed inputs are usage errors (exit 2), distinct from regressions:

@@ -1,6 +1,6 @@
 Stream execution-path counters (docs/STREAMS.md).
 
-`bds_probe streams` drives two fixed Seq pipelines and reports, per
+`bds_probe streams` drives fixed Seq pipelines and reports, per
 pipeline, how many Stream consumers took the fused push path vs the
 trickle fallback.  With the block grid pinned (n=8000, block size 1000
 -> 8 blocks) the counts are exact: counter diffs are taken after the
@@ -11,11 +11,18 @@ report ZERO trickle fallbacks: scan_incl's phase 1 folds the 8 input
 blocks and the final reduce folds the 8 mapped blocks, all bottoming
 out in the native push loops of tabulate/of_array_slice.
 
-A filtered reduce is the honest counter-case: packing the 8 input
-blocks is push-fused, but the filtered sequence's 4000 survivors are
-exposed through get_region streams (blocks straddle the packed
-subsequences), so reducing its 4 blocks falls back to the trickle:
+Since the skip-push filter and nested-push flatten landed, the
+filter/flatten pipelines are fused end to end as well.  filter-reduce:
+8 survivor-mask folds + 4 selected_region output blocks = 12 fused, 0
+trickle.  flatten-filter-reduce (iota |> flat_map |> filter |> reduce,
+16000 flattened elements): 16 mask folds over the of_segments region
+blocks + 8 selected_region output blocks = 24 fused, 0 trickle.  The
+shared-consumer scenario reduces one scan output twice: the second
+consumer forces the memo exactly once (shared_forces=1) instead of
+re-running the producer, and both reduces stay on the push path:
 
   $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_BLOCK_SIZE=1000 bds_probe streams
   map-reduce: sum=170666664000 fused_folds=16 trickle_fallbacks=0
-  filter-reduce: sum=15996000 fused_folds=8 trickle_fallbacks=4
+  filter-reduce: sum=15996000 fused_folds=12 trickle_fallbacks=0
+  flatten-filter-reduce: sum=32000000 fused_folds=24 trickle_fallbacks=0
+  shared-consumer: sum=85333332000 max=31996000 shared_forces=1 trickle_fallbacks=0

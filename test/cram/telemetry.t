@@ -24,6 +24,7 @@ the chaos_injections counter stays meaningful:
     trickle_fallbacks=N
     float_fast_path=N
     float_boxed_fallback=N
+    shared_forces=N
     jobs_admitted=N
     jobs_completed=N
     jobs_cancelled=N
@@ -75,4 +76,4 @@ Unknown sub-commands fail with usage:
 object (the format CI artifacts and bench_compare share):
 
   $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe stats --json | sed -E 's/:[0-9]+/:N/g'
-  {"workers":N,"counters":{"tasks_spawned":N,"steal_attempts":N,"steals":N,"overflow_pushes":N,"chunks_executed":N,"cancel_polls":N,"cancel_trips":N,"chaos_injections":N,"fused_folds":N,"trickle_fallbacks":N,"float_fast_path":N,"float_boxed_fallback":N,"jobs_admitted":N,"jobs_completed":N,"jobs_cancelled":N,"jobs_deadline_exceeded":N,"jobs_failed":N,"jobs_retried":N,"jobs_shed":N,"jobs_retries_shed":N}}
+  {"workers":N,"counters":{"tasks_spawned":N,"steal_attempts":N,"steals":N,"overflow_pushes":N,"chunks_executed":N,"cancel_polls":N,"cancel_trips":N,"chaos_injections":N,"fused_folds":N,"trickle_fallbacks":N,"float_fast_path":N,"float_boxed_fallback":N,"shared_forces":N,"jobs_admitted":N,"jobs_completed":N,"jobs_cancelled":N,"jobs_deadline_exceeded":N,"jobs_failed":N,"jobs_retried":N,"jobs_shed":N,"jobs_retries_shed":N}}

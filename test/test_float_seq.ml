@@ -199,6 +199,91 @@ let qcheck_tests =
 
 (* Sanity for the tolerance itself: a pipeline where boxed and unboxed
    must agree exactly (single element — no reassociation possible). *)
+let test_filter () =
+  for_all_policies (fun pname ->
+      let n = 1_000 in
+      let a = int_valued n in
+      let p x = x >= 0.0 in
+      let want =
+        Array.of_list (List.filter p (Array.to_list a))
+      in
+      (* Mat input. *)
+      let got = FS.to_array (FS.filter p (FS.of_array a)) in
+      Alcotest.(check (array (float 0.0))) (pname ^ " filter mat") want got;
+      (* Fn input: the predicate sees the delayed composition's output. *)
+      let got_fn =
+        FS.to_array (FS.filter p (FS.tabulate n (fun i -> a.(i))))
+      in
+      Alcotest.(check (array (float 0.0))) (pname ^ " filter fn") want got_fn;
+      (* Empty result and empty input. *)
+      Alcotest.(check int) (pname ^ " filter none") 0
+        (FS.length (FS.filter (fun _ -> false) (FS.of_array a)));
+      Alcotest.(check int) (pname ^ " filter empty") 0
+        (FS.length (FS.filter p FS.empty)));
+  (* Predicate runs exactly once per element. *)
+  with_policy (Bds.Block.Fixed 64) (fun () ->
+      let n = 500 in
+      let evals = Atomic.make 0 in
+      let p x =
+        ignore (Atomic.fetch_and_add evals 1);
+        x > 0.0
+      in
+      ignore (FS.filter p (FS.of_array (int_valued n)));
+      Alcotest.(check int) "predicate once per element" n (Atomic.get evals))
+
+let test_fold2 () =
+  for_all_policies (fun pname ->
+      let n = 2_000 in
+      let xs = int_valued n in
+      let ys = Array.init n (fun i -> float_of_int ((i * 13 mod 157) - 78)) in
+      (* Integer-valued contributions stay exact under any block split. *)
+      let want1 = ref 0.0 and want2 = ref 0.0 in
+      Array.iteri
+        (fun i x ->
+          want1 := !want1 +. (x *. x);
+          want2 := !want2 +. (x *. ys.(i)))
+        xs;
+      let got1, got2 =
+        FS.fold2
+          ~f1:(fun x _ -> x *. x)
+          ~f2:(fun x y -> x *. y)
+          (FS.of_array xs) (FS.of_array ys)
+      in
+      Alcotest.(check (float 0.0)) (pname ^ " fold2 fst") !want1 got1;
+      Alcotest.(check (float 0.0)) (pname ^ " fold2 snd") !want2 got2;
+      (* Fn x Mat mixed representations agree. *)
+      let got1', got2' =
+        FS.fold2
+          ~f1:(fun x _ -> x *. x)
+          ~f2:(fun x y -> x *. y)
+          (FS.tabulate n (fun i -> xs.(i)))
+          (FS.of_array ys)
+      in
+      Alcotest.(check (float 0.0)) (pname ^ " fold2 fn fst") !want1 got1';
+      Alcotest.(check (float 0.0)) (pname ^ " fold2 fn snd") !want2 got2');
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "fold2 empty" (0.0, 0.0)
+    (FS.fold2 ~f1:( +. ) ~f2:( -. ) FS.empty FS.empty);
+  Alcotest.check_raises "fold2 length mismatch"
+    (Invalid_argument "Float_seq.fold2: length mismatch") (fun () ->
+      ignore (FS.fold2 ~f1:( +. ) ~f2:( -. ) FS.empty (FS.tabulate 3 float_of_int)))
+
+(* fit_xy routes its second moments through fold2: slope/intercept must
+   match the sequential reference on exactly representable data. *)
+let test_linefit_fold2 () =
+  let n = 4_000 in
+  let pts = Array.init n (fun i ->
+      let x = float_of_int (i mod 97) in
+      (x, (2.0 *. x) +. 3.0))
+  in
+  let xs = Float.Array.init n (fun i -> fst pts.(i)) in
+  let ys = Float.Array.init n (fun i -> snd pts.(i)) in
+  let slope_ref, icept_ref = Bds_kernels.Linefit.reference pts in
+  let slope, icept = Bds_kernels.Linefit.fit_xy xs ys in
+  Alcotest.(check bool) "slope"
+    true (Float.abs (slope -. slope_ref) <= 1e-9);
+  Alcotest.(check bool) "intercept"
+    true (Float.abs (icept -. icept_ref) <= 1e-9)
+
 let test_single_element_exact () =
   let x = 0.1 in
   Alcotest.(check (float 0.0)) "singleton sum" x (FS.sum (FS.of_array [| x |]));
@@ -217,6 +302,9 @@ let () =
             test_seq_float_sum_exact;
           Alcotest.test_case "grain x domains sweep" `Quick
             test_grain_domains_sweep;
+          Alcotest.test_case "filter" `Quick test_filter;
+          Alcotest.test_case "fold2" `Quick test_fold2;
+          Alcotest.test_case "linefit via fold2" `Quick test_linefit_fold2;
           Alcotest.test_case "single element exact" `Quick
             test_single_element_exact;
         ] );

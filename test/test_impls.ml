@@ -71,10 +71,27 @@ let prop_all_impls_agree (a, steps, bsize) =
       let rd = P_delay.run a steps in
       ra = rr && rr = rd)
 
+let show_step = function
+  | Map_add k -> Printf.sprintf "Map_add %d" k
+  | Mapi_mix -> "Mapi_mix"
+  | Filter_mod (k, r) -> Printf.sprintf "Filter_mod (%d,%d)" k r
+  | Filter_op_mod k -> Printf.sprintf "Filter_op_mod %d" k
+  | Scan_ex z -> Printf.sprintf "Scan_ex %d" z
+  | Scan_incl -> "Scan_incl"
+  | Zip_self -> "Zip_self"
+  | Force -> "Force"
+  | Flat_expand k -> Printf.sprintf "Flat_expand %d" k
+
+let show_instance (a, steps, bsize) =
+  Printf.sprintf "a=[|%s|] steps=[%s] bsize=%d"
+    (String.concat ";" (Array.to_list (Array.map string_of_int a)))
+    (String.concat "; " (List.map show_step steps))
+    bsize
+
 let tests =
   [
     QCheck2.Test.make ~name:"array = rad = delay on random pipelines" ~count:400
-      gen prop_all_impls_agree;
+      ~print:show_instance gen prop_all_impls_agree;
   ]
 
 (* A few fixed heavyweight pipelines, deterministic. *)

@@ -353,6 +353,75 @@ let test_filter_op () =
       in
       Alcotest.(check int_list) "filter_op" expect got)
 
+let test_partition_single_pass () =
+  (* One pass producing both halves: the predicate runs exactly once per
+     element, whichever side the element lands on. *)
+  with_policy (Bds.Block.Fixed 16) (fun () ->
+      let n = 1000 in
+      let evals = Atomic.make 0 in
+      let p x =
+        ignore (Atomic.fetch_and_add evals 1);
+        x mod 3 = 0
+      in
+      let yes, no = S.partition p (S.iota n) in
+      Alcotest.(check int) "predicate ran once per element" n
+        (Atomic.get evals);
+      let model = List.init n Fun.id in
+      Alcotest.(check int_list) "yes side"
+        (List.filter (fun x -> x mod 3 = 0) model)
+        (slist yes);
+      Alcotest.(check int_list) "no side"
+        (List.filter (fun x -> x mod 3 <> 0) model)
+        (slist no);
+      (* Consuming the halves re-reads packed storage, not the input. *)
+      ignore (S.reduce ( + ) 0 yes);
+      ignore (S.reduce ( + ) 0 no);
+      Alcotest.(check int) "halves never re-run the predicate" n
+        (Atomic.get evals))
+
+let test_shared_forces () =
+  (* Shared-consumer plan: a BID consumed by two independent consumers
+     forces its memo exactly once (one shared_forces bump for the whole
+     BID lifetime); the producer runs at most twice (once for the first
+     consumer's drive, once for the memo force), never per consumer. *)
+  with_policy (Bds.Block.Fixed 16) (fun () ->
+      let module T = Bds_runtime.Telemetry in
+      let calls = Atomic.make 0 in
+      let counted =
+        S.map
+          (fun x ->
+            Atomic.incr calls;
+            x)
+          (S.iota 1000)
+      in
+      let bid, _ = S.scan ( + ) 0 counted in
+      Atomic.set calls 0;
+      let before = T.snapshot () in
+      let r1 = S.reduce ( + ) 0 bid in
+      let d1 = T.diff ~before ~after:(T.snapshot ()) in
+      Alcotest.(check int) "first consumer: no shared force" 0
+        d1.T.s_shared_forces;
+      Alcotest.(check int) "first consumer drove phase 3 once" 1000
+        (Atomic.get calls);
+      let r2 = S.reduce ( + ) 0 bid in
+      let r3 = S.reduce ( + ) 0 bid in
+      let d = T.diff ~before ~after:(T.snapshot ()) in
+      Alcotest.(check int) "one shared force per BID lifetime" 1
+        d.T.s_shared_forces;
+      Alcotest.(check int) "producer ran at most twice" 2000
+        (Atomic.get calls);
+      Alcotest.(check bool) "consumers agree" true (r1 = r2 && r2 = r3);
+      (* A BID forced explicitly (to_array) before any second consumer
+         never bumps the counter: the memo is already published. *)
+      let bid2, _ = S.scan ( + ) 0 counted in
+      let before2 = T.snapshot () in
+      ignore (S.to_array bid2);
+      ignore (S.reduce ( + ) 0 bid2);
+      ignore (S.to_array bid2);
+      let d2 = T.diff ~before:before2 ~after:(T.snapshot ()) in
+      Alcotest.(check int) "explicit force then reuse: no shared force" 0
+        d2.T.s_shared_forces)
+
 (* Short-circuiting searches.  Eval-count assertions run on a 1-domain
    pool, where the scan order is deterministic (the runner executes the
    leftmost block inline first and cancellation kills every queued
@@ -436,6 +505,8 @@ let () =
           Alcotest.test_case "extended combinators" `Quick test_extended_combinators;
           Alcotest.test_case "blockwise api" `Quick test_blockwise_api;
           Alcotest.test_case "filter_op" `Quick test_filter_op;
+          Alcotest.test_case "partition single pass" `Quick test_partition_single_pass;
+          Alcotest.test_case "shared forces" `Quick test_shared_forces;
           Alcotest.test_case "early-exit counts" `Quick test_early_exit_counts;
           Alcotest.test_case "early-exit parallel" `Quick test_early_exit_parallel;
         ] );

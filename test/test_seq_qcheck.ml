@@ -11,10 +11,13 @@ type step =
   | Map_add of int
   | Map_mod of int
   | Filter_mod of int * int
+  | Filter_op_mod of int
+  | Flat_expand of int
   | Scan_ex
   | Scan_incl
   | Zip_self
   | Force
+  | Observe_sum
   | Mapi_add
   | Rev
   | Take_half
@@ -27,10 +30,20 @@ let apply_seq step s =
   | Map_add k -> S.map (( + ) k) s
   | Map_mod k -> S.map (fun x -> x mod k) s
   | Filter_mod (k, r) -> S.filter (fun x -> (x mod k + k) mod k = r) s
+  | Filter_op_mod k ->
+    S.filter_op (fun x -> if (x mod k + k) mod k = 0 then Some (x + 1) else None) s
+  | Flat_expand k -> S.flat_map (fun x -> S.tabulate (abs x mod k) (fun j -> x + j)) s
   | Scan_ex -> fst (S.scan ( + ) 0 s)
   | Scan_incl -> S.scan_incl ( + ) 0 s
   | Zip_self -> S.zip_with ( + ) s s
   | Force -> S.force s
+  (* Consume the sequence once and keep using it: whatever the pipeline
+     does next makes this BID doubly consumed, exercising the
+     shared-consumer memo plan (the second consumer must see the same
+     elements, not a re-run producer). *)
+  | Observe_sum ->
+    ignore (S.reduce ( + ) 0 s : int);
+    s
   | Mapi_add -> S.mapi ( + ) s
   | Rev -> S.rev s
   | Take_half -> S.take s ((S.length s + 1) / 2)
@@ -43,10 +56,15 @@ let apply_list step l =
   | Map_add k -> List.map (( + ) k) l
   | Map_mod k -> List.map (fun x -> x mod k) l
   | Filter_mod (k, r) -> List.filter (fun x -> (x mod k + k) mod k = r) l
+  | Filter_op_mod k ->
+    List.filter_map (fun x -> if (x mod k + k) mod k = 0 then Some (x + 1) else None) l
+  | Flat_expand k ->
+    List.concat_map (fun x -> List.init (abs x mod k) (fun j -> x + j)) l
   | Scan_ex -> fst (list_scan ( + ) 0 l)
   | Scan_incl -> list_scan_incl ( + ) 0 l
   | Zip_self -> List.map (fun x -> x + x) l
   | Force -> l
+  | Observe_sum -> l
   | Mapi_add -> List.mapi ( + ) l
   | Rev -> List.rev l
   | Take_half -> List.filteri (fun i _ -> i < (List.length l + 1) / 2) l
@@ -61,10 +79,13 @@ let step_gen =
       map (fun k -> Map_add k) (int_range (-10) 10);
       map (fun k -> Map_mod (k + 2)) (int_bound 10);
       map2 (fun k r -> Filter_mod (k + 2, r mod (k + 2))) (int_bound 6) (int_bound 10);
+      map (fun k -> Filter_op_mod (k + 2)) (int_bound 6);
+      map (fun k -> Flat_expand (k + 1)) (int_bound 2);
       return Scan_ex;
       return Scan_incl;
       return Zip_self;
       return Force;
+      return Observe_sum;
       return Mapi_add;
       return Rev;
       return Take_half;
@@ -73,21 +94,64 @@ let step_gen =
       return Enumerate_sum;
     ]
 
+(* Random block-size policy: mostly small Fixed sizes (the adversarial
+   grids), plus Scaled shapes so the default-policy arithmetic is in the
+   property net too. *)
+let policy_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun b -> Bds.Block.Fixed b) (int_range 1 40);
+      map2
+        (fun pw mn ->
+          Bds.Block.Scaled
+            { per_worker_blocks = pw + 1; min_size = mn + 1; max_size = mn + 64 })
+        (int_bound 7) (int_bound 16);
+    ]
+
 let pipeline_gen =
   let open QCheck2.Gen in
-  triple small_int_array (list_size (int_bound 6) step_gen) (int_range 1 40)
+  triple small_int_array (list_size (int_bound 6) step_gen) policy_gen
 
-let prop_pipeline (a, steps, bsize) =
-  with_policy (Bds.Block.Fixed bsize) (fun () ->
+let prop_pipeline (a, steps, policy) =
+  with_policy policy (fun () ->
       let s = List.fold_left (fun s st -> apply_seq st s) (S.of_array a) steps in
       let l = List.fold_left (fun l st -> apply_list st l) (Array.to_list a) steps in
       S.to_list s = l && S.length s = List.length l)
 
-let prop_reduce_after_pipeline (a, steps, bsize) =
-  with_policy (Bds.Block.Fixed bsize) (fun () ->
+let prop_reduce_after_pipeline (a, steps, policy) =
+  with_policy policy (fun () ->
       let s = List.fold_left (fun s st -> apply_seq st s) (S.of_array a) steps in
       let l = List.fold_left (fun l st -> apply_list st l) (Array.to_list a) steps in
       S.reduce ( + ) 0 s = List.fold_left ( + ) 0 l)
+
+(* Filter after flatten: the skip-push filter runs over of_segments
+   region blocks rather than array-backed ones — the chain the tentpole
+   fuses end to end. *)
+let prop_filter_after_flatten (a, bsize) =
+  with_policy (Bds.Block.Fixed bsize) (fun () ->
+      let mk x = S.tabulate (abs x mod 4) (fun j -> x - j) in
+      let p x = x land 1 = 0 in
+      let got = S.to_list (S.filter p (S.flat_map mk (S.of_array a))) in
+      let expect =
+        List.filter p
+          (List.concat_map
+             (fun x -> List.init (abs x mod 4) (fun j -> x - j))
+             (Array.to_list a))
+      in
+      got = expect)
+
+(* Doubly-consumed BID: reduce drives the producer once; to_array must
+   observe the same elements via the shared-consumer memo (never a
+   second producer run with different block state). *)
+let prop_shared_consumption (a, steps, policy) =
+  with_policy policy (fun () ->
+      let s = List.fold_left (fun s st -> apply_seq st s) (S.of_array a) steps in
+      let l = List.fold_left (fun l st -> apply_list st l) (Array.to_list a) steps in
+      let r1 = S.reduce ( + ) 0 s in
+      let arr = S.to_array s in
+      let r2 = S.reduce ( + ) 0 s in
+      r1 = List.fold_left ( + ) 0 l && Array.to_list arr = l && r1 = r2)
 
 (* flatten . map ≡ concat_map *)
 let prop_flatten (a, bsize) =
@@ -174,6 +238,10 @@ let tests =
     Test.make ~name:"pipeline = list model" ~count:500 pipeline_gen prop_pipeline;
     Test.make ~name:"reduce after pipeline" ~count:300 pipeline_gen
       prop_reduce_after_pipeline;
+    Test.make ~name:"filter after flatten" ~count:300 (with_bsize small_int_array)
+      prop_filter_after_flatten;
+    Test.make ~name:"doubly-consumed BID" ~count:200 pipeline_gen
+      prop_shared_consumption;
     Test.make ~name:"flatten.map = concat_map" ~count:300 (with_bsize small_int_array)
       prop_flatten;
     Test.make ~name:"affine scan (non-commutative)" ~count:300
@@ -189,6 +257,51 @@ let tests =
       prop_search_invariance;
   ]
 
+(* Deterministic worker-count sweep: the fused filter/flatten chains and
+   the shared-consumer plan must be invariant across pool sizes (the
+   memo CAS and region splits race differently at 1/2/4 domains). *)
+let test_domains_sweep () =
+  let a = Array.init 3_000 (fun i -> (i * 53 mod 211) - 100) in
+  let chains =
+    [
+      ("filter-chain", [ Map_add 7; Filter_mod (3, 1); Filter_op_mod 2; Scan_incl ]);
+      ("flatten-filter", [ Flat_expand 3; Filter_mod (2, 0); Mapi_add ]);
+      ("shared", [ Scan_ex; Observe_sum; Filter_mod (2, 1); Observe_sum ]);
+      ("flatten-of-filter", [ Filter_op_mod 3; Flat_expand 2; Take_half ]);
+    ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Bds_runtime.Runtime.set_num_domains Bds_test_util.domains)
+    (fun () ->
+      List.iter
+        (fun d ->
+          Bds_runtime.Runtime.set_num_domains d;
+          List.iter
+            (fun (pname, policy) ->
+              with_policy policy (fun () ->
+                  List.iter
+                    (fun (cname, steps) ->
+                      let tag = Printf.sprintf "d=%d %s %s" d pname cname in
+                      let s =
+                        List.fold_left
+                          (fun s st -> apply_seq st s)
+                          (S.of_array a) steps
+                      in
+                      let l =
+                        List.fold_left
+                          (fun l st -> apply_list st l)
+                          (Array.to_list a) steps
+                      in
+                      Alcotest.(check int_list) tag l (S.to_list s))
+                    chains))
+            [ ("B=17", Bds.Block.Fixed 17); ("scaled", Bds.Block.default_policy) ])
+        [ 1; 2; 4 ])
+
 let () =
   Alcotest.run "seq_qcheck"
-    [ ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) tests) ]
+    [
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) tests);
+      ( "domain sweep",
+        [ Alcotest.test_case "fused chains across 1/2/4 domains" `Quick test_domains_sweep ] );
+    ]

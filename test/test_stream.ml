@@ -219,6 +219,100 @@ let test_fold_poll_cadence () =
   poll_cadence_of (fun poison ->
       ignore (Stream.reduce ( + ) 0 (Stream.map poison (mk_trickle 100_000))))
 
+(* Nested-push segment concatenation: model = the flattened suffix of
+   the segment table starting at (start_seg, start_ofs). *)
+let test_of_segments () =
+  let segs = [| [| 0; 1; 2 |]; [||]; [| 3 |]; [| 4; 5; 6; 7 |]; [| 8 |] |] in
+  let seg_len s = Array.length segs.(s) in
+  let elem s i = segs.(s).(i) in
+  let mk ~length ~start_seg ~start_ofs =
+    Stream.of_segments ~length ~seg_len ~elem ~start_seg ~start_ofs
+  in
+  let s = mk ~length:9 ~start_seg:0 ~start_ofs:0 in
+  Alcotest.(check bool) "fused" true (Stream.is_fused s);
+  check_ilist "full" [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] (Stream.to_list s);
+  (* Mid-segment start, both execution paths. *)
+  let mid = mk ~length:4 ~start_seg:3 ~start_ofs:1 in
+  check_ilist "mid-segment push" [ 5; 6; 7; 8 ]
+    (List.rev (Stream.fold mid ~stop:4 (fun acc v -> v :: acc) []));
+  let next = Stream.start (mk ~length:4 ~start_seg:3 ~start_ofs:1) in
+  check_ilist "mid-segment trickle" [ 5; 6; 7; 8 ]
+    (List.init 4 (fun _ -> next ()));
+  (* stop truncates inside a segment; empty segments are skipped. *)
+  Alcotest.(check int) "stop mid-segment" 10
+    (Stream.fold (mk ~length:9 ~start_seg:0 ~start_ofs:0) ~stop:5 ( + ) 0);
+  check_ilist "across empty segment" [ 2; 3; 4 ]
+    (Stream.to_list (mk ~length:3 ~start_seg:0 ~start_ofs:2))
+
+(* Skip-push filtered region over option-stream blocks. *)
+let test_selected_region () =
+  (* blocks j holds the multiples of 3 in [10j, 10j+10). *)
+  let blocks j =
+    Stream.mapi
+      (fun k _ ->
+        let v = (10 * j) + k in
+        if v mod 3 = 0 then Some v else None)
+      (Stream.tabulate 10 Fun.id)
+  in
+  let mk ~length ~start_block ~skip =
+    Stream.selected_region ~length ~blocks ~start_block ~skip
+  in
+  let s = mk ~length:7 ~start_block:0 ~skip:0 in
+  Alcotest.(check bool) "fused mirrors input" true (Stream.is_fused s);
+  check_ilist "from origin" [ 0; 3; 6; 9; 12; 15; 18 ] (Stream.to_list s);
+  (* skip drops survivors, so a region can start mid-block. *)
+  check_ilist "with skip" [ 6; 9; 12 ]
+    (Stream.to_list (mk ~length:3 ~start_block:0 ~skip:2));
+  check_ilist "later block + skip" [ 24; 27; 30 ]
+    (Stream.to_list (mk ~length:3 ~start_block:2 ~skip:1));
+  (* Trickle path agrees. *)
+  let next = Stream.start (mk ~length:3 ~start_block:2 ~skip:1) in
+  check_ilist "trickle agrees" [ 24; 27; 30 ] (List.init 3 (fun _ -> next ()));
+  (* fold ~stop truncates the region itself. *)
+  Alcotest.(check int) "fold stop" 3
+    (Stream.fold (mk ~length:7 ~start_block:0 ~skip:0) ~stop:2 ( + ) 0);
+  (* Regression: regions nest (filter-of-filter).  The outer region's
+     early-stop exception must not be swallowed by the inner region's
+     fold — a shared exception constructor made the outer loop
+     undercount and walk past its last input block. *)
+  let inner_blocks = blocks in
+  let outer_blocks j =
+    (* One outer block per inner region block: survivors v with v mod 2 = 0. *)
+    Stream.map
+      (fun v -> if v mod 2 = 0 then Some v else None)
+      (Stream.selected_region ~length:3 ~blocks:inner_blocks ~start_block:j
+         ~skip:0)
+  in
+  let nested =
+    Stream.selected_region ~length:4 ~blocks:outer_blocks ~start_block:0 ~skip:0
+  in
+  check_ilist "nested regions" [ 0; 6; 12; 18 ] (Stream.to_list nested);
+  Alcotest.(check int) "nested fold stop" 6
+    (Stream.fold
+       (Stream.selected_region ~length:4 ~blocks:outer_blocks ~start_block:0
+          ~skip:0)
+       ~stop:2 ( + ) 0)
+
+(* The nested-push loops keep the 64-element cancellation cadence. *)
+let test_region_poll_cadence () =
+  poll_cadence_of (fun poison ->
+      let seg_len _ = 1_000 in
+      let elem s i = poison ((1_000 * s) + i) in
+      ignore
+        (Stream.reduce ( + ) 0
+           (Stream.of_segments ~length:100_000 ~seg_len ~elem ~start_seg:0
+              ~start_ofs:0)));
+  poll_cadence_of (fun poison ->
+      let blocks j =
+        Stream.map
+          (fun k -> Some (poison ((1_000 * j) + k)))
+          (Stream.tabulate 1_000 Fun.id)
+      in
+      ignore
+        (Stream.reduce ( + ) 0
+           (Stream.selected_region ~length:100_000 ~blocks ~start_block:0
+              ~skip:0)))
+
 let test_buffer () =
   let b = Buffer_ext.create () in
   Alcotest.(check int) "empty len" 0 (Buffer_ext.length b);
@@ -390,6 +484,9 @@ let () =
           Alcotest.test_case "fold with stop" `Quick test_fold_stop;
           Alcotest.test_case "is_fused flag" `Quick test_is_fused;
           Alcotest.test_case "fold poll cadence" `Quick test_fold_poll_cadence;
+          Alcotest.test_case "of_segments" `Quick test_of_segments;
+          Alcotest.test_case "selected_region" `Quick test_selected_region;
+          Alcotest.test_case "region poll cadence" `Quick test_region_poll_cadence;
           Alcotest.test_case "buffer_ext" `Quick test_buffer;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);

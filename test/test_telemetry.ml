@@ -57,7 +57,7 @@ let test_assoc_order () =
       "tasks_spawned"; "steal_attempts"; "steals"; "overflow_pushes";
       "chunks_executed"; "cancel_polls"; "cancel_trips"; "chaos_injections";
       "fused_folds"; "trickle_fallbacks"; "float_fast_path";
-      "float_boxed_fallback"; "jobs_admitted"; "jobs_completed";
+      "float_boxed_fallback"; "shared_forces"; "jobs_admitted"; "jobs_completed";
       "jobs_cancelled"; "jobs_deadline_exceeded"; "jobs_failed";
       "jobs_retried"; "jobs_shed"; "jobs_retries_shed";
     ]
