@@ -1,6 +1,6 @@
 # Convenience targets (cf. the paper artifact's makefiles).
 
-.PHONY: all build test stress trace-smoke profile-smoke serve-smoke bench bench-quick bench-compare examples clean
+.PHONY: all build test stress trace-smoke profile-smoke serve-smoke adapt-smoke bench bench-quick bench-compare examples clean
 
 # Fixed-seed chaos specification used by `make stress` (see
 # docs/RUNTIME.md for the BDS_CHAOS format).  delay+starve perturb
@@ -23,9 +23,9 @@ test:
 	dune runtest --force
 
 # Chaos stress: the dedicated @stress alias, then the full suite under
-# fault injection across 1, 2 and 4 domains, after the trace, profiler
-# and job-service round-trips.
-stress: trace-smoke profile-smoke serve-smoke
+# fault injection across 1, 2 and 4 domains, after the trace, profiler,
+# job-service and adaptive-granularity round-trips.
+stress: trace-smoke profile-smoke serve-smoke adapt-smoke
 	dune build @stress --force
 	for d in $(STRESS_DOMAINS); do \
 	  echo "== stress: BDS_NUM_DOMAINS=$$d BDS_CHAOS=$(CHAOS_SPEC) =="; \
@@ -57,15 +57,26 @@ profile-smoke:
 serve-smoke:
 	scripts/serve_smoke
 
+# Adaptive-granularity round-trip: a short fixed-grain sweep plus one
+# run under the online self-tuning controller; the gate fails the
+# target if the adaptive run lands below half the best fixed point (a
+# loose livelock/catastrophe floor — the precision claim lives in
+# BENCH_9.json behind bench_compare, not here, because a --quick
+# 1-repeat run on a shared host is noisy).
+adapt-smoke:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- --quick --procs 2 --only sweep \
+	  --sweep-grain 512,8192,131072 --adaptive --adapt-gate 0.5
+
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
 
-# Perf-regression gate: stream-overhead + float-kernels bench vs
-# BENCH_8.json (ratio
-# metrics only; see scripts/bench_compare for knobs).
+# Perf-regression gate: stream-overhead + float-kernels + sweep-grain
+# bench vs BENCH_9.json (ratio metrics only; see scripts/bench_compare
+# for knobs).
 bench-compare:
 	scripts/bench_compare
 

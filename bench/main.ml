@@ -13,6 +13,7 @@ module Registry = Bds_harness.Registry
 module Tables = Bds_harness.Tables
 module Runtime = Bds_runtime.Runtime
 module Grain = Bds_runtime.Grain
+module Autotune = Bds_runtime.Autotune
 module Telemetry = Bds_runtime.Telemetry
 module Profile = Bds_runtime.Profile
 module S = Bds.Seq
@@ -32,6 +33,13 @@ type config = {
       (** leaf-grain values to sweep the bestcut pipeline over (--sweep-grain) *)
   sweep_block : int list;
       (** fixed block sizes to sweep the bestcut pipeline over (--sweep-block) *)
+  adaptive : bool;
+      (** after the fixed-grain sweep, run the same pipeline under the
+          online self-tuning controller and report
+          adaptive_vs_best_fixed (--adaptive) *)
+  adapt_gate : float option;
+      (** exit non-zero if adaptive_vs_best_fixed falls below this
+          floor (--adapt-gate) *)
   profile : bool;
       (** run everything under the work/span profiler and append per-op
           rows to the CSV (--profile) *)
@@ -46,6 +54,11 @@ let csv_rows : (string * string * string * int * string * float) list ref = ref 
 
 let record ~section ~bench ~version ~procs ~metric value =
   csv_rows := (section, bench, version, procs, metric, value) :: !csv_rows
+
+(* A failed --adapt-gate check is deferred to the end of the run so the
+   CSV (and every other section's output) still lands before the
+   non-zero exit. *)
+let gate_failure : string option ref = ref None
 
 let write_csv path =
   let oc = open_out path in
@@ -598,18 +611,19 @@ let sweeps cfg =
           ~metric:"tasks_per_s" tasks_per_s;
         record ~section ~bench:"bestcut-delay" ~version ~procs:cfg.procs
           ~metric:"counters_clamped" (if m.Measure.clamped then 1.0 else 0.0);
-        [
-          version;
-          Measure.pp_time m.Measure.best_s;
-          Printf.sprintf "%.3e" steals_per_s;
-          Printf.sprintf "%.3e" tasks_per_s;
-        ])
+        ( [
+            version;
+            Measure.pp_time m.Measure.best_s;
+            Printf.sprintf "%.3e" steals_per_s;
+            Printf.sprintf "%.3e" tasks_per_s;
+          ],
+          m.Measure.best_s ))
   in
   let headers = [ "setting"; "time"; "steals/s"; "tasks/s" ] in
   Measure.with_domains cfg.procs (fun () ->
       if cfg.sweep_grain <> [] then begin
         Printf.eprintf "  sweep: leaf grain...\n%!";
-        let rows =
+        let points =
           List.map
             (fun g ->
               run_point ~section:"sweep-grain"
@@ -617,6 +631,48 @@ let sweeps cfg =
                 (fun () -> Grain.set_leaf_grain (Some g))
                 (fun () -> Grain.set_leaf_grain None))
             cfg.sweep_grain
+        in
+        let rows = List.map fst points in
+        let rows =
+          if not cfg.adaptive then rows
+          else begin
+            (* The headline measurement of the self-tuning controller:
+               the same pipeline, no fixed grain, controller live.  A
+               warm-up phase lets it converge (decisions are memoized
+               per op/size/worker key), then the timed runs measure the
+               converged grains plus the residual probe overhead.  The
+               ratio best-fixed/adaptive lands in the CSV; ~1.0 means
+               the controller found the sweep optimum on its own. *)
+            Printf.eprintf "  sweep: adaptive controller...\n%!";
+            let row, t_adapt =
+              run_point ~section:"sweep-grain" ~version:"adaptive"
+                (fun () ->
+                  Grain.set_adaptive true;
+                  Autotune.reset ();
+                  for _ = 1 to 40 do
+                    ignore
+                      (Sys.opaque_identity (K.Bestcut.Delay_version.best_cut a))
+                  done)
+                (fun () -> Grain.set_adaptive false)
+            in
+            let t_best =
+              List.fold_left (fun m (_, t) -> min m t) infinity points
+            in
+            let ratio = if t_adapt > 0.0 then t_best /. t_adapt else 0.0 in
+            record ~section:"sweep-grain" ~bench:"bestcut-delay"
+              ~version:"adaptive" ~procs:cfg.procs
+              ~metric:"adaptive_vs_best_fixed" ratio;
+            Printf.eprintf "  adaptive_vs_best_fixed = %.3f\n%!" ratio;
+            (match cfg.adapt_gate with
+            | Some floor when ratio < floor ->
+              gate_failure :=
+                Some
+                  (Printf.sprintf
+                     "FAIL: adaptive_vs_best_fixed %.3f below gate %.3f"
+                     ratio floor)
+            | _ -> ());
+            rows @ [ row ]
+          end
         in
         Tables.print
           ~title:
@@ -629,10 +685,11 @@ let sweeps cfg =
         let rows =
           List.map
             (fun bs ->
-              run_point ~section:"sweep-block"
-                ~version:(Printf.sprintf "B=%d" bs)
-                (fun () -> Bds.Block.set_policy (Bds.Block.Fixed bs))
-                (fun () -> Bds.Block.reset_policy ()))
+              fst
+                (run_point ~section:"sweep-block"
+                   ~version:(Printf.sprintf "B=%d" bs)
+                   (fun () -> Bds.Block.set_policy (Bds.Block.Fixed bs))
+                   (fun () -> Bds.Block.reset_policy ())))
             cfg.sweep_block
         in
         Tables.print
@@ -867,6 +924,65 @@ let float_kernels cfg =
              !results))
 
 (* ------------------------------------------------------------------ *)
+(* Int kernels: generic polymorphic reduce vs the monomorphic int lane
+   (--only int-kernels).  Same shape as float-kernels, but unlike
+   floats nothing is boxed here — OCaml ints are immediate — so the
+   within-run speedup ratio isolates exactly what Seq.int_sum removes:
+   the polymorphic combine-closure dispatch per element of the generic
+   reduce (each block becomes one native int loop). *)
+
+let int_kernels cfg =
+  let n = scaled cfg 2_000_000 in
+  Printf.eprintf "  int-kernels (n=%d)...\n%!" n;
+  let a = Array.init n (fun i -> (i * 7) land 1023) in
+  Measure.with_domains cfg.procs (fun () ->
+      let results = ref [] in
+      let bench name ~generic ~mono =
+        if generic () <> mono () then
+          failwith
+            (Printf.sprintf "int-kernels/%s: generic and monomorphic disagree"
+               name);
+        let t_generic =
+          Measure.time ~repeat:cfg.repeat (fun () -> ignore (generic ()))
+        in
+        let t_mono =
+          Measure.time ~repeat:cfg.repeat (fun () -> ignore (mono ()))
+        in
+        List.iter
+          (fun (version, t) ->
+            record ~section:"int-kernels" ~bench:name ~version
+              ~procs:cfg.procs ~metric:"time_s" t)
+          [ ("generic", t_generic); ("monomorphic", t_mono) ];
+        record ~section:"int-kernels" ~bench:name ~version:"monomorphic"
+          ~procs:cfg.procs ~metric:"speedup_monomorphic_vs_generic"
+          (t_generic /. t_mono);
+        results := (name, t_generic, t_mono) :: !results
+      in
+      bench "sum-array"
+        ~generic:(fun () -> S.reduce ( + ) 0 (S.of_array a))
+        ~mono:(fun () -> S.int_sum (S.of_array a));
+      bench "sum-map"
+        ~generic:(fun () ->
+          S.reduce ( + ) 0 (S.map (fun x -> (x * 7) land 1023) (S.iota n)))
+        ~mono:(fun () ->
+          S.int_sum (S.map (fun x -> (x * 7) land 1023) (S.iota n)));
+      bench "sum-scan"
+        ~generic:(fun () -> S.reduce ( + ) 0 (S.scan_incl ( + ) 0 (S.iota n)))
+        ~mono:(fun () -> S.int_sum (S.scan_incl ( + ) 0 (S.iota n)));
+      Tables.print
+        ~title:
+          (Printf.sprintf
+             "Int kernels: generic reduce vs monomorphic int lane (n=%d, P=%d)"
+             n cfg.procs)
+        ~headers:[ "bench"; "generic"; "monomorphic"; "speedup" ]
+        ~rows:
+          (List.rev_map
+             (fun (name, tg, tm) ->
+               [ name; Measure.pp_time tg; Measure.pp_time tm;
+                 Tables.ratio tg tm ])
+             !results))
+
+(* ------------------------------------------------------------------ *)
 (* --service: open-loop load generator against the job service          *)
 
 (* Drive the in-process Service with an open-loop arrival process: jobs
@@ -885,6 +1001,11 @@ let service_bench cfg =
   let module Service = Bds_service.Service in
   let module Job = Bds_service.Job in
   let module Histogram = Bds_runtime.Histogram in
+  (* The service path runs with the adaptive controller live: a
+     long-running multi-tenant server is exactly the workload that
+     cannot be hand-tuned per request shape, so the load generator
+     doubles as the controller's always-on soak test. *)
+  Grain.set_adaptive true;
   let total = scaled cfg 400 in
   let rate = 2000.0 (* jobs/s offered *) in
   let config =
@@ -1132,6 +1253,7 @@ let run_sections cfg =
   if enabled cfg "ablation" then ablation cfg;
   if enabled cfg "stream-overhead" then stream_overhead cfg;
   if enabled cfg "float-kernels" then float_kernels cfg;
+  if enabled cfg "int-kernels" then int_kernels cfg;
   if cfg.sweep_grain <> [] || cfg.sweep_block <> [] then sweeps cfg;
   if enabled cfg "micro" then micro cfg;
   if cfg.profile then profile_report cfg;
@@ -1146,7 +1268,12 @@ let run cfg =
     service_bench cfg;
     Option.iter write_csv cfg.csv
   end
-  else run_sections cfg
+  else run_sections cfg;
+  match !gate_failure with
+  | Some msg ->
+    prerr_endline msg;
+    exit 1
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
@@ -1170,7 +1297,7 @@ let repeat_arg =
 
 let only_arg =
   Arg.(value & opt (list string) []
-       & info [ "only" ] ~doc:"Sections to run: fig5, fig13, fig14, fig15, fig16, ext, ablation, stream-overhead, float-kernels, micro. Default: all.")
+       & info [ "only" ] ~doc:"Sections to run: fig5, fig13, fig14, fig15, fig16, ext, ablation, stream-overhead, float-kernels, int-kernels, micro. Default: all.")
 
 let micro_filter_arg =
   Arg.(value & opt (some string) None
@@ -1201,6 +1328,21 @@ let sweep_block_arg =
                  Emits time, steals/s and tasks/s per point; rows land in \
                  --csv under sweep-block.")
 
+let adaptive_arg =
+  Arg.(value & flag
+       & info [ "adaptive" ]
+           ~doc:"After the --sweep-grain fixed points, run the bestcut \
+                 pipeline once more under the online self-tuning \
+                 controller (BDS_ADAPT) and record the ratio \
+                 best-fixed/adaptive as adaptive_vs_best_fixed in the \
+                 sweep-grain section.")
+
+let adapt_gate_arg =
+  Arg.(value & opt (some float) None
+       & info [ "adapt-gate" ]
+           ~doc:"Exit non-zero if adaptive_vs_best_fixed falls below \
+                 this floor (requires --adaptive).")
+
 let profile_arg =
   Arg.(value & flag
        & info [ "profile" ]
@@ -1219,7 +1361,7 @@ let service_arg =
                  --procs the runner count.")
 
 let main scale quick procs proc_list repeat sections micro_filter csv plots
-    sweep_grain sweep_block profile service =
+    sweep_grain sweep_block adaptive adapt_gate profile service =
   let cfg =
     {
       scale = (if quick then scale /. 10.0 else scale);
@@ -1232,6 +1374,8 @@ let main scale quick procs proc_list repeat sections micro_filter csv plots
       plots;
       sweep_grain;
       sweep_block;
+      adaptive;
+      adapt_gate;
       profile;
       service;
     }
@@ -1248,6 +1392,7 @@ let cmd =
     Term.(
       const main $ scale_arg $ quick_arg $ procs_arg $ proc_list_arg $ repeat_arg
       $ only_arg $ micro_filter_arg $ csv_arg $ plots_arg $ sweep_grain_arg
-      $ sweep_block_arg $ profile_arg $ service_arg)
+      $ sweep_block_arg $ adaptive_arg $ adapt_gate_arg $ profile_arg
+      $ service_arg)
 
 let () = exit (Cmd.eval cmd)

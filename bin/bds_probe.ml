@@ -17,7 +17,10 @@
                              (--strict: non-zero exit on dropped events)
      bds_probe trace-count F NAME — count NAME events in a trace file
      bds_probe jobs        — run a fixed job-service scenario and dump
-                             the per-outcome jobs_* telemetry counters *)
+                             the per-outcome jobs_* telemetry counters
+     bds_probe grain       — force-enable adaptive granularity, run a
+                             fixed leaf-loop + blocked-reduce workload
+                             and dump the controller's decision table *)
 
 module Runtime = Bds_runtime.Runtime
 module Grain = Bds_runtime.Grain
@@ -255,6 +258,46 @@ let jobs () =
   |> List.iter (fun (k, v) -> Printf.printf "  %s=%d\n" k v);
   Runtime.shutdown ()
 
+(* Force-enable the adaptive-granularity controller, drive one labeled
+   element loop plus one blocked reduce enough times for the table to
+   fill in, and dump the decision table (docs/RUNTIME.md "Adaptive
+   granularity").  The key set is deterministic — (op, log2-size bucket,
+   worker count) — while grains and counts depend on timing, so the cram
+   test normalises every numeric value to N.  With BDS_GRAIN set the
+   element loop runs at the override and never reaches the controller:
+   its row disappears from the table, which is how the cram test pins
+   "explicit overrides win". *)
+let grain_cmd () =
+  let module Autotune = Bds_runtime.Autotune in
+  Grain.set_adaptive true;
+  let n = 60_000 in
+  let loop_sum () =
+    Profile.with_op "probe-loop" (fun () ->
+        Runtime.parallel_for_reduce 0 n ~combine:( + ) ~init:0 (fun i ->
+            i land 7))
+  in
+  let input = Bds.Seq.iota n in
+  let blocked_sum () =
+    Bds.Seq.reduce ( + ) 0 (Bds.Seq.map (fun x -> (x * 3) land 1023) input)
+  in
+  for _ = 1 to 25 do
+    ignore (Sys.opaque_identity (loop_sum ()));
+    ignore (Sys.opaque_identity (blocked_sum ()))
+  done;
+  Printf.printf "adaptive=%s leaf_override=%s\n"
+    (if Grain.adaptive () then "on" else "off")
+    (match Grain.leaf_grain_override () with
+    | None -> "none"
+    | Some g -> string_of_int g);
+  List.iter
+    (fun i ->
+      Printf.printf "op=%s bucket=%d workers=%d grain=%d obs=%d adj=%d probes=%d\n"
+        i.Autotune.i_op i.Autotune.i_bucket i.Autotune.i_workers
+        i.Autotune.i_grain i.Autotune.i_obs i.Autotune.i_adjustments
+        i.Autotune.i_probes)
+    (Autotune.dump ());
+  Runtime.shutdown ()
+
 let trace_count file name =
   match Trace.count_events_file file ~name with
   | Ok n ->
@@ -280,9 +323,10 @@ let () =
   | [ "trace-check"; file ] -> exit (trace_check ~strict:(flag "--strict") file)
   | [ "trace-count"; file; name ] when flags = [] -> exit (trace_count file name)
   | [ "jobs" ] when flags = [] -> jobs ()
+  | [ "grain" ] when flags = [] -> grain_cmd ()
   | _ ->
     prerr_endline
       "usage: bds_probe [stats [--json] | blocks | streams | floats | report \
        [--json] [--large] | trace-check [--strict] FILE | trace-count FILE \
-       NAME | jobs]";
+       NAME | jobs | grain]";
     exit 2

@@ -1,14 +1,15 @@
 (* Perf-regression gate: compare a fresh benchmark CSV (bench/main.exe
-   --csv) against the committed baseline snapshot (BENCH_8.json).
+   --csv) against the committed baseline snapshot (BENCH_9.json).
 
    The host is a shared container whose absolute wall-clock drifts by
    tens of percent between runs, so the gate judges *within-run ratios*
    by default: the push-vs-pull speedup of the stream-overhead chain,
    the fused-vs-materialized speedup of the Seq filter/flatten chains,
-   and the unboxed-vs-boxed speedup of every float-kernels bench — each
-   divides two times measured seconds apart on the same machine, which
-   is stable (see the snapshots' host_note).  A section is gated when it
-   is present in the baseline's "results" (so older BENCH_4-shaped
+   the unboxed-vs-boxed speedup of every float-kernels bench, and the
+   adaptive-vs-best-fixed ratio of the grain sweep — each divides two
+   times measured seconds apart on the same machine, which is stable
+   (see the snapshots' host_note).  A section is gated when it is
+   present in the baseline's "results" (so older BENCH_4-shaped
    baselines still work); a baseline with no known section is a usage
    error, never a silent pass.  Absolute times are compared only under
    --absolute, for quiet hosts.
@@ -255,30 +256,65 @@ let build_checks ~absolute json rows =
       Ok (List.rev checks)
     | Some _ -> Error "baseline: results.float-kernels is not an object"
   in
+  (* sweep-grain: gate the adaptive controller against the best fixed
+     grain of the same sweep (present since BENCH_9).  The ratio is
+     computed by the harness itself (best-fixed time / adaptive time,
+     both from one process), so it is read straight from the CSV. *)
+  let adaptive_checks () =
+    let path_ = [ "results"; "sweep-grain/bestcut-delay" ] in
+    match J.path path_ json with
+    | None -> Ok []
+    | Some _ ->
+      let* base =
+        baseline_float json (path_ @ [ "adaptive_vs_best_fixed" ])
+      in
+      let* cur =
+        match
+          find rows ~section:"sweep-grain" ~bench:"bestcut-delay"
+            ~version:"adaptive" ~metric:"adaptive_vs_best_fixed"
+        with
+        | Some v -> Ok v
+        | None ->
+          Error
+            "csv: no sweep-grain adaptive_vs_best_fixed row (run bench with \
+             --sweep-grain ... --adaptive)"
+      in
+      Ok
+        [
+          {
+            name = "sweep-grain adaptive-vs-best-fixed ratio";
+            dir = Higher_better;
+            baseline = base;
+            current = cur;
+          };
+        ]
+  in
   let* sc = stream_checks () in
   let* filter_c = chain_checks "filter-chain" in
   let* flatten_c = chain_checks "flatten-chain" in
   let* fc = float_checks () in
-  match sc @ filter_c @ flatten_c @ fc with
+  let* ac = adaptive_checks () in
+  match sc @ filter_c @ flatten_c @ fc @ ac with
   | [] ->
     Error
       "baseline: results contains no known gated section \
        (stream-overhead/chain3, stream-overhead/filter-chain, \
-       stream-overhead/flatten-chain or float-kernels)"
+       stream-overhead/flatten-chain, float-kernels or \
+       sweep-grain/bestcut-delay)"
   | checks -> Ok checks
 
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let () =
-  let baseline = ref "BENCH_8.json" in
+  let baseline = ref "BENCH_9.json" in
   let csv = ref "" in
   let tolerance = ref 15.0 in
   let absolute = ref false in
   let usage = "bench_compare --csv FILE [--baseline FILE] [--max-regress PCT] [--absolute]" in
   Arg.parse
     [
-      ("--baseline", Arg.Set_string baseline, "FILE Baseline snapshot JSON (default BENCH_8.json)");
+      ("--baseline", Arg.Set_string baseline, "FILE Baseline snapshot JSON (default BENCH_9.json)");
       ("--csv", Arg.Set_string csv, "FILE Fresh bench CSV (bench/main.exe --csv)");
       ("--max-regress", Arg.Set_float tolerance, "PCT Allowed regression percent (default 15)");
       ("--absolute", Arg.Set absolute, " Also gate absolute times (noisy hosts: leave off)");

@@ -18,6 +18,14 @@ let set_policy = Grain.set_policy
 let get_policy = Grain.get_policy
 let reset_policy = Grain.reset_policy
 
-let size n = Grain.block_size ~workers:(Bds_runtime.Runtime.num_workers ()) n
+(* With adaptation on ([Grain.adaptive]) the controller's per-(op, size,
+   workers) block size wins over the static policy; an explicit policy
+   (env override or programmatic [set_policy]) still beats both —
+   [Autotune.block_size] returns [None] then. *)
+let size n =
+  let workers = Bds_runtime.Runtime.num_workers () in
+  match Bds_runtime.Autotune.block_size ~workers n with
+  | Some b -> b
+  | None -> Grain.block_size ~workers n
 
 let num_blocks = Grain.num_blocks

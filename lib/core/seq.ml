@@ -521,23 +521,43 @@ let filter_op select s =
    flat_map / concat chains fuse with their consumers end-to-end. *)
 let flatten (s : 'a t t) =
   Profile.with_op "flatten" (fun () ->
-      let outer = to_array s in
-      let inners = Parray.map rad_of_seq outer in
-      let lengths = Parray.map length inners in
-      let offsets, total = Parray.scan ( + ) 0 lengths in
-      if total = 0 then empty
+      let n_out = length s in
+      if n_out = 0 then empty
       else begin
-        let bsize = Block.size total in
-        let elem j k =
-          match inners.(j) with
-          | Rad { get; _ } -> get k
-          | Bid _ -> assert false
-        in
-        Bid
-          (fresh_bid ~b_len:total ~b_size:bsize (fun () ->
-               region_block ~offsets
-                 ~seg_len:(fun j -> lengths.(j))
-                 ~elem ~total ~bsize))
+        (* Lazy outer spine: ONE parallel pass drives the outer — which
+           in the flat_map idiom is itself a delayed map — evaluating
+           each outer element once, forcing it to random access and
+           measuring it in place.  The previous spine materialised the
+           outer three times over ([to_array] + a parallel [rad_of_seq]
+           map + a parallel [length] map), and that eager outer work
+           dominated the flatten-chain bench (BENCH_8 host_note). *)
+        let inners = Array.make n_out empty in
+        let lengths = Array.make n_out 0 in
+        let ob = bid_of_seq s in
+        let oblocks = drive ob in
+        apply_bid_blocks ob (fun j ->
+            let lo, _ = block_bounds ob j in
+            Stream.iteri
+              (fun k inner ->
+                let r = rad_of_seq inner in
+                Array.unsafe_set inners (lo + k) r;
+                Array.unsafe_set lengths (lo + k) (length r))
+              (oblocks j));
+        let offsets, total = Parray.scan ( + ) 0 lengths in
+        if total = 0 then empty
+        else begin
+          let bsize = Block.size total in
+          let elem j k =
+            match inners.(j) with
+            | Rad { get; _ } -> get k
+            | Bid _ -> assert false
+          in
+          Bid
+            (fresh_bid ~b_len:total ~b_size:bsize (fun () ->
+                 region_block ~offsets
+                   ~seg_len:(fun j -> Array.unsafe_get lengths j)
+                   ~elem ~total ~bsize))
+        end
       end)
 
 (* ------------------------------------------------------------------ *)
@@ -613,7 +633,63 @@ let equal eq s1 s2 =
   let a1 = to_array s1 and a2 = to_array s2 in
   Parray.equal eq a1 a2
 
-let sum s = reduce ( + ) 0 s
+(* First rung of the int lane (ROADMAP "Extend the unboxed lane").
+   OCaml ints are unboxed, so unlike [float_sum] there is no boxing to
+   remove — the win is purely skipping the polymorphic combine-closure
+   dispatch per element: each block is one monomorphic [int] loop.  The
+   per-path split mirrors [float_sum]: RAD and memoised BIDs sum
+   straight over the index function / array; an unforced BID drives
+   [Stream.sum_ints] per block (monomorphic over a pure index function,
+   generic fold otherwise) with plain-int partials. *)
+let int_sum s =
+  Profile.with_op "int_sum" @@ fun () ->
+  match s with
+  | Rad { r_len; get } ->
+    if r_len = 0 then 0
+    else begin
+      let bsize = Block.size r_len in
+      let nb = Block.num_blocks ~block_size:bsize r_len in
+      let bounds j = (j * bsize, min r_len ((j + 1) * bsize)) in
+      let partial = Array.make nb 0 in
+      Runtime.apply_blocks ~bounds ~nb (fun j ->
+          let lo, hi = bounds j in
+          let acc = ref 0 in
+          for i = lo to hi - 1 do
+            acc := !acc + get i
+          done;
+          partial.(j) <- !acc);
+      Array.fold_left ( + ) 0 partial
+    end
+  | Bid b -> (
+    match Atomic.get b.memo with
+    | Some a ->
+      let n = Array.length a in
+      if n = 0 then 0
+      else begin
+        let bsize = Block.size n in
+        let nb = Block.num_blocks ~block_size:bsize n in
+        let bounds j = (j * bsize, min n ((j + 1) * bsize)) in
+        let partial = Array.make nb 0 in
+        Runtime.apply_blocks ~bounds ~nb (fun j ->
+            let lo, hi = bounds j in
+            let acc = ref 0 in
+            for i = lo to hi - 1 do
+              acc := !acc + Array.unsafe_get a i
+            done;
+            partial.(j) <- !acc);
+        Array.fold_left ( + ) 0 partial
+      end
+    | None ->
+      let nb = num_blocks_of b in
+      if nb = 0 then 0
+      else begin
+        let blocks = drive b in
+        let partial = Array.make nb 0 in
+        apply_bid_blocks b (fun j -> partial.(j) <- Stream.sum_ints (blocks j));
+        Array.fold_left ( + ) 0 partial
+      end)
+
+let sum s = int_sum s
 
 (* The Seq entry of the unboxed float lane (bugfix: this was
    [reduce ( +. ) 0.0], which boxed every element through the

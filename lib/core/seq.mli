@@ -127,6 +127,12 @@ val block_size_of : 'a t -> int
 val rev : 'a t -> 'a t
 val append : 'a t -> 'a t -> 'a t
 val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+val int_sum : int t -> int
+(** Monomorphic per-block int sum — the int lane's first rung.  Ints
+    are unboxed already; versus [reduce ( + ) 0] this skips the
+    polymorphic combine-closure dispatch per element (each block is one
+    native [int] loop).  {!sum} is an alias. *)
+
 val sum : int t -> int
 val float_sum : float t -> float
 

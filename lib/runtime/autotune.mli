@@ -1,0 +1,135 @@
+(** Online self-tuning granularity: the controller that closes the
+    profiler->Grain loop.
+
+    Opt in with [BDS_ADAPT=1] or [Grain.set_adaptive true].  Every
+    auto-grained parallel region then reports its leaf statistics
+    ([Profile.region_stats]) and steal/task telemetry here at region
+    end, and the next region with the same key — (op label, log2 size
+    bucket, worker count), memoized in a lock-free open-addressed table
+    — runs at the grain the controller has converged to.  The tuned
+    quantity is elements-per-leaf: element loops apply it as the leaf
+    grain, block-based ops as the block size (via [Block.size]).
+
+    Control law: multiplicative increase/decrease with hysteresis
+    (double/halve only after {!hysteresis} consecutive out-of-window
+    observations, clamped to [[min_grain], min({!max_grain},
+    2^(bucket+1))]), plus a probe step every {!probe_period} in-window
+    observations that runs one region at a neighbouring grain and adopts
+    it only on a >10% wall-ns/element win over the incumbent's EWMA.
+
+    Explicit settings always win: [BDS_GRAIN] / [Grain.set_leaf_grain]
+    disables leaf decisions, a non-default block policy disables block
+    decisions, and an explicit [?grain] argument bypasses the controller
+    entirely.  Knob table and rationale: docs/RUNTIME.md "Adaptive
+    granularity". *)
+
+val enabled : unit -> bool
+(** [Grain.adaptive ()]. *)
+
+(** {2 Region hooks} — called by [Runtime]'s primitives and
+    [Block.size]; all return [None] (decide nothing, observe nothing)
+    when adaptation is off, overridden, unlabeled, or the input is
+    below {!min_n}. *)
+
+type obs
+(** An in-flight observation: which entry the enclosing region reports
+    to, the grain it ran at, and its start-of-region clock/telemetry. *)
+
+val leaf_decision : n:int -> workers:int -> (int * obs) option
+(** Grain for an auto-grained element loop over [n] iterations, plus
+    the observation token to close out with {!obs_end}. *)
+
+val block_size : workers:int -> int -> int option
+(** Block size for an [n]-element blocked op.  Decision only — the
+    observation arrives later from the [apply_blocks] region that runs
+    the blocks ({!region_enter}). *)
+
+val region_enter : n:int -> used:int -> workers:int -> obs option
+(** Observation-only hook for a region whose granularity ([used]
+    elements per leaf) was fixed before the region started (block
+    grids). *)
+
+val obs_end : obs -> Profile.region_stats option -> unit
+(** Feed one completed region to the controller.  Skipped (by the
+    caller) when the region failed or was cancelled. *)
+
+(** {2 Controller internals} — exposed so unit tests can drive the
+    control law with synthetic observations, no pool involved. *)
+
+type entry
+(** One key's adaptive state (all cells atomic; updates are tolerant of
+    the racy interleavings concurrent regions produce). *)
+
+val lookup : op:string -> n:int -> workers:int -> init:int -> entry option
+(** Find-or-create the entry for a key; [init] seeds the grain of a
+    fresh entry (clamped).  [None] on a full table. *)
+
+val pick : entry -> int
+(** The grain the next region of this key should run at: a scheduled
+    probe (claimed at most once) or the incumbent. *)
+
+val entry_grain : entry -> int
+(** The incumbent grain. *)
+
+val record :
+  entry ->
+  n:int ->
+  used:int ->
+  wall_ns:int ->
+  leaves:int ->
+  leaf_ns:int ->
+  steal_attempts:int ->
+  steals:int ->
+  unit
+(** Apply one observation: a region over [n] elements that ran [leaves]
+    leaves of [used] elements each in [wall_ns] of wall clock, with
+    [leaf_ns] summed leaf time and the given steal-telemetry deltas.
+    [used] within 25% of the incumbent is an incumbent observation
+    (EWMA + hysteresis votes); anything else is probe evidence. *)
+
+val size_bucket : int -> int
+(** floor(log2 n) — the size axis of the memo key (shared with
+    [Histogram]'s latency bucketing). *)
+
+(** {2 Knobs} *)
+
+val min_n : int
+(** Inputs below this (512) are never adapted. *)
+
+val min_grain : int
+
+val max_grain : int
+
+val set_hysteresis : int -> unit
+(** Consecutive out-of-window observations required before a
+    multiplicative move (default 3). *)
+
+val hysteresis : unit -> int
+
+val set_probe_period : int -> unit
+(** In-window observations between probe steps (default 16). *)
+
+val probe_period : unit -> int
+
+val set_leaf_window : lo_ns:int -> hi_ns:int -> unit
+(** Target mean-leaf-latency window (default 20us .. 1ms). *)
+
+(** {2 Observability} — [bds_probe grain] *)
+
+type info = {
+  i_op : string;
+  i_bucket : int;
+  i_workers : int;
+  i_grain : int;
+  i_obs : int;
+  i_adjustments : int;
+  i_probes : int;
+  i_last_leaf_ns : int;
+  i_last_leaves : int;
+}
+
+val dump : unit -> info list
+(** Every live entry, sorted by (op, bucket, workers). *)
+
+val reset : unit -> unit
+(** Drop all entries (test / bench-point isolation). *)

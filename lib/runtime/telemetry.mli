@@ -46,6 +46,12 @@ type snapshot = {
   s_jobs_shed : int;  (** submissions rejected at admission (overload) *)
   s_jobs_retries_shed : int;
       (** retries suppressed by an open circuit breaker *)
+  s_adapt_adjustments : int;
+      (** grain adjustments committed by the adaptive controller
+          ([Autotune]): hysteresis moves plus adopted probes *)
+  s_adapt_probes : int;
+      (** regions the controller ran at a non-incumbent grain to
+          re-explore the neighbourhood (probe steps) *)
 }
 
 (** Sum of every domain's counters (racy lower bound; monotone). *)
@@ -114,3 +120,11 @@ val incr_jobs_failed : unit -> unit
 val incr_jobs_retried : unit -> unit
 val incr_jobs_shed : unit -> unit
 val incr_jobs_retries_shed : unit -> unit
+
+(** Bumped by the adaptive-granularity controller ([Autotune]): one
+    [adapt_adjustments] per committed grain change (hysteresis move or
+    adopted probe), one [adapt_probes] per region observed at a
+    non-incumbent grain.  See docs/RUNTIME.md "Adaptive granularity". *)
+
+val incr_adapt_adjustments : unit -> unit
+val incr_adapt_probes : unit -> unit

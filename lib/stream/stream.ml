@@ -555,6 +555,33 @@ let sum_floats (s : float t) =
     Telemetry.incr_float_boxed_fallback ();
     profiled (fun () -> s.fold ~stop:s.length ( +. ) 0.0)
 
+(* Monomorphic int sum — the int lane's first rung.  Ints are unboxed
+   already; the win over the generic [reduce ( + ) 0] is skipping the
+   polymorphic step-closure call per element (the PR 7 design rule: a
+   fast path must be a monomorphic loop).  Same shape as [sum_floats]
+   minus the split accumulators (int adds carry no rounding and the
+   dependency chain is a single-cycle add). *)
+let sum_ints (s : int t) =
+  count_path s;
+  match s.ixfn with
+  | Some f ->
+    profiled (fun () ->
+        let stop = s.length in
+        let acc = ref 0 in
+        let i = ref 0 in
+        while !i < stop do
+          Cancel.poll ();
+          let hi = min stop (!i + poll_chunk) in
+          let j = ref !i in
+          while !j < hi do
+            acc := !acc + f !j;
+            incr j
+          done;
+          i := hi
+        done;
+        !acc)
+  | None -> profiled (fun () -> s.fold ~stop:s.length ( + ) 0)
+
 (* Fold of a non-empty stream seeded from its first element; lets parallel
    callers combine a seed exactly once across blocks.  The accumulator
    cell is allocated when the first element arrives (no ['a option]

@@ -127,6 +127,16 @@ val reduce : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a
     lane". *)
 val sum_floats : float t -> float
 
+(** Monomorphic int sum — the first rung of the int lane.  OCaml ints
+    are already unboxed, so unlike {!sum_floats} there is nothing to
+    unbox; what the fast path removes is the polymorphic closure
+    dispatch per element of the generic {!reduce}.  A stream carrying a
+    pure index function is summed by one native [int] loop (keeping the
+    64-element poll cadence); anything else falls back to the generic
+    fold.  See docs/STREAMS.md "Unboxed float lane" for the shared
+    design rule. *)
+val sum_ints : int t -> int
+
 (** Fold of a non-empty stream seeded from its first element (no option
     witness: the accumulator cell is allocated when the first element is
     pushed).  Raises [Invalid_argument] on an empty stream. *)

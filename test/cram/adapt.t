@@ -1,0 +1,34 @@
+Adaptive granularity: the online self-tuning controller that closes
+the profiler->Grain loop (docs/RUNTIME.md "Adaptive granularity").
+
+`bds_probe grain` force-enables adaptation, drives one labeled element
+loop ("probe-loop") and one blocked reduce ("reduce") repeatedly, and
+dumps the controller's decision table.  Decisions are memoized per
+(op label, log2 size bucket, worker count); both workloads run 60000
+elements (bucket 15) on 2 workers, so the key set is exact while the
+converged grains and observation counts depend on timing and are
+normalised to N:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe grain | sed -E 's/=[0-9]+/=N/g'
+  adaptive=on leaf_override=none
+  op=probe-loop bucket=N workers=N grain=N obs=N adj=N probes=N
+  op=reduce bucket=N workers=N grain=N obs=N adj=N probes=N
+
+An explicit BDS_GRAIN always wins over the controller: the element
+loop runs at the override and never reaches the controller, so its row
+disappears from the table (the blocked reduce keeps its row — block
+sizing is governed by the block policy, not BDS_GRAIN):
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_GRAIN=4096 bds_probe grain | sed -E 's/=[0-9]+/=N/g'
+  adaptive=on leaf_override=N
+  op=reduce bucket=N workers=N grain=N obs=N adj=N probes=N
+
+An explicit block policy likewise disables block-size decisions, and
+without a labeled op in scope the controller never engages at all — the
+plain liveness probe (unlabeled parallel_for_reduce) leaves the table
+empty even with BDS_ADAPT=1, while the adapt_* telemetry counters are
+present (and zero here) in the stats output:
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_ADAPT=1 bds_probe stats | grep adapt_
+    adapt_adjustments=0
+    adapt_probes=0

@@ -163,6 +163,48 @@ A chain whose fused path quietly falls back to materialized-like cost
     stream-overhead flatten-chain fused time_s (absolute) baseline   0.2400  current   0.2400    +0.0%  ok
   result: PASS
 
+A BENCH_9-shaped baseline additionally carries the grain-sweep section
+(ISSUE 9): the self-tuning controller's adaptive-vs-best-fixed ratio —
+computed by the harness within one run — is gated like any other
+within-run ratio.  Presence-based as before:
+
+  $ cat > baseline9.json <<'EOF'
+  > {
+  >   "snapshot": 9,
+  >   "results": {
+  >     "sweep-grain/bestcut-delay": {
+  >       "adaptive_vs_best_fixed": 0.95
+  >     }
+  >   }
+  > }
+  > EOF
+  $ cat > good9.csv <<'EOF'
+  > section,bench,version,procs,metric,value
+  > sweep-grain,bestcut-delay,adaptive,2,time_s,0.0105
+  > sweep-grain,bestcut-delay,adaptive,2,adaptive_vs_best_fixed,0.97
+  > EOF
+  $ bench_compare --baseline baseline9.json --csv good9.csv
+  bench_compare: baseline snapshot 9 (baseline9.json), tolerance 15%
+    sweep-grain adaptive-vs-best-fixed ratio   baseline   0.9500  current   0.9700    +2.1%  ok
+  result: PASS
+
+A controller that stops tracking the sweep optimum (stale decisions,
+probe livelock) drops the ratio and fails the gate:
+
+  $ sed 's/adaptive_vs_best_fixed,0.97/adaptive_vs_best_fixed,0.70/' good9.csv > slow9.csv
+  $ bench_compare --baseline baseline9.json --csv slow9.csv
+  bench_compare: baseline snapshot 9 (baseline9.json), tolerance 15%
+    sweep-grain adaptive-vs-best-fixed ratio   baseline   0.9500  current   0.7000   -26.3%  REGRESSION
+  result: FAIL
+  [1]
+
+A sweep-grain baseline without the adaptive CSV row is a usage error
+(the bench was run without --adaptive):
+
+  $ bench_compare --baseline baseline9.json --csv good7.csv
+  bench_compare: csv: no sweep-grain adaptive_vs_best_fixed row (run bench with --sweep-grain ... --adaptive)
+  [2]
+
 A baseline with no known gated section is a usage error, never a
 silent pass:
 
@@ -170,7 +212,7 @@ silent pass:
   > { "snapshot": 7, "results": { "misc": {} } }
   > EOF
   $ bench_compare --baseline nosection.json --csv good7.csv
-  bench_compare: baseline: results contains no known gated section (stream-overhead/chain3, stream-overhead/filter-chain, stream-overhead/flatten-chain or float-kernels)
+  bench_compare: baseline: results contains no known gated section (stream-overhead/chain3, stream-overhead/filter-chain, stream-overhead/flatten-chain, float-kernels or sweep-grain/bestcut-delay)
   [2]
 
 Malformed inputs are usage errors (exit 2), distinct from regressions:

@@ -36,9 +36,12 @@ consume:
 Forcing tiny blocks trips the Cilkview-style grain diagnostic (the
 warning names the knobs to raise).  Which ops cross the 25% threshold
 depends on per-op constant factors, so only the reduce warning — whose
-64-element integer-fold leaves are tiny beyond doubt — is pinned:
+64-element integer-fold leaves are tiny beyond doubt — is pinned.  One
+domain, because the fraction is time-weighted: with two domains on a
+loaded one-core host, a single multi-ms preempted chunk can outweigh
+thousands of sub-microsecond ones and suppress the warning:
 
-  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_BLOCK_SIZE=64 bds_probe report \
+  $ BDS_NUM_DOMAINS=1 BDS_CHAOS='' BDS_TRACE= BDS_BLOCK_SIZE=64 bds_probe report \
   >   | sed -E 's/[0-9]+\.?[0-9]*(ns|us|ms|s)\b/T/g; s/[0-9]+\.[0-9]+/F/g; s/[0-9]+/N/g' \
   >   | grep 'warning: reduce'
   warning: reduce: chunks too small: N% of chunk time < T (raise BDS_GRAIN / BDS_BLOCK_SIZE)

@@ -15,8 +15,9 @@ Since the skip-push filter and nested-push flatten landed, the
 filter/flatten pipelines are fused end to end as well.  filter-reduce:
 8 survivor-mask folds + 4 selected_region output blocks = 12 fused, 0
 trickle.  flatten-filter-reduce (iota |> flat_map |> filter |> reduce,
-16000 flattened elements): 16 mask folds over the of_segments region
-blocks + 8 selected_region output blocks = 24 fused, 0 trickle.  The
+16000 flattened elements): 8 outer-spine block iterations collecting
+the inner sequences + 16 mask folds over the of_segments region
+blocks + 8 selected_region output blocks = 32 fused, 0 trickle.  The
 shared-consumer scenario reduces one scan output twice: the second
 consumer forces the memo exactly once (shared_forces=1) instead of
 re-running the producer, and both reduces stay on the push path:
@@ -24,5 +25,5 @@ re-running the producer, and both reduces stay on the push path:
   $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= BDS_BLOCK_SIZE=1000 bds_probe streams
   map-reduce: sum=170666664000 fused_folds=16 trickle_fallbacks=0
   filter-reduce: sum=15996000 fused_folds=12 trickle_fallbacks=0
-  flatten-filter-reduce: sum=32000000 fused_folds=24 trickle_fallbacks=0
+  flatten-filter-reduce: sum=32000000 fused_folds=32 trickle_fallbacks=0
   shared-consumer: sum=85333332000 max=31996000 shared_forces=1 trickle_fallbacks=0

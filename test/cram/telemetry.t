@@ -33,6 +33,8 @@ the chaos_injections counter stays meaningful:
     jobs_retried=N
     jobs_shed=N
     jobs_retries_shed=N
+    adapt_adjustments=N
+    adapt_probes=N
 
 With BDS_TRACE set, the probe writes a Chrome-trace JSON at pool
 teardown; `bds_probe trace-check` validates it (the same shape Perfetto
@@ -69,11 +71,11 @@ The validator rejects files that are not Chrome traces:
 Unknown sub-commands fail with usage:
 
   $ bds_probe frobnicate
-  usage: bds_probe [stats [--json] | blocks | streams | floats | report [--json] [--large] | trace-check [--strict] FILE | trace-count FILE NAME | jobs]
+  usage: bds_probe [stats [--json] | blocks | streams | floats | report [--json] [--large] | trace-check [--strict] FILE | trace-count FILE NAME | jobs | grain]
   [2]
 
 `bds_probe stats --json` emits the same counters as one machine-readable
 object (the format CI artifacts and bench_compare share):
 
   $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe stats --json | sed -E 's/:[0-9]+/:N/g'
-  {"workers":N,"counters":{"tasks_spawned":N,"steal_attempts":N,"steals":N,"overflow_pushes":N,"chunks_executed":N,"cancel_polls":N,"cancel_trips":N,"chaos_injections":N,"fused_folds":N,"trickle_fallbacks":N,"float_fast_path":N,"float_boxed_fallback":N,"shared_forces":N,"jobs_admitted":N,"jobs_completed":N,"jobs_cancelled":N,"jobs_deadline_exceeded":N,"jobs_failed":N,"jobs_retried":N,"jobs_shed":N,"jobs_retries_shed":N}}
+  {"workers":N,"counters":{"tasks_spawned":N,"steal_attempts":N,"steals":N,"overflow_pushes":N,"chunks_executed":N,"cancel_polls":N,"cancel_trips":N,"chaos_injections":N,"fused_folds":N,"trickle_fallbacks":N,"float_fast_path":N,"float_boxed_fallback":N,"shared_forces":N,"jobs_admitted":N,"jobs_completed":N,"jobs_cancelled":N,"jobs_deadline_exceeded":N,"jobs_failed":N,"jobs_retried":N,"jobs_shed":N,"jobs_retries_shed":N,"adapt_adjustments":N,"adapt_probes":N}}
