@@ -1,6 +1,6 @@
 # Convenience targets (cf. the paper artifact's makefiles).
 
-.PHONY: all build test stress trace-smoke profile-smoke serve-smoke adapt-smoke bench bench-quick bench-compare examples clean
+.PHONY: all build test stress trace-smoke profile-smoke serve-smoke metrics-smoke adapt-smoke bench bench-quick bench-compare examples clean
 
 # Fixed-seed chaos specification used by `make stress` (see
 # docs/RUNTIME.md for the BDS_CHAOS format).  delay+starve perturb
@@ -25,7 +25,7 @@ test:
 # Chaos stress: the dedicated @stress alias, then the full suite under
 # fault injection across 1, 2 and 4 domains, after the trace, profiler,
 # job-service and adaptive-granularity round-trips.
-stress: trace-smoke profile-smoke serve-smoke adapt-smoke
+stress: trace-smoke profile-smoke serve-smoke metrics-smoke adapt-smoke
 	dune build @stress --force
 	for d in $(STRESS_DOMAINS); do \
 	  echo "== stress: BDS_NUM_DOMAINS=$$d BDS_CHAOS=$(CHAOS_SPEC) =="; \
@@ -56,6 +56,15 @@ profile-smoke:
 # jobs+raise chaos at 4 domains (see docs/SERVICE.md).
 serve-smoke:
 	scripts/serve_smoke
+
+# Observability round-trip: bds_serve with the flight recorder and a
+# periodic metrics file, a multi-tenant workload, a METRICS scrape
+# validated as OpenMetrics, a SIGQUIT flight dump consistent with the
+# final STATS, and BDS_ADAPT_TABLE persistence incl. the fail-fast
+# malformed-table path (see docs/OBSERVABILITY.md "Service
+# observability").
+metrics-smoke:
+	scripts/metrics_smoke
 
 # Adaptive-granularity round-trip: a short fixed-grain sweep plus one
 # run under the online self-tuning controller; the gate fails the

@@ -1119,7 +1119,80 @@ let service_bench cfg =
       (Histogram.total_count s);
     exit 1
   end;
-  print_endline "\nzero lost jobs: every admitted job reached exactly one terminal outcome"
+  print_endline "\nzero lost jobs: every admitted job reached exactly one terminal outcome";
+  (* Latency breakdown: where resolved jobs spent their wall time.
+     Components are measured where they happen (fair-queue wait at
+     dequeue, run around each attempt, backoff around each delay); the
+     residue is scheduling overhead (condvar wakeups, monitor cadence).
+     The accounting must cohere: components can never exceed wall by
+     more than measurement noise, and without chaos the three
+     components plus a sane overhead must explain most of the wall —
+     a breakdown that doesn't sum is worse than none. *)
+  let bk = Service.latency_breakdown svc in
+  let sec ns = float_of_int ns /. 1e9 in
+  let wall_s = sec bk.Service.bk_wall_ns in
+  let accounted_ns =
+    bk.Service.bk_queue_ns + bk.Service.bk_run_ns + bk.Service.bk_backoff_ns
+  in
+  let frac = if wall_s > 0.0 then sec accounted_ns /. wall_s else 1.0 in
+  let pct ns =
+    if bk.Service.bk_wall_ns > 0 then
+      100.0 *. float_of_int ns /. float_of_int bk.Service.bk_wall_ns
+    else 0.0
+  in
+  Tables.print ~title:"Latency breakdown (cumulative over resolved jobs)"
+    ~headers:[ "component"; "seconds"; "% of wall" ]
+    ~rows:
+      [
+        [ "wall (submit->outcome)"; Printf.sprintf "%.3f" wall_s; "100.0" ];
+        [
+          "queue wait";
+          Printf.sprintf "%.3f" (sec bk.Service.bk_queue_ns);
+          Printf.sprintf "%.1f" (pct bk.Service.bk_queue_ns);
+        ];
+        [
+          "run (attempts)";
+          Printf.sprintf "%.3f" (sec bk.Service.bk_run_ns);
+          Printf.sprintf "%.1f" (pct bk.Service.bk_run_ns);
+        ];
+        [
+          "backoff/chaos wait";
+          Printf.sprintf "%.3f" (sec bk.Service.bk_backoff_ns);
+          Printf.sprintf "%.1f" (pct bk.Service.bk_backoff_ns);
+        ];
+        [
+          "overhead (residue)";
+          Printf.sprintf "%.3f" (sec (bk.Service.bk_wall_ns - accounted_ns));
+          Printf.sprintf "%.1f" (pct (bk.Service.bk_wall_ns - accounted_ns));
+        ];
+      ];
+  record ~section:"service" ~bench:"loadgen" ~version:"service"
+    ~procs:cfg.procs ~metric:"breakdown_accounted_frac" frac;
+  let chaos_off = Bds_runtime.Chaos.describe () = "chaos: off" in
+  (* 5% tolerance for clock reads straddling the component edges. *)
+  if frac > 1.05 then begin
+    Printf.eprintf
+      "FAIL: breakdown components sum to %.1f%% of wall (> 105%%)\n"
+      (100.0 *. frac);
+    exit 1
+  end;
+  if chaos_off && bk.Service.bk_jobs > 0 && frac < 0.5 then begin
+    Printf.eprintf
+      "FAIL: breakdown accounts for only %.1f%% of wall without chaos \
+       (want >= 50%%)\n"
+      (100.0 *. frac);
+    exit 1
+  end;
+  Printf.printf "breakdown coheres: %.1f%% of wall accounted\n" (100.0 *. frac);
+  (* Scrape and validate the OpenMetrics exposition the service built
+     up during the run — the same body bds_serve streams for METRICS. *)
+  Service.collect_metrics svc;
+  let exposition = Bds_runtime.Metrics.render () in
+  (match Bds_runtime.Metrics.validate_string exposition with
+  | Ok samples -> Printf.printf "metrics exposition valid: %d samples\n" samples
+  | Error e ->
+    Printf.eprintf "FAIL: metrics exposition invalid: %s\n" e;
+    exit 1)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test per paper table                  *)

@@ -13,14 +13,20 @@
      bds_probe report [--json] [--large] — run a map|scan|reduce pipeline
                              under the profiler and print the per-op
                              work/span report
-     bds_probe trace-check [--strict] F — validate a BDS_TRACE JSON file
+     bds_probe trace-check [--strict] F — validate a BDS_TRACE JSON file,
+                             including job flow-event connectivity
                              (--strict: non-zero exit on dropped events)
      bds_probe trace-count F NAME — count NAME events in a trace file
      bds_probe jobs        — run a fixed job-service scenario and dump
                              the per-outcome jobs_* telemetry counters
      bds_probe grain       — force-enable adaptive granularity, run a
                              fixed leaf-loop + blocked-reduce workload
-                             and dump the controller's decision table *)
+                             and dump the controller's decision table
+     bds_probe metrics     — run a fixed job-service scenario and print
+                             its validated OpenMetrics exposition
+     bds_probe metrics-check F — validate an OpenMetrics exposition file
+     bds_probe flight-check F [MIN] — validate a flight-recorder dump
+                             (>= MIN snapshots, default 2) *)
 
 module Runtime = Bds_runtime.Runtime
 module Grain = Bds_runtime.Grain
@@ -45,9 +51,12 @@ let probe ~stats ~json =
     let counters = Telemetry.to_assoc (Telemetry.diff ~before ~after) in
     if json then begin
       (* Same shape family as `report --json`: one top-level object,
-         workers first, so CI artifacts and bench_compare share one
-         machine-readable format. *)
-      Printf.printf "{\"workers\":%d,\"counters\":{%s}}\n"
+         versioned like the STATS wire payload, workers next, so CI
+         artifacts and bench_compare share one machine-readable
+         format. *)
+      Printf.printf
+        "{\"schema_version\":2,\"uptime_ns\":%d,\"workers\":%d,\"counters\":{%s}}\n"
+        (Telemetry.uptime_ns ())
         (Runtime.num_workers ())
         (String.concat ","
            (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) counters))
@@ -191,22 +200,65 @@ let report ~json ~large =
 
 let trace_check ~strict file =
   match Trace.validate_file file with
-  | Ok n -> (
-    Printf.printf "trace ok: %d events\n" n;
-    match Trace.dropped_of_file file with
-    | Ok 0 -> 0
-    | Ok d ->
-      Printf.printf
-        "warning: %d event%s dropped (ring wrap-around); trace is incomplete\n"
-        d
-        (if d = 1 then "" else "s");
-      if strict then 1 else 0
-    | Error e ->
-      Printf.eprintf "trace invalid: %s\n" e;
-      1)
   | Error e ->
     Printf.eprintf "trace invalid: %s\n" e;
     1
+  | Ok n -> (
+    Printf.printf "trace ok: %d events\n" n;
+    match Trace.dropped_of_file file with
+    | Error e ->
+      Printf.eprintf "trace invalid: %s\n" e;
+      1
+    | Ok d ->
+      let rc_dropped =
+        if d = 0 then 0
+        else begin
+          Printf.printf
+            "warning: %d event%s dropped (ring wrap-around); trace is \
+             incomplete\n"
+            d
+            (if d = 1 then "" else "s");
+          if strict then 1 else 0
+        end
+      in
+      (* Flow connectivity: every flow id must have both its start
+         ('s', emitted at admission) and its end ('f', at the terminal
+         outcome).  A wrapped ring legitimately loses starts, so a
+         disconnected flow is only an error when nothing was dropped.
+         Traces without flow events (pure kernel traces) stay silent
+         here, keeping their pinned outputs unchanged. *)
+      let rc_flows =
+        match Trace.flows_of_file file with
+        | Error e ->
+          Printf.eprintf "trace invalid: %s\n" e;
+          1
+        | Ok (0, _) -> 0
+        | Ok (flows, []) ->
+          Printf.printf "flows ok: %d connected\n" flows;
+          0
+        | Ok (flows, disconnected) ->
+          let preview =
+            List.filteri (fun i _ -> i < 5) disconnected
+            |> List.map string_of_int |> String.concat ","
+          in
+          if d = 0 then begin
+            Printf.eprintf
+              "trace invalid: %d of %d flows disconnected (ids %s%s)\n"
+              (List.length disconnected)
+              flows preview
+              (if List.length disconnected > 5 then ",..." else "");
+            1
+          end
+          else begin
+            Printf.printf
+              "warning: %d of %d flows disconnected (expected with \
+               dropped events)\n"
+              (List.length disconnected)
+              flows;
+            0
+          end
+      in
+      if rc_dropped > 0 || rc_flows > 0 then 1 else 0)
 
 (* Drive one deterministic scenario through the job service and print
    the jobs_* counters: a single runner and capacity 2, so a busy job
@@ -298,6 +350,66 @@ let grain_cmd () =
     (Autotune.dump ());
   Runtime.shutdown ()
 
+(* Run a fixed multi-tenant scenario through the job service, then
+   print the full OpenMetrics exposition — validated first, so the
+   command doubles as an end-to-end check of the renderer.  The counter
+   samples are deterministic (two tenants, fixed kinds/outcomes); the
+   histogram values are not, so the cram test greps structure and
+   counters rather than pinning the whole body. *)
+let metrics_cmd () =
+  let module Service = Bds_service.Service in
+  let module Job = Bds_service.Job in
+  let module Metrics = Bds_runtime.Metrics in
+  let config =
+    { Service.default_config with Service.capacity = 8; runners = 2 }
+  in
+  let svc = Service.create ~config () in
+  let wait = function
+    | Ok ticket -> ignore (Service.wait ticket)
+    | Error _ -> ()
+  in
+  wait
+    (Service.submit svc
+       (Job.request ~tenant:"alpha" ~params:[ ("n", "10000") ] "sum"));
+  wait (Service.submit svc (Job.request ~tenant:"beta" "echo"));
+  wait
+    (Service.submit svc
+       (Job.request ~tenant:"alpha" ~params:[ ("ms", "500") ] ~deadline_ms:20
+          "busy"));
+  Service.shutdown svc;
+  Service.collect_metrics svc;
+  let body = Metrics.render () in
+  (match Metrics.validate_string body with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "metrics invalid: %s\n" e;
+    exit 1);
+  print_string body;
+  Runtime.shutdown ()
+
+let metrics_check file =
+  match Bds_runtime.Metrics.validate_file file with
+  | Ok n ->
+    Printf.printf "metrics ok: %d samples\n" n;
+    0
+  | Error e ->
+    Printf.eprintf "metrics invalid: %s\n" e;
+    1
+
+let flight_check file min_snaps =
+  match Bds_runtime.Flight.validate_file file with
+  | Ok n when n >= min_snaps ->
+    Printf.printf "flight ok: %d snapshots\n" n;
+    0
+  | Ok n ->
+    Printf.eprintf "flight invalid: only %d snapshot%s (want >= %d)\n" n
+      (if n = 1 then "" else "s")
+      min_snaps;
+    1
+  | Error e ->
+    Printf.eprintf "flight invalid: %s\n" e;
+    1
+
 let trace_count file name =
   match Trace.count_events_file file ~name with
   | Ok n ->
@@ -324,9 +436,19 @@ let () =
   | [ "trace-count"; file; name ] when flags = [] -> exit (trace_count file name)
   | [ "jobs" ] when flags = [] -> jobs ()
   | [ "grain" ] when flags = [] -> grain_cmd ()
+  | [ "metrics" ] when flags = [] -> metrics_cmd ()
+  | [ "metrics-check"; file ] when flags = [] -> exit (metrics_check file)
+  | [ "flight-check"; file ] when flags = [] -> exit (flight_check file 2)
+  | [ "flight-check"; file; m ] when flags = [] -> (
+    match int_of_string_opt m with
+    | Some min_snaps -> exit (flight_check file min_snaps)
+    | None ->
+      prerr_endline "flight-check: MIN must be an integer";
+      exit 2)
   | _ ->
     prerr_endline
       "usage: bds_probe [stats [--json] | blocks | streams | floats | report \
        [--json] [--large] | trace-check [--strict] FILE | trace-count FILE \
-       NAME | jobs | grain]";
+       NAME | jobs | grain | metrics | metrics-check FILE | flight-check \
+       FILE [MIN]]";
     exit 2

@@ -18,14 +18,27 @@ module Service = Bds_service.Service
 let usage () =
   prerr_endline
     "usage: bds_serve --socket PATH [--capacity N] [--runners N] \
-     [--max-retries N] [--client REQUEST...]";
+     [--max-retries N] [--metrics-file PATH] [--flight-file PATH] \
+     [--flight-interval SECONDS] [--client REQUEST...]";
   exit 2
+
+type opts = {
+  o_capacity : int option;
+  o_runners : int option;
+  o_max_retries : int option;
+  o_metrics_file : string option;
+  o_flight_file : string option;
+  o_flight_interval : float option;
+}
 
 let parse_args () =
   let socket = ref None in
   let capacity = ref None in
   let runners = ref None in
   let max_retries = ref None in
+  let metrics_file = ref None in
+  let flight_file = ref None in
+  let flight_interval = ref None in
   let client = ref None in
   let rec go = function
     | [] -> ()
@@ -44,6 +57,16 @@ let parse_args () =
       max_retries := int_of_string_opt v;
       if !max_retries = None then usage ();
       go rest
+    | "--metrics-file" :: v :: rest ->
+      metrics_file := Some v;
+      go rest
+    | "--flight-file" :: v :: rest ->
+      flight_file := Some v;
+      go rest
+    | "--flight-interval" :: v :: rest ->
+      flight_interval := float_of_string_opt v;
+      if !flight_interval = None then usage ();
+      go rest
     | "--client" :: rest ->
       (* Everything after --client is a request line. *)
       if rest = [] then usage ();
@@ -53,7 +76,17 @@ let parse_args () =
   go (List.tl (Array.to_list Sys.argv));
   match !socket with
   | None -> usage ()
-  | Some path -> (path, !capacity, !runners, !max_retries, !client)
+  | Some path ->
+    ( path,
+      {
+        o_capacity = !capacity;
+        o_runners = !runners;
+        o_max_retries = !max_retries;
+        o_metrics_file = !metrics_file;
+        o_flight_file = !flight_file;
+        o_flight_interval = !flight_interval;
+      },
+      !client )
 
 let run_client path requests =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -71,7 +104,23 @@ let run_client path requests =
       output_char oc '\n';
       flush oc;
       match input_line ic with
-      | line -> print_endline line
+      | line ->
+        print_endline line;
+        (* METRICS is the one multi-line response: the exposition
+           follows, terminated by its "# EOF" line. *)
+        if line = "METRICS" then begin
+          let rec body () =
+            match input_line ic with
+            | "# EOF" -> print_endline "# EOF"
+            | l ->
+              print_endline l;
+              body ()
+            | exception End_of_file ->
+              prerr_endline "bds_serve: metrics exposition truncated";
+              ok := false
+          in
+          body ()
+        end
       | exception End_of_file ->
         prerr_endline "bds_serve: connection closed by server";
         ok := false)
@@ -79,19 +128,29 @@ let run_client path requests =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   exit (if !ok then 0 else 1)
 
-let run_server path capacity runners max_retries =
+let run_server path opts =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Info);
   let d = Service.default_config in
   let config =
     {
       d with
-      Service.capacity = Option.value capacity ~default:d.Service.capacity;
-      runners = Option.value runners ~default:d.Service.runners;
-      max_retries = Option.value max_retries ~default:d.Service.max_retries;
+      Service.capacity = Option.value opts.o_capacity ~default:d.Service.capacity;
+      runners = Option.value opts.o_runners ~default:d.Service.runners;
+      max_retries =
+        Option.value opts.o_max_retries ~default:d.Service.max_retries;
     }
   in
-  let server = Server.create ~config ~path () in
+  (* The flight recorder is always on; without --flight-file its dump
+     lands next to the socket so a SIGQUIT is never a no-op. *)
+  let flight_path =
+    Option.value opts.o_flight_file ~default:(path ^ ".flight.json")
+  in
+  let server =
+    Server.create ~config ~flight_path
+      ?flight_interval_s:opts.o_flight_interval
+      ?metrics_path:opts.o_metrics_file ~path ()
+  in
   (* Graceful shutdown on SIGINT/SIGTERM: the handler only flips a flag
      and closes the listener (Server.stop is signal-safe); the accept
      loop's exit path resolves outstanding jobs and flushes trace and
@@ -99,13 +158,17 @@ let run_server path capacity runners max_retries =
   let stop _ = Server.stop server in
   ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
   ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
+  (* SIGQUIT dumps the flight recorder without stopping the server: the
+     handler only flips an atomic; the sampler thread does the I/O. *)
+  let quit _ = Server.request_flight_dump server in
+  ignore (Sys.signal Sys.sigquit (Sys.Signal_handle quit));
   (* A client that disconnects mid-response must not kill the server. *)
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   Server.serve server;
   Bds_runtime.Runtime.shutdown ()
 
 let () =
-  let path, capacity, runners, max_retries, client = parse_args () in
+  let path, opts, client = parse_args () in
   match client with
   | Some requests -> run_client path requests
-  | None -> run_server path capacity runners max_retries
+  | None -> run_server path opts

@@ -363,3 +363,115 @@ let dump () =
 
 (* Test isolation only: racy against concurrent inserts by design. *)
 let reset () = Array.iter (fun slot -> Atomic.set slot None) slots
+
+let table_stats () =
+  List.fold_left
+    (fun (n, obs, adj) i -> (n + 1, obs + i.i_obs, adj + i.i_adjustments))
+    (0, 0, 0) (dump ())
+
+(* ------------------------------------------------------------------ *)
+(* Persistence (BDS_ADAPT_TABLE)
+
+   A service restart should not relearn every grain from the defaults:
+   with [BDS_ADAPT_TABLE=<path>] set, the decision table is loaded at
+   module initialisation and atomically rewritten (tmp + rename) at pool
+   teardown and process exit.  The format is one versioned header plus
+   one line per entry; a file that does not parse fails fast naming the
+   variable — a half-loaded table would silently pin wrong grains. *)
+
+let env_var = "BDS_ADAPT_TABLE"
+
+let magic = "bds-adapt-table v1"
+
+(* Find-or-create keyed on an explicit bucket (load-time twin of
+   [lookup], which buckets from [n]); restores the bookkeeping counts so
+   `bds_probe grain` and the flight recorder show the inherited state. *)
+let insert ~op ~bucket ~workers ~grain ~obs ~adjustments ~probes =
+  let restore e =
+    Atomic.set e.grain (clamp_grain ~bucket grain);
+    Atomic.set e.obs_count obs;
+    Atomic.set e.adjustments adjustments;
+    Atomic.set e.probes probes
+  in
+  let rec go i tries =
+    if tries >= capacity then ()
+    else
+      match Atomic.get slots.(i) with
+      | Some e ->
+        if e.e_op = op && e.e_bucket = bucket && e.e_workers = workers then
+          restore e
+        else go ((i + 1) land (capacity - 1)) (tries + 1)
+      | None ->
+        let e = fresh_entry ~op ~bucket ~workers ~init:grain in
+        restore e;
+        if Atomic.compare_and_set slots.(i) None (Some e) then ()
+        else go i tries
+  in
+  go (slot_of ~op ~bucket ~workers) 0
+
+let save_file path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (magic ^ "\n");
+  List.iter
+    (fun i ->
+      Printf.fprintf oc "%S %d %d %d %d %d %d\n" i.i_op i.i_bucket i.i_workers
+        i.i_grain i.i_obs i.i_adjustments i.i_probes)
+    (dump ());
+  close_out oc;
+  Sys.rename tmp path
+
+let load_file path =
+  let fail_at lineno msg =
+    failwith
+      (Printf.sprintf "%s: %s: malformed decision table (%s at line %d)"
+         env_var path msg lineno)
+  in
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  (match input_line ic with
+  | exception End_of_file -> fail_at 1 "empty file"
+  | l when l = magic -> ()
+  | _ -> fail_at 1 "bad header");
+  let n = ref 0 in
+  let lineno = ref 1 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if line <> "" then
+         match
+           Scanf.sscanf line "%S %d %d %d %d %d %d%!"
+             (fun op bucket workers grain obs adj probes ->
+               (op, bucket, workers, grain, obs, adj, probes))
+         with
+         | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+           fail_at !lineno "unparsable entry"
+         | op, bucket, workers, grain, obs, adj, probes ->
+           if bucket < 0 || workers < 1 || grain < 1 || obs < 0 || adj < 0
+              || probes < 0
+           then fail_at !lineno "out-of-range field";
+           insert ~op ~bucket ~workers ~grain ~obs ~adjustments:adj ~probes;
+           incr n
+     done
+   with End_of_file -> ());
+  !n
+
+let persist () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some path -> (
+    try save_file path
+    with Sys_error e ->
+      Printf.eprintf "warning: %s: could not persist decision table: %s\n%!"
+        env_var e)
+
+(* Load eagerly at startup (fail fast on a malformed file — before any
+   region consults the table) and rewrite at exit; [Pool.teardown] also
+   calls [persist] so servers that recycle pools checkpoint each time. *)
+let () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some path ->
+    if Sys.file_exists path then ignore (load_file path : int);
+    at_exit persist

@@ -133,3 +133,29 @@ val dump : unit -> info list
 
 val reset : unit -> unit
 (** Drop all entries (test / bench-point isolation). *)
+
+val table_stats : unit -> int * int * int
+(** [(entries, total observations, total adjustments)] — the summary
+    the flight recorder snapshots. *)
+
+(** {2 Persistence} — [BDS_ADAPT_TABLE=<path>]
+
+    When the variable is set (non-empty), the decision table is loaded
+    from [path] at module initialisation — failing fast, with the
+    variable named, if the file exists but does not parse — and
+    atomically rewritten (tmp + rename) at pool teardown and process
+    exit, so a restarted service resumes from its learned grains
+    instead of the static defaults. *)
+
+val save_file : string -> unit
+(** Atomically write the current table to a file. *)
+
+val load_file : string -> int
+(** Merge a saved table into the live one (existing keys are
+    overwritten); returns the number of entries read.  Raises [Failure]
+    naming [BDS_ADAPT_TABLE] on a malformed file. *)
+
+val persist : unit -> unit
+(** {!save_file} to [$BDS_ADAPT_TABLE] if set; a no-op otherwise
+    (write failures warn on stderr rather than raise — called from
+    teardown/exit paths). *)

@@ -1,0 +1,83 @@
+(** Labeled service metrics with OpenMetrics text exposition.
+
+    A process-global registry of metric families — {!kind} [Counter],
+    [Gauge] or [Histogram] — each holding one series per distinct label
+    set (e.g. [tenant], job [kind], [outcome]).  The registry layers
+    *over* {!Telemetry}: the padded per-domain counters stay the hot-path
+    mechanism, and {!render} bridges them into the exposition as
+    unlabeled [bds_runtime_*_total] series, while the families here
+    carry the labeled, service-cadence measurements (per-tenant queue
+    depth, per-outcome latency) that aggregate counters cannot.
+
+    Updates take one global mutex — deliberately: families are bumped at
+    job-lifecycle cadence (admission, completion), never inside kernel
+    loops, so contention is irrelevant and the implementation stays
+    obviously correct.  Do not put a [Metrics] update on a per-element
+    path; that is what {!Telemetry} is for.
+
+    Histograms reuse {!Histogram}'s log2-nanosecond bucketing and render
+    as cumulative OpenMetrics [_bucket{le="<seconds>"}] series plus
+    [_sum]/[_count].
+
+    Cardinality is bounded: a family holds at most {!max_series} label
+    sets; further label sets are dropped (counted by the always-present
+    [bds_metrics_dropped_series_total] series) rather than growing
+    without bound under adversarial tenant names.
+
+    The exposition produced by {!render} is OpenMetrics-flavoured
+    Prometheus text format, terminated by the required [# EOF] line —
+    which doubles as the end-of-response marker for the [METRICS]
+    protocol verb.  {!validate_string} is a dependency-free structural
+    checker for that format (grammar, label ordering and escaping,
+    histogram bucket monotonicity) backing [bds_probe metrics-check]
+    and the unit tests. *)
+
+type kind = Counter | Gauge | Histogram
+
+type family
+
+val max_series : int
+(** Per-family label-set cap (1024). *)
+
+val family : ?help:string -> kind:kind -> string -> family
+(** [family ~kind name] registers (or retrieves) the family [name].
+    Idempotent per name; raises [Invalid_argument] if [name] is not a
+    valid metric name ([\[a-zA-Z_\]\[a-zA-Z0-9_\]*]) or if [name] is
+    already registered with a different [kind].  Counter family names
+    must not already end in [_total] (the suffix is appended when
+    rendering). *)
+
+val incr : ?by:int -> family -> labels:(string * string) list -> unit
+(** Add [by] (default 1, must be >= 0) to a counter series.  [labels]
+    is a [(name, value)] list in any order; label names must be valid
+    and distinct, and [le] is reserved.  Raises [Invalid_argument] on a
+    non-counter family or malformed labels. *)
+
+val set : family -> labels:(string * string) list -> float -> unit
+(** Set a gauge series to a value.  Raises on a non-gauge family. *)
+
+val observe_ns : family -> labels:(string * string) list -> int -> unit
+(** Record one duration (nanoseconds, clamped at 0) into a histogram
+    series.  Rendered with [le] bounds in {e seconds}.  Raises on a
+    non-histogram family. *)
+
+val render : unit -> string
+(** The full exposition: every registered family (sorted by name, series
+    sorted by label set), the {!Telemetry} counter bridge
+    ([bds_runtime_<counter>_total]), [bds_uptime_seconds], the
+    cardinality-drop counter, and the terminating [# EOF] line. *)
+
+val validate_string : string -> (int, string) result
+(** Structural check of an exposition: line grammar, every sample
+    declared by a preceding [# TYPE] with the suffix its kind demands,
+    label names valid / sorted / unrepeated, label values correctly
+    escaped, histogram buckets cumulative and [le]-increasing ending at
+    [+Inf] with [_count] consistent, and a final [# EOF].  Returns the
+    number of sample lines. *)
+
+val validate_file : string -> (int, string) result
+(** {!validate_string} on a file's contents. *)
+
+val reset : unit -> unit
+(** Drop every series' values (families stay registered) — test
+    isolation, mirroring [Trace.reset]. *)

@@ -89,6 +89,17 @@ let registry_mutex = Mutex.create ()
 
 let registry : counters list ref = ref []
 
+(* Process start time, captured at module initialisation (the runtime
+   library links into every entry point, so this is as early as any
+   observer can ask).  [uptime_ns] is monotone as long as the wall clock
+   is — OCaml's stdlib exposes no monotonic clock without extra
+   libraries, and for rate computation over scrape intervals the
+   distinction is noise. *)
+let start_time = Unix.gettimeofday ()
+
+let uptime_ns () =
+  int_of_float ((Unix.gettimeofday () -. start_time) *. 1e9)
+
 let fresh_counters () =
   {
     tasks_spawned = 0;

@@ -74,6 +74,12 @@ val to_assoc : snapshot -> (string * int) list
 (** One-line rendering of {!to_assoc}. *)
 val pp : snapshot -> string
 
+(** Nanoseconds since the process's runtime was initialised.  Monotone
+    non-decreasing across calls (modulo wall-clock steps; see the
+    implementation note), never reset: scrapers use it to compute rates
+    between two [STATS]/[METRICS] scrapes without wall-clock skew. *)
+val uptime_ns : unit -> int
+
 (** {2 Hook points} — called by the scheduler; also usable by tests. *)
 
 val incr_tasks_spawned : unit -> unit

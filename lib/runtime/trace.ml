@@ -30,6 +30,9 @@ type ring = {
   dur : float array; (* µs *)
   lo : int array; (* iteration range args; min_int = absent *)
   hi : int array;
+  ph : Bytes.t; (* event phase: 'X' complete, 's'/'t'/'f' flow *)
+  fid : int array; (* flow id; min_int = absent *)
+  extra : string array; (* pre-rendered JSON args fragment; "" = absent *)
   mutable count : int; (* total events ever recorded on this ring *)
 }
 
@@ -63,6 +66,9 @@ let make_ring dom =
     dur = Array.make capacity 0.0;
     lo = Array.make capacity min_int;
     hi = Array.make capacity min_int;
+    ph = Bytes.make capacity 'X';
+    fid = Array.make capacity min_int;
+    extra = Array.make capacity "";
     count = 0;
   }
 
@@ -83,7 +89,7 @@ let local_ring () =
     cell := Some r;
     r
 
-let record name cat t0 t1 lo hi =
+let record_full name cat ph fid extra t0 t1 lo hi =
   let r = local_ring () in
   let i = r.count land (capacity - 1) in
   r.names.(i) <- name;
@@ -92,7 +98,23 @@ let record name cat t0 t1 lo hi =
   r.dur.(i) <- t1 -. t0;
   r.lo.(i) <- lo;
   r.hi.(i) <- hi;
+  Bytes.set r.ph i ph;
+  r.fid.(i) <- fid;
+  r.extra.(i) <- extra;
   r.count <- r.count + 1
+
+let record name cat t0 t1 lo hi = record_full name cat 'X' min_int "" t0 t1 lo hi
+
+let emit_span ?(cat = "scope") ?(lo = min_int) ?(hi = min_int)
+    ?(args_json = "") name ~t0_us ~t1_us =
+  if enabled () then record_full name cat 'X' min_int args_json t0_us t1_us lo hi
+
+let emit_flow step ~id ?(cat = "job") ?(args_json = "") name =
+  if enabled () then begin
+    let ph = match step with `Start -> 's' | `Step -> 't' | `End -> 'f' in
+    let t = now_us () in
+    record_full name cat ph id args_json t t min_int min_int
+  end
 
 let with_span ?(cat = "scope") ?(lo = min_int) ?(hi = min_int) name f =
   if not (enabled ()) then f ()
@@ -136,6 +158,8 @@ let escape s =
     s;
   Buffer.contents b
 
+let escape_json = escape
+
 let write_events oc =
   Mutex.lock registry_mutex;
   let rings = !registry in
@@ -172,11 +196,31 @@ let write_events oc =
       for i = 0 to stored - 1 do
         incr total;
         let args =
-          if r.lo.(i) = min_int then ""
-          else Printf.sprintf {|,"args":{"lo":%d,"hi":%d}|} r.lo.(i) r.hi.(i)
+          (* [lo,hi) range and any pre-rendered fragment merge into one
+             "args" object; both are optional. *)
+          let range =
+            if r.lo.(i) = min_int then ""
+            else Printf.sprintf {|"lo":%d,"hi":%d|} r.lo.(i) r.hi.(i)
+          in
+          let fields =
+            match (range, r.extra.(i)) with
+            | "", "" -> ""
+            | f, "" | "", f -> f
+            | a, b -> a ^ "," ^ b
+          in
+          if fields = "" then "" else Printf.sprintf {|,"args":{%s}|} fields
         in
-        emit {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d%s}|}
-          (escape r.names.(i)) (escape r.cats.(i)) r.ts.(i) r.dur.(i) pid r.dom args
+        match Bytes.get r.ph i with
+        | 'X' ->
+          emit {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d%s}|}
+            (escape r.names.(i)) (escape r.cats.(i)) r.ts.(i) r.dur.(i) pid r.dom args
+        | ph ->
+          (* Flow events: 's' start / 't' step / 'f' end, correlated by
+             "id".  The end event binds to the enclosing slice ("bp":"e")
+             so Perfetto draws the arrow into the terminal span. *)
+          let bp = if ph = 'f' then {|,"bp":"e"|} else "" in
+          emit {|{"name":"%s","cat":"%s","ph":"%c","id":%d,"ts":%.3f,"pid":%d,"tid":%d%s%s}|}
+            (escape r.names.(i)) (escape r.cats.(i)) ph r.fid.(i) r.ts.(i) pid r.dom bp args
       done)
     rings;
   (!total, !total_dropped)
@@ -281,6 +325,49 @@ let dropped_of_file path =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error e -> Error e
   | s -> dropped_of_string s
+
+(* Flow connectivity: group the 's'/'t'/'f' events by "id" and report
+   which flows are missing their start or end anchor.  A connected flow
+   is one with at least one 's' and at least one 'f'; 't' steps are
+   optional.  Backs `bds_probe trace-check`'s job-flow check and the
+   service round-trip test. *)
+let flows_of_string s =
+  match Tiny_json.parse s with
+  | exception Tiny_json.Bad e -> Error ("not valid JSON: " ^ e)
+  | Tiny_json.Obj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Tiny_json.Arr events) ->
+      let tbl : (int, bool * bool) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Tiny_json.Obj fields -> (
+            match
+              (List.assoc_opt "ph" fields, List.assoc_opt "id" fields)
+            with
+            | Some (Tiny_json.Str ph), Some (Tiny_json.Num id)
+              when ph = "s" || ph = "t" || ph = "f" ->
+              let id = int_of_float id in
+              let s0, f0 =
+                Option.value (Hashtbl.find_opt tbl id) ~default:(false, false)
+              in
+              Hashtbl.replace tbl id (s0 || ph = "s", f0 || ph = "f")
+            | _ -> ())
+          | _ -> ())
+        events;
+      let disconnected =
+        Hashtbl.fold (fun id (s, f) acc -> if s && f then acc else id :: acc) tbl []
+        |> List.sort compare
+      in
+      Ok (Hashtbl.length tbl, disconnected)
+    | Some _ -> Error "\"traceEvents\" is not an array"
+    | None -> Error "missing \"traceEvents\" key")
+  | _ -> Error "top level is not an object"
+
+let flows_of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | s -> flows_of_string s
 
 (* ------------------------------------------------------------------ *)
 (* Test backdoors *)

@@ -22,6 +22,33 @@ val enabled : unit -> bool
     [~cat:"chunk"] with [lo]/[hi] for iteration chunks. *)
 val with_span : ?cat:string -> ?lo:int -> ?hi:int -> string -> (unit -> 'a) -> 'a
 
+(** Microseconds since the recorder's epoch — the timestamp base every
+    recorded event uses.  For measuring a span whose start is only known
+    after the fact (e.g. queue wait measured at dequeue), capture
+    [now_us] bounds and record with {!emit_span}. *)
+val now_us : unit -> float
+
+(** [emit_span ?cat ?lo ?hi ?args_json name ~t0_us ~t1_us] records a
+    complete span with explicit timestamps (from {!now_us}).
+    [args_json], when non-empty, is a pre-rendered JSON fragment (e.g.
+    [{|"tenant":"a"|}]) spliced into the event's ["args"] object — use
+    {!escape_json} for the values.  No-op when tracing is disabled. *)
+val emit_span :
+  ?cat:string -> ?lo:int -> ?hi:int -> ?args_json:string -> string ->
+  t0_us:float -> t1_us:float -> unit
+
+(** [emit_flow step ~id name] records a Chrome-trace flow event —
+    [`Start]/[`Step]/[`End] map to phases ["s"]/["t"]/["f"] — linking
+    the spans of one logical operation (e.g. a job's admit → attempts →
+    outcome) across threads under the correlation [id].  [cat] defaults
+    to ["job"].  No-op when tracing is disabled. *)
+val emit_flow :
+  [ `Start | `Step | `End ] -> id:int -> ?cat:string -> ?args_json:string ->
+  string -> unit
+
+(** JSON string-escape (for building [args_json] fragments safely). *)
+val escape_json : string -> string
+
 (** Redirect (or, with [None], disable) trace output at runtime.
     Overrides the [BDS_TRACE] environment variable. *)
 val set_output : string option -> unit
@@ -62,6 +89,17 @@ val dropped_of_file : string -> (int, string) result
 
 (** Like {!dropped_of_file}, on an in-memory string. *)
 val dropped_of_string : string -> (int, string) result
+
+(** [flows_of_file path] inspects the flow events of a trace and returns
+    [(flows, disconnected)]: the number of distinct flow ids, and the
+    (sorted) ids lacking a start or an end anchor.  A job flow emitted
+    by the service is connected iff its admit ([`Start]) and outcome
+    ([`End]) events both survived the ring.  Backs the job-flow check of
+    [bds_probe trace-check] and the service trace round-trip test. *)
+val flows_of_file : string -> (int * int list, string) result
+
+(** Like {!flows_of_file}, on an in-memory string. *)
+val flows_of_string : string -> (int * int list, string) result
 
 (** Test backdoors — not part of the public contract. *)
 module For_testing : sig

@@ -3,12 +3,22 @@
    Tenants are kept in an arrival-ordered ring ([order]); [cursor]
    points at the tenant to serve next.  An empty sub-queue stays in the
    ring (tenant sets are small — removing and re-adding would just churn
-   the ring), it is simply skipped. *)
+   the ring), it is simply skipped.
+
+   Every element is stamped with its enqueue time so queue wait is
+   measured where it happens — [take] hands the wait back with the
+   element — and each tenant tracks its high-water depth for the
+   per-tenant max-queue-depth gauge. *)
+
+type 'a sub = {
+  q : ('a * float) Queue.t; (* element, enqueue timestamp *)
+  mutable max_depth : int; (* high-water mark, never reset *)
+}
 
 type 'a t = {
   m : Mutex.t;
   cv : Condition.t;
-  tenants : (string, 'a Queue.t) Hashtbl.t;
+  tenants : (string, 'a sub) Hashtbl.t;
   mutable order : string array;  (* ring of known tenants *)
   mutable cursor : int;
   mutable size : int;
@@ -32,25 +42,29 @@ let locked t f =
 
 let subqueue t tenant =
   match Hashtbl.find_opt t.tenants tenant with
-  | Some q -> q
+  | Some s -> s
   | None ->
-    let q = Queue.create () in
-    Hashtbl.add t.tenants tenant q;
+    let s = { q = Queue.create (); max_depth = 0 } in
+    Hashtbl.add t.tenants tenant s;
     t.order <- Array.append t.order [| tenant |];
-    q
+    s
 
 let push t ~tenant v =
   locked t (fun () ->
       if t.closed then false
       else begin
-        Queue.push v (subqueue t tenant);
+        let s = subqueue t tenant in
+        Queue.push (v, Unix.gettimeofday ()) s.q;
+        let depth = Queue.length s.q in
+        if depth > s.max_depth then s.max_depth <- depth;
         t.size <- t.size + 1;
         Condition.signal t.cv;
         true
       end)
 
 (* Next item in round-robin order, advancing the cursor past the tenant
-   served (call with the mutex held; returns None when empty). *)
+   served (call with the mutex held; returns None when empty).  The
+   returned float is the element's queue wait in seconds. *)
 let pick t =
   let n = Array.length t.order in
   if n = 0 || t.size = 0 then None
@@ -59,12 +73,13 @@ let pick t =
       if k >= n then None
       else
         let i = (t.cursor + k) mod n in
-        let q = Hashtbl.find t.tenants t.order.(i) in
-        if Queue.is_empty q then go (k + 1)
+        let s = Hashtbl.find t.tenants t.order.(i) in
+        if Queue.is_empty s.q then go (k + 1)
         else begin
           t.cursor <- (i + 1) mod n;
           t.size <- t.size - 1;
-          Some (Queue.pop q)
+          let v, enq = Queue.pop s.q in
+          Some (v, Unix.gettimeofday () -. enq)
         end
     in
     go 0
@@ -86,6 +101,13 @@ let take t =
 
 let length t = locked t (fun () -> t.size)
 
+let depths t =
+  locked t (fun () ->
+      Array.to_list t.order
+      |> List.map (fun tenant ->
+             let s = Hashtbl.find t.tenants tenant in
+             (tenant, Queue.length s.q, s.max_depth)))
+
 let close t =
   locked t (fun () ->
       t.closed <- true;
@@ -96,7 +118,7 @@ let drain t =
       let acc = ref [] in
       let rec go () =
         match pick t with
-        | Some v ->
+        | Some (v, _) ->
           acc := v :: !acc;
           go ()
         | None -> ()

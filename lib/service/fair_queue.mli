@@ -16,12 +16,19 @@ val create : unit -> 'a t
 val push : 'a t -> tenant:string -> 'a -> bool
 (** Enqueue for [tenant].  False (and no enqueue) after {!close}. *)
 
-val take : 'a t -> 'a option
+val take : 'a t -> ('a * float) option
 (** Blocking round-robin dequeue; [None] once the queue is closed {e
-    and} drained. *)
+    and} drained.  The float is the element's queue wait in seconds,
+    measured from its {!push} — wait accounting lives here, where the
+    enqueue timestamp is stamped, not inferred by the caller. *)
 
 val length : 'a t -> int
 (** Total queued items across tenants (racy snapshot). *)
+
+val depths : 'a t -> (string * int * int) list
+(** Per-tenant [(tenant, current depth, max depth ever)] in tenant
+    arrival order.  The high-water mark is never reset — it is the
+    per-tenant backlog gauge surfaced via [METRICS]. *)
 
 val close : 'a t -> unit
 (** Reject further pushes and wake all blocked takers; queued items

@@ -6,6 +6,7 @@ type command =
   | Post of Job.request
   | Wait of int
   | Stats
+  | Metrics
   | Quit
 
 type response =
@@ -14,6 +15,7 @@ type response =
   | R_rejected of Job.reject
   | R_bad of string
   | R_stats of string
+  | R_metrics
   | R_bye
 
 let one_line s =
@@ -74,6 +76,7 @@ let parse_command line =
       | _ -> Error (Printf.sprintf "WAIT: not a job id: %S" id))
     | "WAIT", _ -> Error "WAIT: want exactly one job id"
     | "STATS", [] -> Ok Stats
+    | "METRICS", [] -> Ok Metrics
     | "QUIT", [] -> Ok Quit
     | _ -> Error (Printf.sprintf "unknown request %S" verb))
 
@@ -91,6 +94,7 @@ let render_command = function
   | Post r -> render_request "POST" r
   | Wait id -> Printf.sprintf "WAIT %d" id
   | Stats -> "STATS"
+  | Metrics -> "METRICS"
   | Quit -> "QUIT"
 
 let render_outcome o =
@@ -135,5 +139,6 @@ let parse_response line =
     | _ -> Error (Printf.sprintf "unknown reject label %S" rest))
   | "BAD" -> Ok (R_bad rest)
   | "STATS" -> Ok (R_stats rest)
+  | "METRICS" -> Ok R_metrics
   | "BYE" -> Ok R_bye
   | _ -> Error (Printf.sprintf "unknown response %S" line)

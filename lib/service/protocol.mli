@@ -8,6 +8,7 @@
     POST   <kind> [key=value ...]   admit a job, reply immediately
     WAIT   <id>                     block for a POSTed job's outcome
     STATS                           one-line JSON service summary
+    METRICS                         OpenMetrics exposition
     QUIT                            close the connection
     v}
 
@@ -24,8 +25,15 @@
                                     shutting_down)
     BAD <message>                   malformed request; never admitted
     STATS <json>                    service summary
+    METRICS                         exposition follows on subsequent
+                                    lines, ending with [# EOF]
     BYE                             reply to QUIT
     v}
+
+    [METRICS] is the one multi-line response: after the [METRICS]
+    header line the server streams the OpenMetrics text exposition
+    verbatim; the exposition's mandatory [# EOF] terminator doubles as
+    the wire terminator, so clients read until that line.
 
     [OK completed <payload>] carries the workload result; [OK failed
     <message>] the terminal error; [OK cancelled] and
@@ -37,6 +45,7 @@ type command =
   | Post of Job.request  (** fire-and-forget: respond [ACCEPTED id] *)
   | Wait of int
   | Stats
+  | Metrics
   | Quit
 
 val parse_command : string -> (command, string) result
@@ -63,6 +72,9 @@ type response =
   | R_rejected of Job.reject
   | R_bad of string
   | R_stats of string  (** raw JSON payload *)
+  | R_metrics
+      (** header only — the exposition body follows on the wire,
+          terminated by its [# EOF] line *)
   | R_bye
 
 val parse_response : string -> (response, string) result

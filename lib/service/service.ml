@@ -29,10 +29,66 @@ module Chaos = Bds_runtime.Chaos
 module Telemetry = Bds_runtime.Telemetry
 module Profile = Bds_runtime.Profile
 module Trace = Bds_runtime.Trace
+module Metrics = Bds_runtime.Metrics
 
 let log_src = Logs.Src.create "bds.service" ~doc:"Pipeline job service"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Labeled metric families (docs/OBSERVABILITY.md "Service
+   observability").  Registered once per process; every service
+   instance feeds the same families, mirroring the Telemetry counters'
+   process-global contract. *)
+
+let m_jobs =
+  Metrics.family ~kind:Metrics.Counter
+    ~help:"Terminal job outcomes by tenant, kind and outcome." "bds_jobs"
+
+let m_rejected =
+  Metrics.family ~kind:Metrics.Counter
+    ~help:"Submissions refused at admission, by reason." "bds_jobs_rejected"
+
+let m_retries =
+  Metrics.family ~kind:Metrics.Counter
+    ~help:"Retry attempts scheduled, by tenant and kind." "bds_job_retries"
+
+let m_latency =
+  Metrics.family ~kind:Metrics.Histogram
+    ~help:"Submit-to-outcome wall latency, by outcome."
+    "bds_job_latency_seconds"
+
+let m_queue_wait =
+  Metrics.family ~kind:Metrics.Histogram
+    ~help:"Fair-queue wait before the first attempt, by tenant."
+    "bds_job_queue_wait_seconds"
+
+let m_run =
+  Metrics.family ~kind:Metrics.Histogram
+    ~help:"Summed attempt execution time per job." "bds_job_run_seconds"
+
+let m_backoff =
+  Metrics.family ~kind:Metrics.Histogram
+    ~help:"Summed retry-backoff (and injected pre-attempt delay) per job."
+    "bds_job_backoff_wait_seconds"
+
+let m_queue_depth =
+  Metrics.family ~kind:Metrics.Gauge
+    ~help:"Jobs currently queued, by tenant." "bds_queue_depth"
+
+let m_queue_depth_max =
+  Metrics.family ~kind:Metrics.Gauge
+    ~help:"High-water queue depth since start, by tenant."
+    "bds_queue_depth_max"
+
+let m_outstanding =
+  Metrics.family ~kind:Metrics.Gauge
+    ~help:"Jobs admitted but not yet resolved." "bds_outstanding_jobs"
+
+let m_breaker =
+  Metrics.family ~kind:Metrics.Gauge
+    ~help:"Circuit breaker: 0 closed, 1 half-open, 2 open."
+    "bds_breaker_state"
 
 type config = {
   capacity : int;
@@ -70,6 +126,15 @@ type job = {
   mutable deadline_hit : bool;  (* set (under [jm]) before cancelling *)
   mutable on_complete : (Job.outcome -> unit) list;
   mutable retries_used : int;
+  (* Latency-breakdown accounting, written by the single runner that
+     owns the job (reads at completion may race a mid-attempt write;
+     single-word ints never tear, so a stat is at worst one attempt
+     stale — same discipline as Telemetry). *)
+  submitted_at : float;
+  mutable dequeued : bool;
+  mutable queue_wait_ns : int;
+  mutable run_ns : int;
+  mutable backoff_ns : int;
 }
 
 type ticket = job
@@ -88,6 +153,14 @@ type t = {
   pool_m : Mutex.t;
   mutable runner_threads : Thread.t list;
   mutable monitor_thread : Thread.t option;
+  (* Latency breakdown aggregates over resolved jobs (ns). *)
+  bd_jobs : int Atomic.t;
+  bd_wall_ns : int Atomic.t;
+  bd_queue_ns : int Atomic.t;
+  bd_run_ns : int Atomic.t;
+  bd_backoff_ns : int Atomic.t;
+  (* Degradation observers (flight-recorder dump hook). *)
+  on_degrade : (string -> unit) list Atomic.t;
 }
 
 let config t = t.cfg
@@ -135,6 +208,32 @@ let complete t job outcome =
     count_outcome outcome;
     locked t.reg_m (fun () -> Hashtbl.remove t.registry job.jid);
     Atomic.decr t.outstanding;
+    (* Winner-only observability: the flow end closes the job's causal
+       chain, and the latency breakdown partitions its wall time.  A job
+       resolved without ever being dequeued (monitor deadline, cancel,
+       shutdown) spent its whole life queued — attribute it so. *)
+    let wall_ns =
+      max 0 (int_of_float ((now () -. job.submitted_at) *. 1e9))
+    in
+    if not job.dequeued then job.queue_wait_ns <- wall_ns;
+    let label = Job.outcome_label outcome in
+    let tenant = job.request.Job.tenant and kind = job.request.Job.kind in
+    Metrics.incr m_jobs
+      ~labels:[ ("tenant", tenant); ("kind", kind); ("outcome", label) ];
+    Metrics.observe_ns m_latency ~labels:[ ("outcome", label) ] wall_ns;
+    Metrics.observe_ns m_queue_wait ~labels:[ ("tenant", tenant) ]
+      job.queue_wait_ns;
+    if job.run_ns > 0 then Metrics.observe_ns m_run ~labels:[] job.run_ns;
+    if job.backoff_ns > 0 then
+      Metrics.observe_ns m_backoff ~labels:[] job.backoff_ns;
+    Atomic.incr t.bd_jobs;
+    ignore (Atomic.fetch_and_add t.bd_wall_ns wall_ns : int);
+    ignore (Atomic.fetch_and_add t.bd_queue_ns job.queue_wait_ns : int);
+    ignore (Atomic.fetch_and_add t.bd_run_ns job.run_ns : int);
+    ignore (Atomic.fetch_and_add t.bd_backoff_ns job.backoff_ns : int);
+    Trace.emit_flow `End ~id:job.jid
+      ~args_json:(Printf.sprintf {|"outcome":"%s"|} (Trace.escape_json label))
+      "job";
     Log.debug (fun m ->
         m "job #%d (%s/%s) -> %s" job.jid job.request.Job.tenant
           job.request.Job.kind (Job.pp_outcome outcome));
@@ -152,17 +251,31 @@ let current_pool t = locked t.pool_m (fun () -> t.pool)
    global pool is swapped exactly once per dead pool (double-checked
    under [pool_m]); later callers see the fresh one. *)
 let heal_pool t dead =
-  locked t.pool_m (fun () ->
-      if t.pool == dead then begin
-        Log.warn (fun m ->
-            m "backing pool is dead (%s); swapping in a fresh pool"
-              (match Pool.health dead with
-              | `Poisoned d -> d
-              | `Shutdown -> "shut down"
-              | `Ok -> "ok?"));
-        (try Runtime.shutdown () with _ -> ());
-        t.pool <- Runtime.get_pool ()
-      end)
+  let healed =
+    locked t.pool_m (fun () ->
+        if t.pool == dead then begin
+          let diag =
+            match Pool.health dead with
+            | `Poisoned d -> d
+            | `Shutdown -> "shut down"
+            | `Ok -> "ok?"
+          in
+          Log.warn (fun m ->
+              m "backing pool is dead (%s); swapping in a fresh pool" diag);
+          (try Runtime.shutdown () with _ -> ());
+          t.pool <- Runtime.get_pool ();
+          Some diag
+        end
+        else None)
+  in
+  (* Degradation observers run outside [pool_m]: a flight-recorder dump
+     must not hold the pool lock. *)
+  match healed with
+  | None -> ()
+  | Some diag ->
+    List.iter
+      (fun f -> try f diag with _ -> ())
+      (Atomic.get t.on_degrade)
 
 (* ------------------------------------------------------------------ *)
 (* Waiting                                                             *)
@@ -328,8 +441,26 @@ let handle_job t job =
       | `Cancel n ->
         Cancel.cancel_with attempt_tok (Chaos.Injected_fault n)
           (Printexc.get_callstack 0)
-      | `Delay d -> interruptible_delay t job d);
-      match run_attempt t job ~attempt attempt_tok with
+      | `Delay d ->
+        (* Injected pre-attempt latency: neither queue nor run time, so
+           it lands in the backoff-wait bucket of the breakdown. *)
+        let t0 = Trace.now_us () in
+        interruptible_delay t job d;
+        let t1 = Trace.now_us () in
+        job.backoff_ns <- job.backoff_ns + int_of_float ((t1 -. t0) *. 1e3);
+        Trace.emit_span "chaos_delay" ~cat:"job"
+          ~args_json:(Printf.sprintf {|"jid":%d|} job.jid) ~t0_us:t0 ~t1_us:t1);
+      Trace.emit_flow `Step ~id:job.jid
+        ~args_json:(Printf.sprintf {|"attempt":%d|} attempt)
+        "job";
+      let att_t0 = Trace.now_us () in
+      let att_result = run_attempt t job ~attempt attempt_tok in
+      let att_t1 = Trace.now_us () in
+      job.run_ns <- job.run_ns + int_of_float ((att_t1 -. att_t0) *. 1e3);
+      Trace.emit_span "attempt" ~cat:"job"
+        ~args_json:(Printf.sprintf {|"jid":%d,"attempt":%d|} job.jid attempt)
+        ~t0_us:att_t0 ~t1_us:att_t1;
+      match att_result with
       | `Ok result ->
         Breaker.record t.breaker ~now:(now ()) ~ok:true;
         ignore (complete t job (Job.Completed result))
@@ -374,8 +505,22 @@ let handle_job t job =
               | Some at -> Float.min d (Float.max 0.0 (at -. now ()))
               | None -> d
             in
+            let bo_t0 = Trace.now_us () in
             interruptible_delay t job d;
+            let bo_t1 = Trace.now_us () in
+            job.backoff_ns <-
+              job.backoff_ns + int_of_float ((bo_t1 -. bo_t0) *. 1e3);
+            Trace.emit_span "backoff_wait" ~cat:"job"
+              ~args_json:
+                (Printf.sprintf {|"jid":%d,"attempt":%d|} job.jid attempt)
+              ~t0_us:bo_t0 ~t1_us:bo_t1;
             Telemetry.incr_jobs_retried ();
+            Metrics.incr m_retries
+              ~labels:
+                [
+                  ("tenant", job.request.Job.tenant);
+                  ("kind", job.request.Job.kind);
+                ];
             locked job.jm (fun () ->
                 job.retries_used <- job.retries_used + 1;
                 (* Back to the queue conceptually: the monitor treats
@@ -392,7 +537,20 @@ let handle_job t job =
 let rec runner_loop t =
   match Fair_queue.take t.queue with
   | None -> ()
-  | Some job ->
+  | Some (job, wait_s) ->
+    (* Queue wait is measured where it happens — the fair queue stamped
+       the enqueue; reconstruct the span from the wait it reports. *)
+    job.dequeued <- true;
+    job.queue_wait_ns <- int_of_float (wait_s *. 1e9);
+    if Trace.enabled () then begin
+      let t1 = Trace.now_us () in
+      Trace.emit_span "queue_wait" ~cat:"job"
+        ~args_json:
+          (Printf.sprintf {|"jid":%d,"tenant":"%s"|} job.jid
+             (Trace.escape_json job.request.Job.tenant))
+        ~t0_us:(t1 -. (wait_s *. 1e6))
+        ~t1_us:t1
+    end;
     (try handle_job t job
      with e ->
        (* A scheduler-level bug must not kill the runner thread: resolve
@@ -468,6 +626,12 @@ let create ?(config = default_config) () =
       pool_m = Mutex.create ();
       runner_threads = [];
       monitor_thread = None;
+      bd_jobs = Atomic.make 0;
+      bd_wall_ns = Atomic.make 0;
+      bd_queue_ns = Atomic.make 0;
+      bd_run_ns = Atomic.make 0;
+      bd_backoff_ns = Atomic.make 0;
+      on_degrade = Atomic.make [];
     }
   in
   t.runner_threads <-
@@ -478,11 +642,26 @@ let create ?(config = default_config) () =
         config.runners (config.poll_cadence_s *. 1000.));
   t
 
+let reject_metric t req reason =
+  ignore t;
+  Metrics.incr m_rejected
+    ~labels:
+      [
+        ("tenant", req.Job.tenant);
+        ("kind", req.Job.kind);
+        ("reason", reason);
+      ]
+
 let submit ?on_complete t req =
-  if Atomic.get t.stopping then Error (`Rejected Job.Shutting_down)
+  if Atomic.get t.stopping then begin
+    reject_metric t req (Job.reject_label Job.Shutting_down);
+    Error (`Rejected Job.Shutting_down)
+  end
   else
     match Workload.build req with
-    | Error msg -> Error (`Bad_request msg)
+    | Error msg ->
+      reject_metric t req "bad_request";
+      Error (`Bad_request msg)
     | Ok work ->
       (* Admission control: CAS-claim an outstanding slot, or shed. *)
       let rec claim () =
@@ -493,6 +672,7 @@ let submit ?on_complete t req =
       in
       if not (claim ()) then begin
         Telemetry.incr_jobs_shed ();
+        reject_metric t req (Job.reject_label Job.Overloaded);
         Error (`Rejected Job.Overloaded)
       end
       else begin
@@ -519,10 +699,24 @@ let submit ?on_complete t req =
             deadline_hit = false;
             on_complete = (match on_complete with Some f -> [ f ] | None -> []);
             retries_used = 0;
+            submitted_at = now ();
+            dequeued = false;
+            queue_wait_ns = 0;
+            run_ns = 0;
+            backoff_ns = 0;
           }
         in
         locked t.reg_m (fun () -> Hashtbl.replace t.registry jid job);
         Telemetry.incr_jobs_admitted ();
+        (* Admission starts the job's causal flow; every later span of
+           its life (queue_wait, attempts, backoff, outcome) links to
+           this id. *)
+        Trace.emit_flow `Start ~id:jid
+          ~args_json:
+            (Printf.sprintf {|"tenant":"%s","kind":"%s"|}
+               (Trace.escape_json req.Job.tenant)
+               (Trace.escape_json req.Job.kind))
+          "job";
         if Fair_queue.push t.queue ~tenant:req.Job.tenant job then Ok job
         else begin
           (* Shutdown closed the queue between the stopping check and
@@ -557,6 +751,50 @@ let summary t =
     sm_outstanding = Atomic.get t.outstanding;
     sm_breaker = Breaker.state_label (Breaker.state t.breaker ~now:(now ()));
   }
+
+type breakdown = {
+  bk_jobs : int;
+  bk_wall_ns : int;
+  bk_queue_ns : int;
+  bk_run_ns : int;
+  bk_backoff_ns : int;
+}
+
+let latency_breakdown t =
+  {
+    bk_jobs = Atomic.get t.bd_jobs;
+    bk_wall_ns = Atomic.get t.bd_wall_ns;
+    bk_queue_ns = Atomic.get t.bd_queue_ns;
+    bk_run_ns = Atomic.get t.bd_run_ns;
+    bk_backoff_ns = Atomic.get t.bd_backoff_ns;
+  }
+
+(* Pull-style gauges: refreshed on demand (before a METRICS render)
+   rather than by a collector thread, so a torn-down service never
+   leaves a stale collector behind. *)
+let collect_metrics t =
+  List.iter
+    (fun (tenant, depth, max_depth) ->
+      Metrics.set m_queue_depth ~labels:[ ("tenant", tenant) ]
+        (float_of_int depth);
+      Metrics.set m_queue_depth_max ~labels:[ ("tenant", tenant) ]
+        (float_of_int max_depth))
+    (Fair_queue.depths t.queue);
+  Metrics.set m_outstanding ~labels:[] (float_of_int (Atomic.get t.outstanding));
+  let breaker_level =
+    match Breaker.state_label (Breaker.state t.breaker ~now:(now ())) with
+    | "closed" -> 0.0
+    | "half_open" -> 1.0
+    | _ -> 2.0
+  in
+  Metrics.set m_breaker ~labels:[] breaker_level
+
+let on_degrade t f =
+  let rec add () =
+    let cur = Atomic.get t.on_degrade in
+    if not (Atomic.compare_and_set t.on_degrade cur (f :: cur)) then add ()
+  in
+  add ()
 
 let shutdown ?(drain = true) t =
   if not (Atomic.exchange t.stopping true) then begin

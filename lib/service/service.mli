@@ -99,6 +99,36 @@ type summary = {
 
 val summary : t -> summary
 
+(** Cumulative latency breakdown over resolved jobs (nanoseconds):
+    wall time (submit to outcome) alongside its three accounted
+    components — fair-queue wait, summed attempt run time, and
+    retry-backoff / injected-delay waits.  A job resolved without ever
+    being dequeued counts its whole wall time as queue wait.  The
+    residue (wall minus components) is scheduling overhead: condvar
+    wakeups, monitor cadence. *)
+type breakdown = {
+  bk_jobs : int;  (** jobs aggregated *)
+  bk_wall_ns : int;
+  bk_queue_ns : int;
+  bk_run_ns : int;
+  bk_backoff_ns : int;
+}
+
+val latency_breakdown : t -> breakdown
+
+val collect_metrics : t -> unit
+(** Refresh this service's pull-style gauges ([bds_queue_depth],
+    [bds_queue_depth_max], [bds_outstanding_jobs], [bds_breaker_state])
+    in {!Bds_runtime.Metrics}.  Call before rendering an exposition;
+    counters and histograms need no collection (they are pushed at the
+    lifecycle points). *)
+
+val on_degrade : t -> (string -> unit) -> unit
+(** Register an observer called (with the pool's diagnosis) each time
+    the service swaps in a fresh pool after a crash/teardown — the
+    server's flight recorder dumps on this signal.  Observers run on
+    the runner thread that healed the pool; keep them quick. *)
+
 val shutdown : ?drain:bool -> t -> unit
 (** Stop the service: admission closes ([Shutting_down]), then either
     every queued job runs to its outcome ([drain], the default) or all

@@ -1,0 +1,67 @@
+The metrics probe drives a fixed multi-tenant scenario through the job
+service (two tenants; a sum and an echo complete, a tight-deadline busy
+job expires) and prints the OpenMetrics exposition — validated by the
+probe itself before printing.  Histogram bucket values are timing-
+dependent, so the test pins the deterministic slices: the family
+declarations, the per-tenant/per-kind/per-outcome job counters, and the
+per-tenant queue gauges.
+
+  $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe metrics > exposition.txt
+  $ grep '^# TYPE bds_jobs\|^# TYPE bds_job_\|^# TYPE bds_queue\|^# TYPE bds_breaker\|^# TYPE bds_outstanding' exposition.txt
+  # TYPE bds_breaker_state gauge
+  # TYPE bds_job_backoff_wait_seconds histogram
+  # TYPE bds_job_latency_seconds histogram
+  # TYPE bds_job_queue_wait_seconds histogram
+  # TYPE bds_job_retries counter
+  # TYPE bds_job_run_seconds histogram
+  # TYPE bds_jobs counter
+  # TYPE bds_jobs_rejected counter
+  # TYPE bds_outstanding_jobs gauge
+  # TYPE bds_queue_depth gauge
+  # TYPE bds_queue_depth_max gauge
+
+Every terminal outcome is a labeled counter sample, labels sorted as
+OpenMetrics requires:
+
+  $ grep '^bds_jobs_total' exposition.txt
+  bds_jobs_total{kind="busy",outcome="deadline_exceeded",tenant="alpha"} 1
+  bds_jobs_total{kind="echo",outcome="completed",tenant="beta"} 1
+  bds_jobs_total{kind="sum",outcome="completed",tenant="alpha"} 1
+
+The per-tenant backlog gauges cover both tenants (drained to zero after
+shutdown; the high-water mark survives):
+
+  $ grep '^bds_queue_depth{' exposition.txt
+  bds_queue_depth{tenant="alpha"} 0
+  bds_queue_depth{tenant="beta"} 0
+
+The Telemetry counters are bridged into the same exposition as unlabeled
+totals, so one scrape carries both layers:
+
+  $ grep -c '^# TYPE bds_runtime_' exposition.txt
+  23
+
+The exposition ends with the mandatory terminator (which doubles as the
+METRICS wire terminator, see docs/SERVICE.md):
+
+  $ tail -1 exposition.txt
+  # EOF
+
+The standalone validator accepts the file (the sample count varies with
+how many histogram buckets were touched):
+
+  $ bds_probe metrics-check exposition.txt | sed -E 's/[0-9]+ samples/N samples/'
+  metrics ok: N samples
+
+and rejects structural damage with the offending line:
+
+  $ sed 's/bds_jobs_total{kind="busy",outcome="deadline_exceeded",tenant="alpha"} 1/bds_jobs_total{tenant="alpha",kind="busy"} 1/' exposition.txt > broken.txt
+  $ bds_probe metrics-check broken.txt 2>&1 | sed -E 's/line [0-9]+/line N/'
+  metrics invalid: line N: labels not sorted (or duplicated): tenant, kind
+
+The flight-recorder dump validator speaks the same one-line contract:
+
+  $ echo 'not json' > bad.json
+  $ bds_probe flight-check bad.json
+  flight invalid: not JSON: expected u at offset 1
+  [1]

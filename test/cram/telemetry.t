@@ -71,11 +71,12 @@ The validator rejects files that are not Chrome traces:
 Unknown sub-commands fail with usage:
 
   $ bds_probe frobnicate
-  usage: bds_probe [stats [--json] | blocks | streams | floats | report [--json] [--large] | trace-check [--strict] FILE | trace-count FILE NAME | jobs | grain]
+  usage: bds_probe [stats [--json] | blocks | streams | floats | report [--json] [--large] | trace-check [--strict] FILE | trace-count FILE NAME | jobs | grain | metrics | metrics-check FILE | flight-check FILE [MIN]]
   [2]
 
 `bds_probe stats --json` emits the same counters as one machine-readable
-object (the format CI artifacts and bench_compare share):
+object (the format CI artifacts and bench_compare share), versioned and
+stamped with the process uptime like the STATS wire payload:
 
   $ BDS_NUM_DOMAINS=2 BDS_CHAOS='' BDS_TRACE= bds_probe stats --json | sed -E 's/:[0-9]+/:N/g'
-  {"workers":N,"counters":{"tasks_spawned":N,"steal_attempts":N,"steals":N,"overflow_pushes":N,"chunks_executed":N,"cancel_polls":N,"cancel_trips":N,"chaos_injections":N,"fused_folds":N,"trickle_fallbacks":N,"float_fast_path":N,"float_boxed_fallback":N,"shared_forces":N,"jobs_admitted":N,"jobs_completed":N,"jobs_cancelled":N,"jobs_deadline_exceeded":N,"jobs_failed":N,"jobs_retried":N,"jobs_shed":N,"jobs_retries_shed":N,"adapt_adjustments":N,"adapt_probes":N}}
+  {"schema_version":N,"uptime_ns":N,"workers":N,"counters":{"tasks_spawned":N,"steal_attempts":N,"steals":N,"overflow_pushes":N,"chunks_executed":N,"cancel_polls":N,"cancel_trips":N,"chaos_injections":N,"fused_folds":N,"trickle_fallbacks":N,"float_fast_path":N,"float_boxed_fallback":N,"shared_forces":N,"jobs_admitted":N,"jobs_completed":N,"jobs_cancelled":N,"jobs_deadline_exceeded":N,"jobs_failed":N,"jobs_retried":N,"jobs_shed":N,"jobs_retries_shed":N,"adapt_adjustments":N,"adapt_probes":N}}

@@ -277,6 +277,71 @@ let test_e2e_smoke () =
       Alcotest.(check bool) "telemetry >= table adjustments" true
         (d.Telemetry.s_adapt_adjustments >= 0 && adj >= 0))
 
+(* ------------------------------------------------------------------ *)
+(* Persistence (BDS_ADAPT_TABLE round trip)                            *)
+
+let tmp_table name = Filename.temp_file ("bds_adapt_" ^ name) ".table"
+
+let write_file path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let test_persist_round_trip () =
+  let path = tmp_table "rt" in
+  write_file path
+    [ "bds-adapt-table v1"; "\"persist-op\" 13 4 512 10 2 1" ];
+  let n = Autotune.load_file path in
+  Alcotest.(check int) "one entry loaded" 1 n;
+  let entry =
+    List.find_opt (fun i -> i.Autotune.i_op = "persist-op") (Autotune.dump ())
+  in
+  (match entry with
+  | None -> Alcotest.fail "loaded entry missing from dump"
+  | Some i ->
+    Alcotest.(check int) "bucket" 13 i.Autotune.i_bucket;
+    Alcotest.(check int) "workers" 4 i.Autotune.i_workers;
+    Alcotest.(check int) "grain" 512 i.Autotune.i_grain;
+    Alcotest.(check int) "obs restored" 10 i.Autotune.i_obs;
+    Alcotest.(check int) "adjustments restored" 2 i.Autotune.i_adjustments);
+  (* Save and re-load: the file round-trips through the writer too. *)
+  let path2 = tmp_table "rt2" in
+  Autotune.save_file path2;
+  let n2 = Autotune.load_file path2 in
+  Alcotest.(check bool) "re-load sees at least the saved entry" true (n2 >= 1);
+  Sys.remove path;
+  Sys.remove path2
+
+let check_malformed name lines fragment =
+  let path = tmp_table name in
+  write_file path lines;
+  (match Autotune.load_file path with
+  | _ -> Alcotest.fail "malformed table loaded without error"
+  | exception Failure msg ->
+    let contains s sub =
+      let sl = String.length s and bl = String.length sub in
+      let rec at i = i + bl <= sl && (String.sub s i bl = sub || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "error names the variable (%s)" msg)
+      true
+      (contains msg "BDS_ADAPT_TABLE");
+    Alcotest.(check bool)
+      (Printf.sprintf "error says what broke (%s)" msg)
+      true (contains msg fragment));
+  Sys.remove path
+
+let test_persist_malformed () =
+  check_malformed "hdr" [ "not a table" ] "bad header";
+  check_malformed "parse"
+    [ "bds-adapt-table v1"; "\"op\" banana 4 512 0 0 0" ]
+    "unparsable entry";
+  check_malformed "range"
+    [ "bds-adapt-table v1"; "\"op\" 13 0 512 0 0 0" ]
+    "out-of-range field";
+  check_malformed "empty" [] "empty file"
+
 let () =
   Alcotest.run "autotune"
     [
@@ -301,5 +366,11 @@ let () =
         [
           Alcotest.test_case "decision gating" `Quick test_decision_gating;
           Alcotest.test_case "e2e smoke" `Quick test_e2e_smoke;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "round trip" `Quick test_persist_round_trip;
+          Alcotest.test_case "malformed fails fast" `Quick
+            test_persist_malformed;
         ] );
     ]

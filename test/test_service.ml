@@ -157,23 +157,35 @@ let test_fair_queue_round_robin () =
   ignore (Fair_queue.push q ~tenant:"c" 20);
   ignore (Fair_queue.push q ~tenant:"b" 11);
   Alcotest.(check int) "length" 7 (Fair_queue.length q);
-  let order = List.init 7 (fun _ -> Option.get (Fair_queue.take q)) in
+  let order = List.init 7 (fun _ -> fst (Option.get (Fair_queue.take q))) in
   Alcotest.(check (list int))
     "round-robin across tenants, FIFO within"
-    [ 1; 10; 20; 2; 11; 3; 4 ] order
+    [ 1; 10; 20; 2; 11; 3; 4 ] order;
+  Alcotest.(check (list (triple string int int)))
+    "depths drained, high-water kept"
+    [ ("a", 0, 4); ("b", 0, 2); ("c", 0, 1) ]
+    (Fair_queue.depths q)
 
 let test_fair_queue_close () =
   let q = Fair_queue.create () in
   Alcotest.(check bool) "push before close" true (Fair_queue.push q ~tenant:"a" 1);
   Fair_queue.close q;
   Alcotest.(check bool) "push after close" false (Fair_queue.push q ~tenant:"a" 2);
-  Alcotest.(check (option int)) "drains queued" (Some 1) (Fair_queue.take q);
-  Alcotest.(check (option int)) "then None" None (Fair_queue.take q)
+  Alcotest.(check (option int))
+    "drains queued" (Some 1)
+    (Option.map fst (Fair_queue.take q));
+  Alcotest.(check (option int))
+    "then None" None
+    (Option.map fst (Fair_queue.take q))
 
 let test_fair_queue_blocking_take () =
   let q = Fair_queue.create () in
   let got = Atomic.make None in
-  let taker = Thread.create (fun () -> Atomic.set got (Fair_queue.take q)) () in
+  let taker =
+    Thread.create
+      (fun () -> Atomic.set got (Option.map fst (Fair_queue.take q)))
+      ()
+  in
   Thread.delay 0.02;
   ignore (Fair_queue.push q ~tenant:"a" 99);
   Thread.join taker;
@@ -563,6 +575,37 @@ let test_chaos_jobs_exactly_once () =
       Alcotest.(check int) "outcomes partition admitted jobs" d.Telemetry.s_jobs_admitted
         resolved)
 
+(* Trace round trip: tracing a chaos run must yield one connected
+   admit→outcome flow per admitted job — retries, injected cancels and
+   deadline resolutions included.  Service.shutdown flushes the
+   recorder, so the file is complete once with_service returns. *)
+let test_chaos_trace_round_trip () =
+  with_chaos
+    { Chaos.seed = 5; p = 0.25; kinds = [ Chaos.Jobs ] }
+    (fun () ->
+      let module Trace = Bds_runtime.Trace in
+      let path = Filename.temp_file "bds_service_trace" ".json" in
+      Trace.set_output (Some path);
+      Trace.reset ();
+      let before = Telemetry.snapshot () in
+      let config =
+        { Service.default_config with Service.capacity = 64; runners = 4 }
+      in
+      Fun.protect ~finally:(fun () -> Trace.set_output None) (fun () ->
+          with_service ~config (fun svc ->
+              let tickets =
+                List.init 24 (fun i -> submit_exn svc (mixed_request i))
+              in
+              check_all_resolve_exactly_once "traced chaos jobs" tickets));
+      let d = Telemetry.diff ~before ~after:(Telemetry.snapshot ()) in
+      (match Trace.flows_of_file path with
+      | Error e -> Alcotest.fail ("trace unreadable: " ^ e)
+      | Ok (flows, disconnected) ->
+        Alcotest.(check (list int)) "every flow connected" [] disconnected;
+        Alcotest.(check int)
+          "one flow per admitted job" d.Telemetry.s_jobs_admitted flows);
+      Sys.remove path)
+
 let test_chaos_point_job_off_by_default () =
   with_chaos
     { Chaos.seed = 1; p = 1.0; kinds = [ Chaos.Delay; Chaos.Starve ] }
@@ -676,6 +719,8 @@ let () =
         [
           Alcotest.test_case "exactly-once under jobs chaos" `Quick
             test_chaos_jobs_exactly_once;
+          Alcotest.test_case "trace round trip (connected flows)" `Quick
+            test_chaos_trace_round_trip;
           Alcotest.test_case "point_job needs the jobs kind" `Quick
             test_chaos_point_job_off_by_default;
           Alcotest.test_case "point_job fires at p=1" `Quick test_chaos_point_job_fires;
